@@ -1,0 +1,46 @@
+// A8 — extension: EQF with artificial stages (Section 7: "One trick would
+// be to add artificial stages. We intend to study this option in future
+// research.").
+//
+// EQF-AS(a) computes EQF as if `a` phantom stages (of mean stage pex)
+// followed the real ones. Each real stage receives a smaller slack share;
+// the reserve flows back to remaining stages via slack inheritance. The
+// sweep shows whether damping slack variability ("the poor get poorer")
+// buys global tasks anything beyond plain EQF.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/system/baseline.hpp"
+
+int main(int argc, char** argv) {
+  const dsrt::util::Flags flags(argc, argv);
+  const bench::RunControl rc = bench::parse_run_control(flags);
+
+  bench::banner("abl_artificial_stages",
+                "Section 7 future-work option: EQF with artificial stages",
+                "baseline; loads 0.5 and 0.7; EQF-AS(a) with a phantom "
+                "stages appended");
+
+  const std::vector<double> loads = {0.5, 0.7};
+  for (double load : loads) {
+    dsrt::stats::Table table({"strategy", "MD_local(%)", "MD_global(%)"});
+    auto run_one = [&](const std::string& label,
+                       dsrt::core::SerialStrategyPtr ssp) {
+      dsrt::system::Config cfg = dsrt::system::baseline_ssp();
+      bench::apply(rc, cfg);
+      cfg.load = load;
+      cfg.ssp = std::move(ssp);
+      const auto r = dsrt::system::run_replications(cfg, rc.reps);
+      table.add_row({label, bench::pct(r.md_local), bench::pct(r.md_global)});
+    };
+    run_one("UD", dsrt::core::make_ud());
+    run_one("EQF", dsrt::core::make_eqf());
+    for (std::size_t a : {1u, 2u, 4u})
+      run_one("EQF-AS(" + std::to_string(a) + ")",
+              dsrt::core::make_eqf_reserve(a));
+    std::printf("load = %.1f\n", load);
+    bench::emit(table, rc);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// A10 — extension: the network as processing nodes (Section 3.2).
+//
+// Inserts a transmission subtask between consecutive serial stages, served
+// by 2 dedicated link nodes. The SDA strategy treats transmissions like any
+// other subtask — exactly the paper's argument for why the model needs no
+// special-case network. The sweep shows how growing per-hop cost erodes
+// deadlines and whether EQF's advantage survives (each hop doubles the
+// number of stages whose slack UD mismanages).
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/system/baseline.hpp"
+
+int main(int argc, char** argv) {
+  const dsrt::util::Flags flags(argc, argv);
+  const bench::RunControl rc = bench::parse_run_control(flags);
+
+  bench::banner("abl_comm_overhead",
+                "Section 3.2: communication network subsumed as processing "
+                "nodes",
+                "serial baseline + 2 link nodes; per-hop transmission time "
+                "swept; load 0.5");
+
+  dsrt::stats::Table table({"mean hop cost", "ssp", "MD_local(%)",
+                            "MD_global(%)", "link util(%)"});
+  for (double hop : {0.0, 0.1, 0.25, 0.5}) {
+    for (const char* name : {"UD", "EQF"}) {
+      dsrt::system::Config cfg = dsrt::system::baseline_ssp();
+      bench::apply(rc, cfg);
+      cfg.ssp = dsrt::core::serial_strategy_by_name(name);
+      if (hop > 0) {
+        cfg.link_nodes = 2;
+        cfg.comm_exec = dsrt::sim::exponential(hop);
+      }
+      const auto result = dsrt::system::run_replications(cfg, rc.reps);
+      double link_util = 0;
+      for (const auto& run : result.runs)
+        link_util += run.mean_link_utilization;
+      link_util /= static_cast<double>(result.runs.size());
+      table.add_row({dsrt::stats::Table::cell(hop, 2), name,
+                     bench::pct(result.md_local), bench::pct(result.md_global),
+                     dsrt::stats::Table::percent(link_util, 1)});
+    }
+  }
+  bench::emit(table, rc);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// A6 — ablation: the DIV-x parameter (Section 5.3 asks "how to set the
+// value of x" and defers to [7]; this sweep answers it for the baseline).
+// GF is included as the limiting, most aggressive strategy.
+//
+// Expectation: x < 1 under-promotes subtasks; the curve flattens beyond
+// x ~ 1 (the paper found DIV-2 ~ DIV-1 except at very high load), and local
+// tasks pay progressively more as x grows.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/system/baseline.hpp"
+
+int main(int argc, char** argv) {
+  const dsrt::util::Flags flags(argc, argv);
+  const bench::RunControl rc = bench::parse_run_control(flags);
+
+  bench::banner("abl_divx_sweep",
+                "Section 5.3: choosing x for DIV-x (GF as the limit)",
+                "parallel baseline; load 0.5 and 0.7");
+
+  const std::vector<double> xs = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> loads = {0.5, 0.7};
+
+  for (double load : loads) {
+    dsrt::stats::Table table({"strategy", "MD_local(%)", "MD_global(%)"});
+    {
+      dsrt::system::Config cfg = dsrt::system::baseline_psp();
+      bench::apply(rc, cfg);
+      cfg.load = load;
+      cfg.psp = dsrt::core::make_parallel_ud();
+      const auto r = dsrt::system::run_replications(cfg, rc.reps);
+      table.add_row({"UD", bench::pct(r.md_local), bench::pct(r.md_global)});
+    }
+    for (double x : xs) {
+      dsrt::system::Config cfg = dsrt::system::baseline_psp();
+      bench::apply(rc, cfg);
+      cfg.load = load;
+      cfg.psp = dsrt::core::make_div_x(x);
+      const auto r = dsrt::system::run_replications(cfg, rc.reps);
+      table.add_row({"DIV-" + dsrt::stats::Table::cell(x, 2),
+                     bench::pct(r.md_local), bench::pct(r.md_global)});
+    }
+    {
+      dsrt::system::Config cfg = dsrt::system::baseline_psp();
+      bench::apply(rc, cfg);
+      cfg.load = load;
+      cfg.psp = dsrt::core::make_gf();
+      const auto r = dsrt::system::run_replications(cfg, rc.reps);
+      table.add_row({"GF", bench::pct(r.md_local), bench::pct(r.md_global)});
+    }
+    std::printf("load = %.1f\n", load);
+    bench::emit(table, rc);
+  }
+  return 0;
+}

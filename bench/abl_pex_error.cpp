@@ -1,0 +1,58 @@
+// A1 — ablation: error in the execution-time predictions (Section 4.3 /
+// technical report [6] relax the pex = ex assumption of Table 1).
+//
+// Sweeps multiplicative uniform error pex = ex*(1 + U[-e,+e]) for
+// e in {0, 0.25, 0.5, 1.0}, plus the "distribution-only" predictor (pex
+// drawn fresh from Exp(1), independent of ex). UD ignores pex entirely, so
+// its column is flat up to noise and serves as the control; the question is
+// how fast EQF's advantage decays as predictions degrade.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/system/baseline.hpp"
+
+int main(int argc, char** argv) {
+  const dsrt::util::Flags flags(argc, argv);
+  const bench::RunControl rc = bench::parse_run_control(flags);
+
+  bench::banner("abl_pex_error",
+                "Section 4.3 relaxation: random error in execution time "
+                "estimates",
+                "baseline at load 0.5; MD_global under UD / ED / EQF");
+
+  struct ErrorCase {
+    std::string label;
+    dsrt::workload::PexErrorModelPtr model;
+  };
+  std::vector<ErrorCase> cases;
+  cases.push_back({"perfect (e=0)",
+                   dsrt::workload::make_perfect_prediction()});
+  for (double e : {0.25, 0.5, 1.0}) {
+    cases.push_back({"uniform e=" + dsrt::stats::Table::cell(e, 2),
+                     dsrt::workload::make_uniform_relative_error(e)});
+  }
+  cases.push_back({"distribution-only",
+                   dsrt::workload::make_distribution_only(
+                       dsrt::sim::exponential(1.0))});
+
+  dsrt::stats::Table table({"prediction", "MD_global(UD)", "MD_global(ED)",
+                            "MD_global(EQF)", "MD_local(EQF)"});
+  for (const auto& error_case : cases) {
+    std::vector<std::string> row = {error_case.label};
+    std::string md_local_eqf;
+    for (const char* name : {"UD", "ED", "EQF"}) {
+      dsrt::system::Config cfg = dsrt::system::baseline_ssp();
+      bench::apply(rc, cfg);
+      cfg.ssp = dsrt::core::serial_strategy_by_name(name);
+      cfg.pex_error = error_case.model;
+      const auto result = dsrt::system::run_replications(cfg, rc.reps);
+      row.push_back(bench::pct(result.md_global));
+      if (std::string(name) == "EQF") md_local_eqf = bench::pct(result.md_local);
+    }
+    row.push_back(md_local_eqf);
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, rc);
+  return 0;
+}

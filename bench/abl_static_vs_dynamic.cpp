@@ -1,0 +1,45 @@
+// A9 — extension ablation: dynamic (submission-time) vs static
+// (arrival-time) deadline assignment.
+//
+// The paper's EQS/EQF recompute each stage's deadline when the stage is
+// submitted, so a stage that finishes early bequeaths its leftover slack to
+// its successors and an overrunning stage robs them (Section 4.2.2). The
+// static twins EQS-S / EQF-S freeze the whole schedule at task arrival.
+// The gap between each pair measures what slack inheritance is worth.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/system/baseline.hpp"
+
+int main(int argc, char** argv) {
+  const dsrt::util::Flags flags(argc, argv);
+  const bench::RunControl rc = bench::parse_run_control(flags);
+
+  bench::banner("abl_static_vs_dynamic",
+                "extension: value of submission-time recomputation (slack "
+                "inheritance)",
+                "baseline; loads 0.4..0.7; '-S' = schedule frozen at task "
+                "arrival");
+
+  const std::vector<double> loads = {0.4, 0.5, 0.6, 0.7};
+  const std::vector<const char*> strategies = {"UD", "EQS", "EQS-S", "EQF",
+                                               "EQF-S"};
+
+  dsrt::stats::Table table({"load", "UD", "EQS", "EQS-S", "EQF", "EQF-S"});
+  for (double load : loads) {
+    std::vector<std::string> row = {dsrt::stats::Table::cell(load, 1)};
+    for (const char* name : strategies) {
+      dsrt::system::Config cfg = dsrt::system::baseline_ssp();
+      bench::apply(rc, cfg);
+      cfg.load = load;
+      cfg.ssp = dsrt::core::serial_strategy_by_name(name);
+      row.push_back(
+          bench::pct(dsrt::system::run_replications(cfg, rc.reps).md_global));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("MD_global (%%):\n");
+  bench::emit(table, rc);
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+namespace bench {
+
+RunControl parse_run_control(const dsrt::util::Flags& flags) {
+  RunControl rc;
+  rc.horizon = flags.get("horizon", 1e6);
+  if (flags.get("quick", false)) rc.horizon = 1e5;
+  rc.reps = static_cast<std::size_t>(flags.get("reps", 2L));
+  rc.seed = static_cast<std::uint64_t>(flags.get("seed", 20250612L));
+  rc.csv = flags.get("csv", false);
+  return rc;
+}
+
+void apply(const RunControl& rc, dsrt::system::Config& cfg) {
+  cfg.horizon = rc.horizon;
+  cfg.seed = rc.seed;
+}
+
+void banner(const std::string& experiment, const std::string& paper_artifact,
+            const std::string& notes) {
+  std::printf("== %s ==\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_artifact.c_str());
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("\n");
+}
+
+void emit(const dsrt::stats::Table& table, const RunControl& rc) {
+  table.print(std::cout);
+  if (rc.csv) {
+    std::printf("\n-- csv --\n");
+    table.print_csv(std::cout);
+  }
+  std::printf("\n");
+}
+
+std::string pct(const dsrt::stats::Estimate& e) {
+  return dsrt::stats::Table::percent(e.mean, 1) + " +- " +
+         dsrt::stats::Table::percent(e.half_width, 1);
+}
+
+}  // namespace bench

@@ -1,0 +1,50 @@
+#pragma once
+
+// Shared helpers for the experiment benches (one binary per paper
+// table/figure; see DESIGN.md section 3).
+//
+// Common flags understood by every bench:
+//   --horizon=<t>   simulated time units per replication (default 1e6,
+//                   the paper's run length)
+//   --reps=<n>      independent replications per data point (default 2,
+//                   as in the paper)
+//   --seed=<s>      base seed
+//   --quick         shorthand for --horizon=100000 (fast shape check)
+//   --csv           also emit CSV after the aligned table
+
+#include <string>
+#include <vector>
+
+#include "dsrt/stats/report.hpp"
+#include "dsrt/system/config.hpp"
+#include "dsrt/system/experiment.hpp"
+#include "dsrt/util/flags.hpp"
+
+namespace bench {
+
+/// Run-control settings parsed from the common flags.
+struct RunControl {
+  double horizon = 1e6;
+  std::size_t reps = 2;
+  std::uint64_t seed = 20250612;
+  bool csv = false;
+};
+
+/// Parses the common flags (see header comment).
+RunControl parse_run_control(const dsrt::util::Flags& flags);
+
+/// Applies run control to a config.
+void apply(const RunControl& rc, dsrt::system::Config& cfg);
+
+/// Prints the bench banner: experiment id, what the paper shows, and the
+/// configuration being swept.
+void banner(const std::string& experiment, const std::string& paper_artifact,
+            const std::string& notes);
+
+/// Prints the table (and CSV when requested).
+void emit(const dsrt::stats::Table& table, const RunControl& rc);
+
+/// Formats an Estimate as "12.3 +- 0.4" in percent.
+std::string pct(const dsrt::stats::Estimate& e);
+
+}  // namespace bench

@@ -1,0 +1,51 @@
+// F4 — Fig. 4: performance of UD and DIV-x on purely parallel global tasks
+// (PSP) as load varies; the GF series is included as the text discusses it
+// (Section 5.3) even though the figure only plots UD/DIV-1/DIV-2.
+//
+// Paper shape to check: MD_global(UD) ~ 3x MD_local(UD); DIV-1 pulls the
+// class miss rates together (at a mild cost to locals); DIV-2 ~ DIV-1
+// except at very high load; GF further reduces MD_global significantly.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/system/baseline.hpp"
+
+int main(int argc, char** argv) {
+  const dsrt::util::Flags flags(argc, argv);
+  const bench::RunControl rc = bench::parse_run_control(flags);
+
+  bench::banner("fig4_psp_baseline",
+                "Fig. 4: MD_local / MD_global vs load for PSP strategies "
+                "UD, DIV-1, DIV-2 (+ GF per Section 5.3)",
+                "baseline with parallel tasks: m=4 subtasks at distinct "
+                "nodes, slack U[1.25,5.0] on max_i ex(Ti)");
+
+  const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  const std::vector<const char*> strategies = {"UD", "DIV1", "DIV2", "GF"};
+
+  dsrt::stats::Table local_table({"load", "UD", "DIV1", "DIV2", "GF"});
+  dsrt::stats::Table global_table({"load", "UD", "DIV1", "DIV2", "GF"});
+
+  for (double load : loads) {
+    std::vector<std::string> local_row = {dsrt::stats::Table::cell(load, 1)};
+    std::vector<std::string> global_row = {dsrt::stats::Table::cell(load, 1)};
+    for (const char* name : strategies) {
+      dsrt::system::Config cfg = dsrt::system::baseline_psp();
+      bench::apply(rc, cfg);
+      cfg.load = load;
+      cfg.psp = dsrt::core::parallel_strategy_by_name(name);
+      const auto result = dsrt::system::run_replications(cfg, rc.reps);
+      local_row.push_back(bench::pct(result.md_local));
+      global_row.push_back(bench::pct(result.md_global));
+    }
+    local_table.add_row(std::move(local_row));
+    global_table.add_row(std::move(global_row));
+  }
+
+  std::printf("Fig. 4 — MD_local (%%), by PSP strategy\n");
+  bench::emit(local_table, rc);
+  std::printf("Fig. 4 — MD_global (%%), by PSP strategy\n");
+  bench::emit(global_table, rc);
+  return 0;
+}

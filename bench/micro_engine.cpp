@@ -1,0 +1,110 @@
+// M1 — engine microbenchmarks (google-benchmark): cost of the simulation
+// substrate and of the SDA strategy computations themselves. These bound
+// how cheap deadline assignment is relative to the work it schedules —
+// the paper's premise that the process manager's own overhead is
+// negligible (Section 3.2).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dsrt/core/assigner.hpp"
+#include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/sim/event_queue.hpp"
+#include "dsrt/sim/rng.hpp"
+#include "dsrt/sim/simulator.hpp"
+#include "dsrt/system/baseline.hpp"
+#include "dsrt/system/simulation.hpp"
+
+namespace {
+
+using namespace dsrt;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(42);
+  sim::EventQueue q;
+  for (std::size_t i = 0; i < depth; ++i)
+    q.push(rng.uniform01(), [] {});
+  double t = 1.0;
+  for (auto _ : state) {
+    q.push(t, [] {});
+    t += 1e-9;
+    benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(1.0));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_SerialAssign(benchmark::State& state) {
+  const auto strategy = core::make_eqf();
+  core::SerialContext ctx;
+  ctx.group_arrival = 0;
+  ctx.group_deadline = 16;
+  ctx.now = 3;
+  ctx.index = 1;
+  ctx.count = 4;
+  ctx.pex_self = 1.5;
+  ctx.pex_remaining = 5.0;
+  ctx.pex_group_total = 8.0;
+  for (auto _ : state) benchmark::DoNotOptimize(strategy->assign(ctx));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SerialAssign);
+
+void BM_TaskInstanceWalk(benchmark::State& state) {
+  // Full lifecycle of a 4-stage serial task: build, start, chain to done.
+  const core::TaskSpec spec = core::TaskSpec::serial({
+      core::TaskSpec::simple(0, 1.0),
+      core::TaskSpec::simple(1, 1.0),
+      core::TaskSpec::simple(2, 1.0),
+      core::TaskSpec::simple(3, 1.0),
+  });
+  const auto ssp = core::make_eqf();
+  const auto psp = core::make_parallel_ud();
+  std::vector<core::LeafSubmission> subs;
+  for (auto _ : state) {
+    core::TaskInstance inst(1, spec, 0.0, 10.0, ssp, psp);
+    subs.clear();
+    inst.start(0.0, subs);
+    double now = 0;
+    while (!subs.empty()) {
+      const auto sub = subs.front();
+      subs.clear();
+      now += sub.exec;
+      inst.on_leaf_complete(sub.leaf, now, subs);
+    }
+    benchmark::DoNotOptimize(inst.state());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TaskInstanceWalk);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  // Events per second of the whole baseline system (horizon scaled down).
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = 20000;
+  std::uint64_t events = 0;
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    system::SimulationRun run(cfg, rep++);
+    const system::RunMetrics m = run.run();
+    events += m.events;
+    benchmark::DoNotOptimize(m.local.missed.value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Observability tour: attach the trace recorder, Gantt chart, and slack
+// profiler to one run and inspect what the system actually did.
+//
+//   ./example_observability [--ssp=UD] [--window=60]
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "dsrt/dsrt.hpp"
+#include "dsrt/trace/gantt.hpp"
+
+using namespace dsrt;
+
+namespace {
+
+/// Fan-in observer: forwards every hook to several observers.
+class Tee final : public system::Observer {
+ public:
+  explicit Tee(std::vector<system::Observer*> sinks)
+      : sinks_(std::move(sinks)) {}
+  void on_local_submitted(core::NodeId node, const sched::Job& job,
+                          sim::Time now) override {
+    for (auto* s : sinks_) s->on_local_submitted(node, job, now);
+  }
+  void on_global_arrival(core::TaskId task, const core::TaskSpec& spec,
+                         sim::Time now, sim::Time deadline) override {
+    for (auto* s : sinks_) s->on_global_arrival(task, spec, now, deadline);
+  }
+  void on_subtask_submitted(core::TaskId task,
+                            const core::LeafSubmission& sub,
+                            sim::Time now) override {
+    for (auto* s : sinks_) s->on_subtask_submitted(task, sub, now);
+  }
+  void on_job_disposed(const sched::Job& job, sim::Time now,
+                       sched::JobOutcome outcome) override {
+    for (auto* s : sinks_) s->on_job_disposed(job, now, outcome);
+  }
+  void on_global_finished(core::TaskId task, sim::Time now,
+                          bool missed) override {
+    for (auto* s : sinks_) s->on_global_finished(task, now, missed);
+  }
+  void on_global_aborted(core::TaskId task, sim::Time now) override {
+    for (auto* s : sinks_) s->on_global_aborted(task, now);
+  }
+
+ private:
+  std::vector<system::Observer*> sinks_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const double window = flags.get("window", 60.0);
+
+  system::Config cfg = system::baseline_ssp();
+  cfg.ssp = core::serial_strategy_by_name(flags.get("ssp", std::string("UD")));
+  cfg.horizon = 5000;
+
+  trace::Recorder recorder(1u << 20);
+  trace::GanttChart gantt(1000.0, 1000.0 + window, 100);
+  trace::SlackProfiler profiler;
+  Tee tee({&recorder, &gantt, &profiler});
+
+  system::SimulationRun run(cfg, 0);
+  run.set_observer(&tee);
+  run.run();
+
+  std::printf("--- first global task's timeline (ssp=%s) ---\n",
+              std::string(cfg.ssp->name()).c_str());
+  for (const auto& e : recorder.task_timeline(1)) {
+    std::printf("  t=%8.3f  %-16s", e.at, trace::to_string(e.kind));
+    if (e.kind == trace::TraceKind::SubtaskSubmit)
+      std::printf(" stage %zu on node %u, virtual dl %.3f", e.stage + 1,
+                  e.node, e.deadline);
+    std::printf("\n");
+  }
+
+  std::printf("\n--- node occupancy, %g time units around t=1000 ---\n",
+              window);
+  gantt.render(std::cout, cfg.nodes);
+
+  std::printf("\n--- slack consumed per stage (mean wait in queue) ---\n");
+  for (std::size_t s = 0; s < profiler.stages().size(); ++s)
+    std::printf("  stage %zu: wait %.3f, window %.3f, virtual misses %.1f%%\n",
+                s + 1, profiler.stages()[s].wait.mean(),
+                profiler.stages()[s].allotted_window.mean(),
+                100.0 * profiler.stages()[s].virtual_miss.value());
+  std::printf("\ntry --ssp=EQF and compare the per-stage waits.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: assign subtask deadlines to one distributed task and run a
+// small simulation comparing two SSP strategies.
+//
+//   ./example_quickstart
+//
+// A global task T = [T1 T2 T3 T4] arrives with an end-to-end deadline. The
+// library's job is to split that deadline into per-subtask virtual
+// deadlines that the independent node schedulers can act on.
+#include <cstdio>
+
+#include "dsrt/dsrt.hpp"
+
+using namespace dsrt;
+
+int main() {
+  // --- Part 1: deadline assignment on a concrete task -------------------
+  // Four serial subtasks with predicted execution times 2, 1, 4, 1 on
+  // nodes 0..3; the task arrives at t=0 with deadline 16 (slack 8).
+  const core::TaskSpec task = core::TaskSpec::serial({
+      core::TaskSpec::simple(0, 2.0),
+      core::TaskSpec::simple(1, 1.0),
+      core::TaskSpec::simple(2, 4.0),
+      core::TaskSpec::simple(3, 1.0),
+  });
+  std::printf("task: %s  total pex = %.1f\n", task.to_string().c_str(),
+              task.predicted_duration());
+
+  for (const auto& ssp : {core::make_ud(), core::make_ed(), core::make_eqs(),
+                          core::make_eqf()}) {
+    core::TaskInstance inst(/*id=*/1, task, /*arrival=*/0.0,
+                            /*deadline=*/16.0, ssp,
+                            core::make_parallel_ud());
+    std::vector<core::LeafSubmission> subs;
+    inst.start(/*now=*/0.0, subs);
+    std::printf("%-3s first-stage virtual deadline: dl(T1) = %5.2f\n",
+                std::string(ssp->name()).c_str(), subs.at(0).deadline);
+    // Pretend each stage finishes exactly on its pex and watch the chain.
+    double now = 0.0;
+    while (!subs.empty()) {
+      const auto sub = subs.front();
+      subs.clear();
+      now += sub.pex;
+      inst.on_leaf_complete(sub.leaf, now, subs);
+    }
+    std::printf("     finished at t = %.2f (deadline 16.00)\n", now);
+  }
+
+  // --- Part 2: whole-system simulation ----------------------------------
+  // Table 1 baseline at load 0.5; UD vs EQF, short horizon for a demo.
+  std::printf("\nsimulating Table-1 baseline (shortened horizon)...\n");
+  for (const char* name : {"UD", "EQF"}) {
+    system::Config cfg = system::baseline_ssp();
+    cfg.ssp = core::serial_strategy_by_name(name);
+    cfg.horizon = 50000;
+    const system::RunMetrics m = system::simulate(cfg);
+    std::printf("%-3s  MD_local = %5.1f%%   MD_global = %5.1f%%\n", name,
+                100.0 * m.local.missed.value(),
+                100.0 * m.global.missed.value());
+  }
+  std::printf("expect: EQF leaves MD_local nearly unchanged and cuts "
+              "MD_global sharply.\n");
+  return 0;
+}

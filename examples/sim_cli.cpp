@@ -1,0 +1,89 @@
+// Generic simulation front-end: run any configuration of the model from
+// the command line, no code required.
+//
+//   ./example_sim_cli --shape=parallel --psp=DIV1 --load=0.6 --reps=4
+//   ./example_sim_cli --help
+//
+// Prints the per-class miss ratios with confidence intervals, response-time
+// quantiles, and utilizations for the requested configuration.
+#include <cstdio>
+#include <iostream>
+
+#include "dsrt/dsrt.hpp"
+#include "dsrt/system/cli.hpp"
+
+using namespace dsrt;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::printf("%s", system::cli_usage().c_str());
+    return 0;
+  }
+
+  system::Config cfg;
+  try {
+    cfg = system::config_from_flags(flags);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bad configuration: %s\n%s", error.what(),
+                 system::cli_usage().c_str());
+    return 1;
+  }
+  const auto reps = static_cast<std::size_t>(flags.get("reps", 2L));
+
+  std::printf("config: %s\n", cfg.describe().c_str());
+  std::printf("lambda_local(total)=%.4f lambda_global=%.4f  reps=%zu\n\n",
+              cfg.lambda_local_total(), cfg.lambda_global(), reps);
+
+  const auto result = system::run_replications(cfg, reps);
+
+  stats::Table table({"metric", "local", "global"});
+  auto pct = [](const stats::Estimate& e) {
+    return stats::Table::percent(e.mean, 2) + " +- " +
+           stats::Table::percent(e.half_width, 2);
+  };
+  table.add_row({"missed deadlines (%)", pct(result.md_local),
+                 pct(result.md_global)});
+  table.add_row({"mean response",
+                 stats::Table::with_ci(result.response_local.mean,
+                                       result.response_local.half_width, 3),
+                 stats::Table::with_ci(result.response_global.mean,
+                                       result.response_global.half_width,
+                                       3)});
+  // Tail quantiles over the pooled response histograms of all runs.
+  stats::Histogram local_hist = result.runs.front().local.response_hist;
+  stats::Histogram global_hist = result.runs.front().global.response_hist;
+  std::uint64_t finished_local = 0, finished_global = 0;
+  std::uint64_t aborted_local = 0, aborted_global = 0;
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    const auto& run = result.runs[i];
+    if (i > 0) {
+      local_hist.merge(run.local.response_hist);
+      global_hist.merge(run.global.response_hist);
+    }
+    finished_local += run.local.missed.trials();
+    finished_global += run.global.missed.trials();
+    aborted_local += run.local.aborted;
+    aborted_global += run.global.aborted;
+  }
+  for (const auto& [label, q] : {std::pair<const char*, double>{"p50", 0.5},
+                                 {"p90", 0.9},
+                                 {"p99", 0.99}}) {
+    table.add_row({std::string("response ") + label,
+                   stats::Table::cell(local_hist.quantile(q), 2),
+                   stats::Table::cell(global_hist.quantile(q), 2)});
+  }
+  table.add_row({"tasks finished", std::to_string(finished_local),
+                 std::to_string(finished_global)});
+  table.add_row({"tasks aborted", std::to_string(aborted_local),
+                 std::to_string(aborted_global)});
+  const auto& first = result.runs.front();
+  table.print(std::cout);
+
+  std::printf("\nutilization: compute %.1f%%", 100 * result.utilization.mean);
+  if (cfg.link_nodes > 0)
+    std::printf(", links %.1f%%", 100 * first.mean_link_utilization);
+  std::printf("   (events: %llu)\n",
+              static_cast<unsigned long long>(first.events));
+  return 0;
+}

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsrt/core/strategy.hpp"
+#include "dsrt/core/task.hpp"
+#include "dsrt/core/task_spec.hpp"
+
+namespace dsrt::core {
+
+/// Order to submit one simple subtask to its node, produced by
+/// `TaskInstance` when precedence constraints allow the subtask to start.
+struct LeafSubmission {
+  std::size_t leaf = 0;          ///< vertex handle; echo in on_leaf_complete
+  NodeId node = 0;               ///< execution node
+  double exec = 0;               ///< real service demand
+  double pex = 0;                ///< predicted service demand
+  sim::Time deadline = 0;        ///< assigned virtual deadline
+  PriorityClass priority = PriorityClass::Normal;
+  std::size_t sibling_index = 0;  ///< position within the parent group
+  std::size_t sibling_count = 1;  ///< size of the parent group
+};
+
+/// Lifecycle of a global task instance.
+enum class InstanceState : std::uint8_t { Running, Completed, Aborted };
+
+/// Runtime state of one global task: the process manager's view of a
+/// serial-parallel `TaskSpec` being executed (Fig. 1).
+///
+/// The instance applies the configured SSP strategy at every serial group
+/// and the PSP strategy at every parallel group, *recursively*: a complex
+/// subtask first receives a virtual deadline from its parent's strategy,
+/// then decomposes that deadline for its own children (Section 6). Because
+/// serial deadlines are computed at submission time, leftover slack from an
+/// early-finishing stage is inherited by later stages, and overruns rob
+/// later stages — both phenomena discussed in Section 4.2.2.
+///
+/// Usage: construct, call `start()` once, then `on_leaf_complete()` for
+/// every completion reported by a node, submitting whatever either call
+/// emits. `abort()` marks the instance failed; subsequent completions of
+/// already-queued subtasks are absorbed without emitting further work.
+class TaskInstance {
+ public:
+  /// `deadline` is the end-to-end deadline dl(T); strategies must outlive
+  /// the instance.
+  TaskInstance(TaskId id, const TaskSpec& spec, sim::Time arrival,
+               sim::Time deadline, SerialStrategyPtr ssp,
+               ParallelStrategyPtr psp);
+
+  TaskId id() const { return id_; }
+  sim::Time arrival() const { return arrival_; }
+  sim::Time deadline() const { return deadline_; }
+  InstanceState state() const { return state_; }
+
+  /// Leaves submitted to nodes and not yet reported back.
+  std::size_t outstanding() const { return outstanding_; }
+
+  /// True once every emitted submission has been reported back (an aborted
+  /// instance may linger until queued orphans drain).
+  bool drained() const { return outstanding_ == 0; }
+
+  /// Activates the root with the end-to-end deadline; appends the initial
+  /// submissions (one for a serial root, n for a parallel root of width n).
+  void start(sim::Time now, std::vector<LeafSubmission>& out);
+
+  /// Reports that leaf `leaf` finished at `now`. Appends any newly released
+  /// submissions. Returns true when the *whole* task just completed.
+  bool on_leaf_complete(std::size_t leaf, sim::Time now,
+                        std::vector<LeafSubmission>& out);
+
+  /// Marks the task failed (e.g. a subtask was discarded by an abort
+  /// policy). No further submissions are emitted.
+  void abort();
+
+  /// Virtual deadline assigned to a vertex (0 = root); kTimeInfinity if the
+  /// vertex has not been activated yet. Vertices are numbered in depth-first
+  /// pre-order over the spec. Intended for tests and traces.
+  sim::Time vertex_deadline(std::size_t vertex) const;
+
+  /// Number of vertices in the runtime tree.
+  std::size_t vertex_count() const { return vertices_.size(); }
+
+ private:
+  struct Vertex {
+    SpecKind kind = SpecKind::Simple;
+    int parent = -1;
+    std::size_t index_in_parent = 0;
+    std::vector<std::size_t> children;
+    NodeId node = 0;        // leaves only
+    double exec = 0;        // leaves only
+    double pred_duration = 0;
+    std::vector<double> pex_suffix;  // serial groups: size children+1
+    // Runtime state.
+    sim::Time assigned_deadline = sim::kTimeInfinity;
+    sim::Time activated_at = 0;
+    PriorityClass priority = PriorityClass::Normal;
+    std::size_t next_child = 0;  // serial progress
+    std::size_t pending = 0;     // parallel fan-in
+    bool done = false;
+  };
+
+  std::size_t build(const TaskSpec& spec, int parent,
+                    std::size_t index_in_parent);
+  void activate(std::size_t v, sim::Time now, sim::Time deadline,
+                PriorityClass priority, std::vector<LeafSubmission>& out);
+  void activate_serial_child(std::size_t group, sim::Time now,
+                             std::vector<LeafSubmission>& out);
+  /// Marks `v` done and walks completion up the tree; returns true when the
+  /// root finished.
+  bool complete_vertex(std::size_t v, sim::Time now,
+                       std::vector<LeafSubmission>& out);
+
+  TaskId id_;
+  sim::Time arrival_;
+  sim::Time deadline_;
+  SerialStrategyPtr ssp_;
+  ParallelStrategyPtr psp_;
+  std::vector<Vertex> vertices_;
+  InstanceState state_ = InstanceState::Running;
+  std::size_t outstanding_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dsrt::core

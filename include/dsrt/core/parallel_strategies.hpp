@@ -1,0 +1,70 @@
+#pragma once
+
+#include "dsrt/core/strategy.hpp"
+
+namespace dsrt::core {
+
+/// PSP baseline: subtasks inherit the group's deadline, dl(Ti) = dl(T).
+class ParallelUltimate final : public ParallelStrategy {
+ public:
+  ParallelAssignment assign(const ParallelContext& ctx) const override;
+  std::string_view name() const override { return "UD"; }
+};
+
+/// DIV-x (equation 1 of Section 5.1):
+///   dl(Ti) = ar(T) + [dl(T) - ar(T)] / (n * x).
+///
+/// Divides the group's time allowance by x times its subtask count; larger
+/// x (or larger n) yields earlier virtual deadlines and hence higher subtask
+/// priority under deadline-based local scheduling. The promotion therefore
+/// grows automatically with the degree of parallelism.
+class DivX final : public ParallelStrategy {
+ public:
+  explicit DivX(double x);
+  ParallelAssignment assign(const ParallelContext& ctx) const override;
+  std::string_view name() const override { return name_; }
+
+  double x() const { return x_; }
+
+ private:
+  double x_;
+  std::string name_;
+};
+
+/// Globals First: subtasks of global tasks are always served before local
+/// tasks; earliest-deadline order is preserved within each class. The
+/// subtask keeps dl(T) as its deadline (used for intra-class ordering and
+/// miss accounting) but is marked PriorityClass::Elevated.
+///
+/// Per Section 5.3, GF is inapplicable at components that discard jobs whose
+/// (virtual) deadline has passed — with abort policies prefer DIV-x.
+class GlobalsFirst final : public ParallelStrategy {
+ public:
+  ParallelAssignment assign(const ParallelContext& ctx) const override;
+  std::string_view name() const override { return "GF"; }
+};
+
+/// Extension (in the spirit of the [7] follow-up on unequal subtasks):
+/// parallel Equal Flexibility. Every member's window is scaled so that all
+/// share the group's relative laxity:
+///   dl(Ti) = ar(T) + (dl(T) - ar(T)) * pex(Ti) / max_j pex(Tj).
+/// The longest member keeps the whole window (it needs it); shorter members
+/// get proportionally earlier deadlines, so no subtask coasts on laxity
+/// created by a slower sibling. Falls back to UD when all pex are zero.
+class ParallelEqualFlexibility final : public ParallelStrategy {
+ public:
+  ParallelAssignment assign(const ParallelContext& ctx) const override;
+  std::string_view name() const override { return "EQF-P"; }
+};
+
+ParallelStrategyPtr make_parallel_ud();
+ParallelStrategyPtr make_div_x(double x);
+ParallelStrategyPtr make_gf();
+ParallelStrategyPtr make_parallel_eqf();
+
+/// Looks up a parallel strategy by paper name: "UD", "GF", "DIV1", "DIV2",
+/// "DIV<float>", or the extension "EQF-P".
+/// Throws std::invalid_argument for unknown names.
+ParallelStrategyPtr parallel_strategy_by_name(std::string_view name);
+
+}  // namespace dsrt::core

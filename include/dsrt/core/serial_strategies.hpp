@@ -1,0 +1,106 @@
+#pragma once
+
+#include "dsrt/core/strategy.hpp"
+
+namespace dsrt::core {
+
+/// (1) Ultimate Deadline: dl(Ti) = dl(T).
+///
+/// The baseline SSP strategy — every subtask inherits the global deadline.
+/// Time needed by later stages is mistaken for slack of the current stage,
+/// so early stages consume most of the task's slack in scheduler queues.
+class UltimateDeadline final : public SerialStrategy {
+ public:
+  sim::Time assign(const SerialContext& ctx) const override;
+  std::string_view name() const override { return "UD"; }
+};
+
+/// (2) Effective Deadline: dl(Ti) = dl(T) - sum_{j>i} pex(Tj).
+///
+/// Subtracts the predicted execution time of all later stages, but still
+/// hands the *whole* remaining slack to the current stage.
+class EffectiveDeadline final : public SerialStrategy {
+ public:
+  sim::Time assign(const SerialContext& ctx) const override;
+  std::string_view name() const override { return "ED"; }
+};
+
+/// (3) Equal Slack: remaining slack is divided equally among the remaining
+/// stages:
+///   dl(Ti) = ar(Ti) + pex(Ti)
+///          + [dl(T) - ar(Ti) - sum_{j>=i} pex(Tj)] / (m - i + 1).
+class EqualSlack final : public SerialStrategy {
+ public:
+  sim::Time assign(const SerialContext& ctx) const override;
+  std::string_view name() const override { return "EQS"; }
+};
+
+/// (4) Equal Flexibility: remaining slack is divided in proportion to
+/// predicted execution times, giving every remaining stage the same
+/// flexibility sl/ex:
+///   dl(Ti) = ar(Ti) + pex(Ti)
+///          + [dl(T) - ar(Ti) - sum_{j>=i} pex(Tj)]
+///            * pex(Ti) / sum_{j>=i} pex(Tj).
+/// When all remaining pex are zero the slack is divided equally (EQS
+/// fallback), so the strategy stays total.
+class EqualFlexibility final : public SerialStrategy {
+ public:
+  sim::Time assign(const SerialContext& ctx) const override;
+  std::string_view name() const override { return "EQF"; }
+};
+
+/// Section 7 ("future research") variant: EQF computed as if the task had
+/// `artificial_stages` extra phantom stages appended, each with pex equal to
+/// `phantom_pex_factor` times the group's mean stage pex. The phantom stages
+/// never execute; their slack share acts as a reserve that later *real*
+/// stages inherit, damping the slack variability that makes "the poor get
+/// poorer" (tight tasks overrun early stages and starve later ones).
+class EqualFlexibilityReserve final : public SerialStrategy {
+ public:
+  explicit EqualFlexibilityReserve(std::size_t artificial_stages,
+                                   double phantom_pex_factor = 1.0);
+  sim::Time assign(const SerialContext& ctx) const override;
+  std::string_view name() const override { return "EQF-AS"; }
+
+  std::size_t artificial_stages() const { return artificial_stages_; }
+
+ private:
+  std::size_t artificial_stages_;
+  double phantom_pex_factor_;
+};
+
+/// Ablation twin of EQS with the schedule fixed at task arrival: stage i's
+/// deadline is ar(T) + sum_{j<=i} pex(Tj) + (i+1)/m * total slack,
+/// *regardless of when the stage actually starts*. Contrasting this with
+/// (dynamic) EQS isolates the value of recomputing deadlines at submission
+/// time — the slack-inheritance mechanism of Section 4.2.2.
+class EqualSlackStatic final : public SerialStrategy {
+ public:
+  sim::Time assign(const SerialContext& ctx) const override;
+  std::string_view name() const override { return "EQS-S"; }
+};
+
+/// Static twin of EQF: stage i's deadline is ar(T) + prefix pex + slack
+/// share proportional to prefix pex, fixed at task arrival.
+class EqualFlexibilityStatic final : public SerialStrategy {
+ public:
+  sim::Time assign(const SerialContext& ctx) const override;
+  std::string_view name() const override { return "EQF-S"; }
+};
+
+/// Named constructors for the four paper strategies.
+SerialStrategyPtr make_ud();
+SerialStrategyPtr make_ed();
+SerialStrategyPtr make_eqs();
+SerialStrategyPtr make_eqf();
+SerialStrategyPtr make_eqf_reserve(std::size_t artificial_stages,
+                                   double phantom_pex_factor = 1.0);
+SerialStrategyPtr make_eqs_static();
+SerialStrategyPtr make_eqf_static();
+
+/// Looks up a serial strategy by its paper name ("UD", "ED", "EQS", "EQF")
+/// or extension name ("EQS-S", "EQF-S").
+/// Throws std::invalid_argument for unknown names.
+SerialStrategyPtr serial_strategy_by_name(std::string_view name);
+
+}  // namespace dsrt::core

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "dsrt/sim/time.hpp"
+
+namespace dsrt::core {
+
+/// Scheduling class of a job at a node. `Elevated` jobs always beat
+/// `Normal` jobs in dispatch order (within a class the node's policy order
+/// applies) — the mechanism behind the paper's Globals First (GF) strategy.
+enum class PriorityClass : std::uint8_t { Normal, Elevated };
+
+/// Everything an SSP strategy may consult when subtask `index` of a serial
+/// group is submitted (Section 4). Times are absolute; predicted execution
+/// times come from the task spec (pex of a complex child is its predicted
+/// duration).
+struct SerialContext {
+  sim::Time group_arrival = 0;   ///< ar(T) of the serial group.
+  sim::Time group_deadline = 0;  ///< dl(T): the group's (virtual) deadline.
+  sim::Time now = 0;             ///< ar(Ti): submission time of subtask i.
+  std::size_t index = 0;         ///< i, zero-based.
+  std::size_t count = 1;         ///< m: number of subtasks in the group.
+  double pex_self = 0;           ///< pex(Ti).
+  double pex_remaining = 0;      ///< sum_{j >= i} pex(Tj), including self.
+  double pex_group_total = 0;    ///< sum over the whole group (for variants).
+};
+
+/// Serial subtask deadline-assignment strategy (SSP, Section 4). Returns
+/// the virtual deadline dl(Ti) for the subtask described by `ctx`.
+class SerialStrategy {
+ public:
+  virtual ~SerialStrategy() = default;
+  virtual sim::Time assign(const SerialContext& ctx) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// What a PSP strategy may consult when a parallel group's subtasks are
+/// submitted (Section 5). All subtasks of a parallel group are submitted at
+/// the same instant (`now == group_arrival` for top-level groups).
+struct ParallelContext {
+  sim::Time group_arrival = 0;   ///< ar(T) of the parallel group.
+  sim::Time group_deadline = 0;  ///< dl(T).
+  sim::Time now = 0;             ///< submission time.
+  std::size_t index = 0;         ///< which subtask, zero-based.
+  std::size_t count = 1;         ///< n: number of parallel subtasks.
+  double pex_self = 0;           ///< pex(Ti).
+  double pex_max = 0;            ///< max_j pex(Tj) over the group.
+};
+
+/// A PSP strategy may move the virtual deadline and/or raise the scheduling
+/// class (GF does the latter).
+struct ParallelAssignment {
+  sim::Time deadline = 0;
+  PriorityClass priority = PriorityClass::Normal;
+};
+
+/// Parallel subtask deadline-assignment strategy (PSP, Section 5).
+class ParallelStrategy {
+ public:
+  virtual ~ParallelStrategy() = default;
+  virtual ParallelAssignment assign(const ParallelContext& ctx) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+using SerialStrategyPtr = std::shared_ptr<const SerialStrategy>;
+using ParallelStrategyPtr = std::shared_ptr<const ParallelStrategy>;
+
+}  // namespace dsrt::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dsrt/sim/time.hpp"
+
+namespace dsrt::core {
+
+/// Identifier of a node (processing component) in the distributed system.
+using NodeId = std::uint32_t;
+
+/// Identifier of a task (local task or global task).
+using TaskId = std::uint64_t;
+
+/// Task classes of the paper's model: local tasks execute at exactly one
+/// node; global tasks are serial-parallel compositions of simple subtasks.
+enum class TaskClass : std::uint8_t { Local, Global };
+
+/// The five attributes of Section 3.1: arrival `ar`, deadline `dl`, slack
+/// `sl`, real execution time `ex`, and predicted execution time `pex`,
+/// related by dl = ar + ex + sl.
+struct TaskAttributes {
+  sim::Time arrival = 0;         ///< ar(X)
+  sim::Time deadline = 0;        ///< dl(X)
+  double exec = 0;               ///< ex(X)
+  double predicted_exec = 0;     ///< pex(X)
+
+  /// sl(X) = dl(X) - ar(X) - ex(X).
+  double slack() const { return deadline - arrival - exec; }
+
+  /// fl(X) = sl(X)/ex(X); the paper's flexibility measure. Returns +inf for
+  /// zero execution time with positive slack.
+  double flexibility() const;
+
+  /// Builds attributes from (ar, ex, sl) using the identity
+  /// dl = ar + ex + sl, with pex defaulting to ex (perfect prediction).
+  static TaskAttributes from_slack(sim::Time arrival, double exec,
+                                   double slack);
+};
+
+}  // namespace dsrt::core

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dsrt/core/task.hpp"
+
+namespace dsrt::core {
+
+/// Kind of a vertex in a serial-parallel task tree.
+enum class SpecKind : std::uint8_t { Simple, Serial, Parallel };
+
+/// Immutable description of a global task's structure (Section 3.1):
+/// `T = [T1 T2 ... Tn]` (serial), `T = [T1 || T2 || ... || Tn]` (parallel),
+/// and arbitrary compositions thereof. Leaves are *simple subtasks* bound to
+/// one execution node; inner vertices are *complex subtasks*.
+///
+/// Each simple subtask carries its real execution time `ex` (known to the
+/// simulator that generates it, not to the schedulers) and the predicted
+/// execution time `pex` available to the deadline-assignment strategies.
+class TaskSpec {
+ public:
+  /// Leaf: a simple subtask executing at `node`.
+  static TaskSpec simple(NodeId node, double exec, double pex);
+  /// Leaf with perfect prediction (pex == ex).
+  static TaskSpec simple(NodeId node, double exec);
+  /// Serial composition [c1 c2 ... cn]; n >= 1.
+  static TaskSpec serial(std::vector<TaskSpec> children);
+  /// Parallel composition [c1 || c2 || ... || cn]; n >= 1.
+  static TaskSpec parallel(std::vector<TaskSpec> children);
+
+  SpecKind kind() const { return kind_; }
+  bool is_simple() const { return kind_ == SpecKind::Simple; }
+
+  /// Execution node of a simple subtask. Requires is_simple().
+  NodeId node() const;
+  /// Real execution time of a simple subtask. Requires is_simple().
+  double exec() const;
+  /// Predicted execution time of a simple subtask. Requires is_simple().
+  double pex() const;
+
+  /// Children of a complex subtask (empty for leaves).
+  const std::vector<TaskSpec>& children() const { return children_; }
+
+  /// Predicted end-to-end duration: pex for leaves, sum over serial
+  /// children, max over parallel children. This is the "pex" of a complex
+  /// subtask that the recursive SSP/PSP decomposition of Section 6 uses.
+  double predicted_duration() const;
+
+  /// Real end-to-end duration under the same recursion (sum/max of `ex`);
+  /// the minimum possible response time of the (sub)task.
+  double critical_path_exec() const;
+
+  /// Total real work across all simple subtasks (sum of all leaf `ex`).
+  double total_exec() const;
+
+  /// Number of simple subtasks in the subtree.
+  std::size_t leaf_count() const;
+
+  /// Height of the tree; 1 for a leaf.
+  std::size_t depth() const;
+
+  /// Notation of Section 3.1, e.g. "[T@0 [T@1 || T@2] T@0]" where @n is the
+  /// execution node. Useful in traces and examples.
+  std::string to_string() const;
+
+ private:
+  TaskSpec(SpecKind kind, NodeId node, double exec, double pex,
+           std::vector<TaskSpec> children);
+
+  SpecKind kind_;
+  NodeId node_ = 0;
+  double exec_ = 0;
+  double pex_ = 0;
+  std::vector<TaskSpec> children_;
+};
+
+}  // namespace dsrt::core

@@ -1,0 +1,48 @@
+#pragma once
+
+/// Umbrella header for the dsrt library: deadline assignment in a
+/// distributed soft real-time system (Kao & Garcia-Molina).
+///
+/// Layering (lowest first):
+///   sim      - discrete-event kernel, RNG, distributions
+///   stats    - tallies, confidence intervals, report tables
+///   core     - task model, serial-parallel task trees, SDA strategies
+///   sched    - node servers, local scheduling policies, abort policies
+///   workload - task-population generators (shapes, slack, pex error)
+///   system   - configuration, process manager, simulation, experiments
+
+#include "dsrt/core/assigner.hpp"
+#include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/core/strategy.hpp"
+#include "dsrt/core/task.hpp"
+#include "dsrt/core/task_spec.hpp"
+#include "dsrt/sched/abort_policy.hpp"
+#include "dsrt/sched/job.hpp"
+#include "dsrt/sched/node.hpp"
+#include "dsrt/sched/policy.hpp"
+#include "dsrt/sim/distribution.hpp"
+#include "dsrt/sim/event_queue.hpp"
+#include "dsrt/sim/rng.hpp"
+#include "dsrt/sim/simulator.hpp"
+#include "dsrt/sim/time.hpp"
+#include "dsrt/stats/confidence.hpp"
+#include "dsrt/stats/histogram.hpp"
+#include "dsrt/stats/report.hpp"
+#include "dsrt/stats/tally.hpp"
+#include "dsrt/stats/time_weighted.hpp"
+#include "dsrt/system/baseline.hpp"
+#include "dsrt/system/cli.hpp"
+#include "dsrt/system/config.hpp"
+#include "dsrt/system/experiment.hpp"
+#include "dsrt/system/metrics.hpp"
+#include "dsrt/system/observer.hpp"
+#include "dsrt/system/process_manager.hpp"
+#include "dsrt/system/simulation.hpp"
+#include "dsrt/system/tuning.hpp"
+#include "dsrt/trace/recorder.hpp"
+#include "dsrt/trace/slack_profiler.hpp"
+#include "dsrt/util/flags.hpp"
+#include "dsrt/workload/generator.hpp"
+#include "dsrt/workload/pex_error.hpp"
+#include "dsrt/workload/shapes.hpp"

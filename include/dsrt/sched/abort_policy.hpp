@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "dsrt/sched/job.hpp"
+
+namespace dsrt::sched {
+
+/// Overload-management policy of a node. The paper's baseline never aborts
+/// tardy tasks ("No Abort", Table 1); Section 4.3/7 discuss components that
+/// discard jobs whose deadline has passed (firm deadlines), under which GF
+/// loses its edge over DIV-x.
+class AbortPolicy {
+ public:
+  virtual ~AbortPolicy() = default;
+
+  /// Called when the server is about to dispatch `job` at time `now`;
+  /// returning true discards the job unserved (JobOutcome::Aborted).
+  virtual bool should_abort(const Job& job, sim::Time now) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Baseline: tardy jobs still receive full service.
+class NoAbort final : public AbortPolicy {
+ public:
+  bool should_abort(const Job&, sim::Time) const override { return false; }
+  std::string_view name() const override { return "NoAbort"; }
+};
+
+/// Firm deadlines: a job whose deadline has already passed when the server
+/// would start it is discarded.
+class AbortTardyOnDispatch final : public AbortPolicy {
+ public:
+  bool should_abort(const Job& job, sim::Time now) const override {
+    return now > job.deadline;
+  }
+  std::string_view name() const override { return "AbortTardy"; }
+};
+
+/// Firm deadlines judged against the *end-to-end* deadline instead of the
+/// virtual one: a subtask whose strategy-assigned deadline passed may still
+/// be worth running if its global task can make it. This is the discard
+/// rule under which Section 7's "with abort, prefer DIV-x" advice holds —
+/// discarding on virtual deadlines would punish exactly the strategies
+/// that set them early.
+class AbortTardyUltimate final : public AbortPolicy {
+ public:
+  bool should_abort(const Job& job, sim::Time now) const override {
+    return now > job.ultimate_deadline;
+  }
+  std::string_view name() const override { return "AbortUltimate"; }
+};
+
+/// Stricter firm variant: discard when the job can no longer *finish* by
+/// its deadline even if started immediately (uses the pex estimate).
+class AbortHopelessOnDispatch final : public AbortPolicy {
+ public:
+  bool should_abort(const Job& job, sim::Time now) const override {
+    return now + job.pex > job.deadline;
+  }
+  std::string_view name() const override { return "AbortHopeless"; }
+};
+
+using AbortPolicyPtr = std::shared_ptr<const AbortPolicy>;
+
+AbortPolicyPtr make_no_abort();
+AbortPolicyPtr make_abort_tardy();
+AbortPolicyPtr make_abort_ultimate();
+AbortPolicyPtr make_abort_hopeless();
+
+/// Looks up by name ("NoAbort", "AbortTardy", "AbortUltimate",
+/// "AbortHopeless").
+AbortPolicyPtr abort_policy_by_name(std::string_view name);
+
+}  // namespace dsrt::sched

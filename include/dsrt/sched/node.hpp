@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "dsrt/sched/abort_policy.hpp"
+#include "dsrt/sched/job.hpp"
+#include "dsrt/sched/policy.hpp"
+#include "dsrt/sim/simulator.hpp"
+#include "dsrt/stats/time_weighted.hpp"
+
+namespace dsrt::sched {
+
+/// Service discipline of a node's single server. The paper's model is
+/// non-preemptive (Table 1); preemptive-resume is provided as a relaxation:
+/// an arriving job with better priority suspends the job in service, which
+/// returns to the ready queue with its remaining demand.
+enum class PreemptionMode : std::uint8_t { NonPreemptive, Preemptive };
+
+/// One processing component of the distributed system (Fig. 1): a single
+/// server with a policy-ordered ready queue and an abort policy. Nodes are
+/// independent — the only information a node ever uses is the real-time
+/// attributes of its own queued jobs, exactly as the paper's open-system
+/// argument requires.
+///
+/// Completions (and aborts) are reported through a completion callback; the
+/// process manager uses it to enforce precedence among subtasks.
+class Node {
+ public:
+  /// Invoked for every job the node disposes of, with the disposal time.
+  using CompletionHandler =
+      std::function<void(const Job&, sim::Time, JobOutcome)>;
+
+  /// The node schedules work on `sim`; `policy` orders the ready queue;
+  /// `abort_policy` screens jobs at dispatch. All pointers must be non-null.
+  Node(core::NodeId id, sim::Simulator& sim, PolicyPtr policy,
+       AbortPolicyPtr abort_policy,
+       PreemptionMode preemption = PreemptionMode::NonPreemptive);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  core::NodeId id() const { return id_; }
+
+  /// Registers the completion handler (replaces any previous one).
+  void set_completion_handler(CompletionHandler handler);
+
+  /// Accepts a job at the current simulated time. If the server is idle the
+  /// job starts service immediately; otherwise it waits in the ready queue.
+  void submit(Job job);
+
+  /// True while a job is in service.
+  bool busy() const { return in_service_.has_value(); }
+
+  /// Jobs waiting (not counting the one in service).
+  std::size_t queue_length() const { return queue_.size(); }
+
+  /// Fraction of time the server has been busy (up to `now`).
+  double utilization(sim::Time now) const { return busy_signal_.mean(now); }
+
+  /// Time-average number of waiting jobs (up to `now`).
+  double mean_queue_length(sim::Time now) const {
+    return queue_signal_.mean(now);
+  }
+
+  /// Lifetime counters.
+  std::uint64_t jobs_submitted() const { return submitted_; }
+  std::uint64_t jobs_completed() const { return completed_; }
+  std::uint64_t jobs_aborted() const { return aborted_; }
+  std::uint64_t preemptions() const { return preemptions_; }
+
+  /// Restarts the observation window of the time-weighted statistics (for
+  /// warm-up truncation). Counters are not reset.
+  void reset_observation(sim::Time now);
+
+ private:
+  struct QueueOrder {
+    bool operator()(const std::pair<std::pair<int, double>, std::uint64_t>& a,
+                    const std::pair<std::pair<int, double>, std::uint64_t>& b)
+        const {
+      if (a.first.first != b.first.first) return a.first.first < b.first.first;
+      if (a.first.second != b.first.second)
+        return a.first.second < b.first.second;
+      return a.second < b.second;  // FIFO tie-break by submission sequence
+    }
+  };
+
+  using QueueKey = std::pair<std::pair<int, double>, std::uint64_t>;
+
+  void start_service(Job job, QueueKey key);
+  void on_service_complete(std::uint64_t service_token);
+  void dispatch_next();
+  void enqueue(Job job, QueueKey key);
+  QueueKey key_for(const Job& job);
+
+  core::NodeId id_;
+  sim::Simulator& sim_;
+  PolicyPtr policy_;
+  AbortPolicyPtr abort_policy_;
+  PreemptionMode preemption_;
+  CompletionHandler handler_;
+
+  // Ready queue ordered by (class rank, policy key, arrival sequence); the
+  // map payload is the job itself.
+  std::map<QueueKey, Job, QueueOrder> queue_;
+  std::optional<Job> in_service_;
+  QueueKey in_service_key_{};
+  sim::Time service_started_ = 0;
+  std::uint64_t service_token_ = 0;  // guards stale completion events
+  std::uint64_t arrival_seq_ = 0;
+
+  stats::TimeWeighted busy_signal_;
+  stats::TimeWeighted queue_signal_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t preemptions_ = 0;
+};
+
+}  // namespace dsrt::sched

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "dsrt/sched/job.hpp"
+
+namespace dsrt::sched {
+
+/// Local real-time scheduling policy of a node (Section 3.2: every node has
+/// its own independent scheduler; baseline is non-preemptive EDF).
+///
+/// Because service is non-preemptive and the queue is re-examined only at
+/// dispatch instants, every policy in the paper reduces to a static priority
+/// key computed at enqueue time: dispatch picks the smallest
+/// (class, key, fifo-sequence) triple. E.g. minimum-laxity-first order
+/// `dl - now - pex` shares the common `now` term across queued jobs at any
+/// dispatch instant, so ordering by `dl - pex` is equivalent.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Priority key; smaller is served first.
+  virtual double key(const Job& job) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Earliest Deadline First: key = dl.
+class EarliestDeadlineFirst final : public Policy {
+ public:
+  double key(const Job& job) const override { return job.deadline; }
+  std::string_view name() const override { return "EDF"; }
+};
+
+/// Minimum Laxity First: laxity = dl - now - pex; equivalent static key
+/// dl - pex (see class comment).
+class MinimumLaxityFirst final : public Policy {
+ public:
+  double key(const Job& job) const override {
+    return job.deadline - job.pex;
+  }
+  std::string_view name() const override { return "MLF"; }
+};
+
+/// First-Come-First-Served: key = release time.
+class FirstComeFirstServed final : public Policy {
+ public:
+  double key(const Job& job) const override { return job.release; }
+  std::string_view name() const override { return "FCFS"; }
+};
+
+/// Shortest Job First (by estimate): key = pex. A non-real-time reference
+/// point for ablations.
+class ShortestJobFirst final : public Policy {
+ public:
+  double key(const Job& job) const override { return job.pex; }
+  std::string_view name() const override { return "SJF"; }
+};
+
+using PolicyPtr = std::shared_ptr<const Policy>;
+
+PolicyPtr make_edf();
+PolicyPtr make_mlf();
+PolicyPtr make_fcfs();
+PolicyPtr make_sjf();
+
+/// Looks up a policy by name ("EDF", "MLF", "FCFS", "SJF").
+/// Throws std::invalid_argument for unknown names.
+PolicyPtr policy_by_name(std::string_view name);
+
+}  // namespace dsrt::sched

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dsrt/sim/rng.hpp"
+
+namespace dsrt::sim {
+
+/// A one-dimensional random variate used for service times, slacks, and
+/// inter-arrival gaps. Implementations are immutable and shared freely
+/// across configurations.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one sample using the caller's stream.
+  virtual double sample(Rng& rng) const = 0;
+
+  /// Exact mean of the distribution (used to derive arrival rates from a
+  /// target load, as in Section 4.1 of the paper).
+  virtual double mean() const = 0;
+
+  /// Human-readable description, e.g. "Exp(mean=1)" — used in reports.
+  virtual std::string describe() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Point mass at `value`.
+class Constant final : public Distribution {
+ public:
+  explicit Constant(double value);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+ private:
+  double value_;
+};
+
+/// Continuous uniform on [lo, hi]. Requires lo <= hi.
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Exponential with the given mean. Requires mean > 0.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+ private:
+  double mean_;
+};
+
+/// Erlang with `stages` exponential stages and total mean `mean`.
+/// The paper's global serial tasks have m-stage Erlang total execution time;
+/// this distribution is used in tests to validate that property.
+class Erlang final : public Distribution {
+ public:
+  Erlang(unsigned stages, double mean);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+ private:
+  unsigned stages_;
+  double mean_;
+};
+
+/// Balanced two-phase hyperexponential (H2): an exponential whose rate is
+/// itself random, yielding coefficient of variation > 1. Parameterized by
+/// the mean and the squared coefficient of variation `scv` (>= 1); scv = 1
+/// degenerates to the exponential. Used to sweep service-time variability
+/// beyond the paper's exponential baseline.
+class Hyperexponential final : public Distribution {
+ public:
+  Hyperexponential(double mean, double scv);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+  double scv() const { return scv_; }
+
+ private:
+  double mean_;
+  double scv_;
+  double prob_first_;   ///< branch probability
+  double mean_first_;   ///< branch means
+  double mean_second_;
+};
+
+/// Two-point mixture: value `a` with probability `p`, else `b`. Handy for
+/// bimodal workloads in ablations.
+class TwoPoint final : public Distribution {
+ public:
+  TwoPoint(double a, double b, double prob_a);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+ private:
+  double a_;
+  double b_;
+  double prob_a_;
+};
+
+/// Convenience factories.
+DistributionPtr constant(double value);
+DistributionPtr uniform(double lo, double hi);
+DistributionPtr exponential(double mean);
+DistributionPtr erlang(unsigned stages, double mean);
+DistributionPtr hyperexponential(double mean, double scv);
+DistributionPtr two_point(double a, double b, double prob_a);
+
+/// Returns a copy of `base` with every sample multiplied by `factor`.
+DistributionPtr scaled(DistributionPtr base, double factor);
+
+}  // namespace dsrt::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "dsrt/sim/time.hpp"
+
+namespace dsrt::sim {
+
+/// Pending-event set of the discrete-event kernel.
+///
+/// Events fire in (time, insertion-sequence) order: simultaneous events run
+/// in the order they were scheduled, which makes runs fully deterministic —
+/// a property the test suite asserts and the replication methodology of the
+/// paper (fixed seeds per run) relies on.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventQueue() = default;
+
+  /// Schedules `action` to fire at absolute time `at`.
+  void push(Time at, Action action);
+
+  /// True when no events remain.
+  bool empty() const { return heap_.empty(); }
+
+  /// Number of pending events.
+  std::size_t size() const { return heap_.size(); }
+
+  /// Firing time of the earliest event. Requires !empty().
+  Time next_time() const { return heap_.top().at; }
+
+  /// Removes and returns the earliest event's action. Requires !empty().
+  Action pop();
+
+  /// Total number of events ever pushed.
+  std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    // Mutable so that pop() can move the action out of the heap's top
+    // element without copying (priority_queue::top() is const).
+    mutable Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dsrt::sim

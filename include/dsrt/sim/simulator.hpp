@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dsrt/sim/event_queue.hpp"
+#include "dsrt/sim/time.hpp"
+
+namespace dsrt::sim {
+
+/// Event-scheduling discrete-event simulator — the role DeNet [10] plays in
+/// the paper. Single-threaded; model components hold a reference and call
+/// `at()` / `in()` to schedule work.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `action` at absolute time `at`. Scheduling in the past is a
+  /// model bug; it is clamped to `now()` so the event still fires, and
+  /// `past_schedules()` records the slip for tests to assert on.
+  void at(Time at, EventQueue::Action action);
+
+  /// Schedules `action` after `delay` (>= 0) time units.
+  void in(Time delay, EventQueue::Action action);
+
+  /// Runs events until the queue empties, `stop()` is called, or the next
+  /// event would fire strictly after `until`. The clock ends at the time of
+  /// the last executed event (or `until` if given and reached).
+  void run(Time until = kTimeInfinity);
+
+  /// Stops the run loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+  /// Number of attempts to schedule events in the past (model bugs).
+  std::uint64_t past_schedules() const { return past_schedules_; }
+
+  /// Pending events (mostly for tests).
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+  std::uint64_t past_schedules_ = 0;
+};
+
+}  // namespace dsrt::sim

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <limits>
+
+namespace dsrt::sim {
+
+/// Simulated time. The paper relativizes all time measures to the mean
+/// execution time of a local task (mu_local = 1), so simulated time is a
+/// dimensionless double.
+using Time = double;
+
+/// Sentinel for "never" / "no deadline".
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Smallest representable step used when clamping strictly-positive
+/// durations (e.g. degenerate samples from a continuous distribution).
+inline constexpr Time kTimeEpsilon = 1e-12;
+
+}  // namespace dsrt::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsrt::stats {
+
+/// Point estimate with a symmetric confidence half-width, the form in which
+/// the paper reports results ("the 95 percent confidence interval is
+/// +-0.35 percentage points").
+struct Estimate {
+  double mean = 0;
+  double half_width = 0;  ///< 0 when fewer than 2 replications.
+  std::size_t replications = 0;
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+
+  /// True when `v` lies inside [lo, hi].
+  bool contains(double v) const { return v >= lo() && v <= hi(); }
+};
+
+/// Two-sided Student-t critical value t_{alpha/2, df} for the given
+/// confidence level in {0.90, 0.95, 0.99}. Exact table for df <= 30, normal
+/// approximation beyond.
+double t_critical(std::size_t df, double confidence);
+
+/// Confidence interval of the mean of independent replication results —
+/// the paper's methodology (independent runs, each one data point).
+Estimate replication_estimate(const std::vector<double>& samples,
+                              double confidence = 0.95);
+
+/// Batch-means interval from ONE long run: the (autocorrelated) per-task
+/// observation series is cut into `batches` contiguous batches whose means
+/// are treated as approximately independent replications. The standard
+/// alternative to independent replications when restarts are expensive;
+/// provided so users can trade the paper's 2-replication protocol for a
+/// single longer run. Requires at least 2 batches and
+/// observations >= batches.
+Estimate batch_means_estimate(const std::vector<double>& observations,
+                              std::size_t batches = 20,
+                              double confidence = 0.95);
+
+}  // namespace dsrt::stats

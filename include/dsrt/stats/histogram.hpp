@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsrt::stats {
+
+/// Fixed-width linear histogram with quantile estimation, for response-time
+/// and tardiness distributions (the miss *ratio* hides the tail; the paper's
+/// "long transactions suffer" arguments live in the tail).
+///
+/// Values land in bins [i*width, (i+1)*width); values beyond the last bin
+/// are counted in an overflow bucket whose quantiles are reported as the
+/// range maximum (a conservative lower bound). Negative values clamp into
+/// bin 0.
+class Histogram {
+ public:
+  /// `width` > 0, `bins` >= 1; covers [0, width*bins).
+  Histogram(double width, std::size_t bins);
+
+  void add(double x);
+  void merge(const Histogram& other);  ///< requires identical geometry
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t overflow() const { return overflow_; }
+  double bin_width() const { return width_; }
+  std::size_t bins() const { return counts_.size(); }
+
+  /// q-quantile for q in [0,1], linearly interpolated inside the bin; 0
+  /// when empty. quantile(0.5) is the median.
+  double quantile(double q) const;
+
+  /// Fraction of observations strictly above `threshold` (bin-resolution).
+  double fraction_above(double threshold) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace dsrt::stats

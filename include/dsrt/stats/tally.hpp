@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dsrt::stats {
+
+/// Streaming sample statistics (Welford's algorithm): count, mean, variance,
+/// min, max. Numerically stable for the long runs the paper uses (>= 1e5
+/// tasks per run).
+class Tally {
+ public:
+  Tally() = default;
+
+  /// Records one observation.
+  void add(double x);
+
+  /// Merges another tally into this one (parallel-safe combination rule).
+  void merge(const Tally& other);
+
+  /// Discards all observations.
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Standard error of the mean.
+  double std_error() const;
+
+  /// Smallest / largest observation; +-inf when empty.
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Running ratio of "hits" to trials, e.g. the paper's miss ratio
+/// MD = P(task misses deadline | task class).
+class Ratio {
+ public:
+  /// Records one trial; `hit` marks the numerator event.
+  void add(bool hit);
+
+  void merge(const Ratio& other);
+  void reset();
+
+  std::uint64_t trials() const { return trials_; }
+  std::uint64_t hits() const { return hits_; }
+
+  /// hits/trials in [0,1]; 0 when no trials.
+  double value() const;
+
+ private:
+  std::uint64_t trials_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace dsrt::stats

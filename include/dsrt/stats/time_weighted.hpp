@@ -1,0 +1,37 @@
+#pragma once
+
+#include "dsrt/sim/time.hpp"
+
+namespace dsrt::stats {
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue length
+/// or server busy fraction (utilization). The caller reports every change of
+/// the signal's value; the integral is accumulated between changes.
+class TimeWeighted {
+ public:
+  /// Starts observing at `start` with initial value `value`.
+  explicit TimeWeighted(sim::Time start = 0, double value = 0);
+
+  /// Records that the signal changes to `value` at time `now` (>= last
+  /// update; earlier times are clamped).
+  void update(sim::Time now, double value);
+
+  /// Time-weighted mean over [start, now]; the current value extends to
+  /// `now`. Returns the current value when no time has elapsed.
+  double mean(sim::Time now) const;
+
+  /// Current signal value.
+  double current() const { return value_; }
+
+  /// Drops history and restarts the observation window at `now` (used for
+  /// warm-up truncation).
+  void reset(sim::Time now);
+
+ private:
+  sim::Time start_;
+  sim::Time last_;
+  double value_;
+  double integral_ = 0;
+};
+
+}  // namespace dsrt::stats

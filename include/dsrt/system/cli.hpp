@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "dsrt/system/config.hpp"
+#include "dsrt/util/flags.hpp"
+
+namespace dsrt::system {
+
+/// Builds a Config from command-line flags, starting from the Table-1
+/// baseline of the requested shape. Lets any experiment be run without
+/// writing code:
+///
+///   --shape=serial|parallel|serial-parallel   (default serial)
+///   --load=0.5 --frac_local=0.75 --nodes=6 --m=4
+///   --ssp=UD|ED|EQS|EQF|EQS-S|EQF-S           (serial strategy)
+///   --psp=UD|DIV<x>|GF                        (parallel strategy)
+///   --policy=EDF|MLF|FCFS|SJF                 (local scheduler)
+///   --abort=NoAbort|AbortTardy|AbortHopeless
+///   --rel_flex=1.0
+///   --smin=0.25 --smax=2.5                    (local slack range)
+///   --pex_err=0.5        (uniform relative error; 0 = perfect)
+///   --m_min=2 --m_max=6  (random per-task subtask count; optional)
+///   --sp_stages=3 --sp_prob=0.5 --sp_width=3  (serial-parallel shape)
+///   --links=2 --hop=0.25 (network-as-nodes: link count, mean hop time)
+///   --periodic           (deterministic global inter-arrivals)
+///   --horizon=1e6 --warmup=0 --seed=...
+///
+/// Unknown strategy/policy names throw std::invalid_argument with the
+/// offending name.
+Config config_from_flags(const util::Flags& flags);
+
+/// Returns the usage text above (for --help handling in tools).
+std::string cli_usage();
+
+}  // namespace dsrt::system

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsrt/stats/confidence.hpp"
+#include "dsrt/system/config.hpp"
+#include "dsrt/system/metrics.hpp"
+
+namespace dsrt::system {
+
+/// Aggregate of R independent replications of one configuration — one data
+/// point of a paper figure. Estimates carry 95% (configurable) confidence
+/// half-widths over the replication means, the paper's methodology.
+struct ExperimentResult {
+  stats::Estimate md_local;        ///< MD_local
+  stats::Estimate md_global;       ///< MD_global
+  stats::Estimate md_overall;      ///< both classes pooled
+  stats::Estimate response_local;
+  stats::Estimate response_global;
+  stats::Estimate utilization;     ///< mean server busy fraction
+  std::vector<RunMetrics> runs;    ///< raw per-replication metrics
+};
+
+/// Runs `replications` independent replications of `config` (seeded from
+/// config.seed) and aggregates them.
+ExperimentResult run_replications(const Config& config,
+                                  std::size_t replications,
+                                  double confidence = 0.95);
+
+}  // namespace dsrt::system

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dsrt/stats/histogram.hpp"
+#include "dsrt/stats/tally.hpp"
+
+namespace dsrt::system {
+
+/// Per-class observations of one simulation run. "Missed" means the task
+/// finished after its end-to-end deadline or was discarded by an abort
+/// policy — the paper's primary measure MD (Section 4.2).
+struct ClassMetrics {
+  stats::Ratio missed;       ///< MD: fraction of finished tasks that missed
+  stats::Tally response;     ///< finish - arrival (completed tasks)
+  stats::Tally lateness;     ///< finish - deadline (completed; <0 = early)
+  stats::Tally tardiness;    ///< max(0, lateness) (completed)
+  /// Response-time distribution: bins of 0.25 covering [0, 200); use
+  /// quantile() for median/p90/p99 tail analysis.
+  stats::Histogram response_hist{0.25, 800};
+  /// Tardiness distribution over completed-but-late tasks (0 bin = on time).
+  stats::Histogram tardiness_hist{0.25, 800};
+  std::uint64_t generated = 0;  ///< tasks submitted (incl. in-flight at end)
+  std::uint64_t aborted = 0;    ///< tasks discarded by the abort policy
+
+  void reset();
+  /// Records a task that received full service.
+  void record_completed(double response_time, double lateness_value);
+  /// Records a task discarded by the abort policy (always a miss).
+  void record_aborted();
+};
+
+/// Everything measured in one run.
+struct RunMetrics {
+  ClassMetrics local;
+  ClassMetrics global;
+  stats::Tally subtask_wait;    ///< queue wait of global subtasks
+  stats::Tally local_wait;      ///< queue wait of local tasks
+  double mean_utilization = 0;  ///< average compute-server busy fraction
+  double mean_link_utilization = 0;  ///< average link-node busy fraction
+  std::uint64_t events = 0;     ///< simulator events executed
+  double observed_span = 0;     ///< measured interval (horizon - warmup)
+
+  void reset();
+};
+
+}  // namespace dsrt::system

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dsrt/core/assigner.hpp"
+#include "dsrt/core/strategy.hpp"
+#include "dsrt/sched/node.hpp"
+#include "dsrt/sim/simulator.hpp"
+#include "dsrt/system/metrics.hpp"
+#include "dsrt/system/observer.hpp"
+
+namespace dsrt::system {
+
+/// The paper's process manager (Fig. 1): receives newly created global
+/// tasks, translates the end-to-end deadline into subtask virtual deadlines
+/// via the configured SSP/PSP strategies, submits simple subtasks to their
+/// nodes, and enforces precedence constraints. Also routes local tasks and
+/// classifies every finished task for the metrics.
+///
+/// Its own resource consumption is not modeled, following Section 3.2 (it
+/// can be viewed as additional subtasks handled identically).
+class ProcessManager {
+ public:
+  /// Registers itself as the completion handler of every node.
+  ProcessManager(sim::Simulator& sim,
+                 std::vector<std::unique_ptr<sched::Node>>& nodes,
+                 core::SerialStrategyPtr ssp, core::ParallelStrategyPtr psp,
+                 RunMetrics& metrics);
+
+  ProcessManager(const ProcessManager&) = delete;
+  ProcessManager& operator=(const ProcessManager&) = delete;
+
+  /// Submits a local task with the given real/predicted demand and absolute
+  /// deadline to `node` at the current time.
+  void submit_local(core::NodeId node, double exec, double pex,
+                    sim::Time deadline);
+
+  /// Accepts a new global task arriving now with end-to-end deadline
+  /// `deadline`; assigns subtask deadlines and submits whatever the
+  /// precedence constraints release immediately.
+  void submit_global(const core::TaskSpec& spec, sim::Time deadline);
+
+  /// Global tasks currently executing (or draining after an abort).
+  std::size_t live_instances() const { return instances_.size(); }
+
+  /// Attaches a lifecycle observer (nullptr detaches). Not owned; must
+  /// outlive the process manager or be detached first.
+  void set_observer(Observer* observer) { observer_ = observer; }
+
+ private:
+  struct Disposal {
+    sched::Job job;
+    sim::Time at;
+    sched::JobOutcome outcome;
+  };
+
+  /// Entry point from node completion handlers. Submitting a follow-on
+  /// subtask can *synchronously* produce another disposal (an idle node
+  /// whose abort policy discards the job on the spot), so disposals are
+  /// queued and drained iteratively instead of recursing — recursion would
+  /// invalidate the instance map iterator of the outer frame.
+  void on_disposed(const sched::Job& job, sim::Time now,
+                   sched::JobOutcome outcome);
+  void handle_disposal(const Disposal& d);
+  void dispatch_submissions(core::TaskId task,
+                            const std::vector<core::LeafSubmission>& subs);
+  void finish_global(core::TaskInstance& inst, sim::Time now);
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<sched::Node>>& nodes_;
+  core::SerialStrategyPtr ssp_;
+  core::ParallelStrategyPtr psp_;
+  RunMetrics& metrics_;
+  Observer* observer_ = nullptr;
+
+  std::unordered_map<core::TaskId, core::TaskInstance> instances_;
+  core::TaskId next_task_id_ = 1;
+  sched::JobId next_job_id_ = 1;
+  std::vector<core::LeafSubmission> scratch_;
+  std::vector<Disposal> disposal_queue_;
+  bool draining_disposals_ = false;
+};
+
+}  // namespace dsrt::system

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dsrt/stats/tally.hpp"
+#include "dsrt/system/observer.hpp"
+
+namespace dsrt::trace {
+
+/// Miss ratio of global tasks conditioned on their size (number of simple
+/// subtasks). Tests the paper's Section 7 claim that DIV-x "evens up the
+/// miss rate of global tasks with different number of subtasks": under UD
+/// the conditional miss ratio climbs steeply with task width, under DIV-x
+/// the promotion scales with n and the curve flattens.
+class FairnessProfiler final : public system::Observer {
+ public:
+  struct SizeStats {
+    stats::Ratio missed;       ///< MD conditioned on this size
+    stats::Tally response;     ///< response time of completed tasks
+  };
+
+  void on_global_arrival(core::TaskId task, const core::TaskSpec& spec,
+                         sim::Time now, sim::Time deadline) override;
+  void on_global_finished(core::TaskId task, sim::Time now,
+                          bool missed) override;
+  void on_global_aborted(core::TaskId task, sim::Time now) override;
+
+  /// size -> stats over finished tasks of that size.
+  const std::map<std::size_t, SizeStats>& by_size() const { return stats_; }
+
+  void clear();
+
+ private:
+  struct Pending {
+    std::size_t size;
+    sim::Time arrival;
+  };
+  std::map<std::size_t, SizeStats> stats_;
+  std::map<core::TaskId, Pending> pending_;
+};
+
+}  // namespace dsrt::trace

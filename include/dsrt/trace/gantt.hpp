@@ -1,0 +1,49 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "dsrt/system/observer.hpp"
+
+namespace dsrt::trace {
+
+/// Text Gantt chart of node occupancy over a time window, reconstructed
+/// from job completions: under non-preemptive service a completed job
+/// occupied its node exactly over [finish - exec, finish).
+///
+/// Render legend: '.' idle, 'L' serving a local task, 'G' serving a global
+/// subtask, '*' both classes within one column (finer-than-column detail).
+///
+/// Limitation: with PreemptionMode::Preemptive a job's service can be
+/// fragmented, which this reconstruction cannot see; use it with the
+/// paper's non-preemptive baseline.
+class GanttChart final : public system::Observer {
+ public:
+  /// Observes completions whose service overlaps [from, to); the window is
+  /// rendered with `columns` characters per node row.
+  GanttChart(sim::Time from, sim::Time to, std::size_t columns = 80);
+
+  void on_job_disposed(const sched::Job& job, sim::Time now,
+                       sched::JobOutcome outcome) override;
+
+  /// Writes one row per node id in [0, node_count).
+  void render(std::ostream& os, std::size_t node_count) const;
+
+  /// Number of service intervals captured.
+  std::size_t intervals() const { return intervals_.size(); }
+
+ private:
+  struct Interval {
+    core::NodeId node;
+    sim::Time start;
+    sim::Time end;
+    core::TaskClass cls;
+  };
+
+  sim::Time from_;
+  sim::Time to_;
+  std::size_t columns_;
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace dsrt::trace

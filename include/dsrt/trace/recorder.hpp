@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "dsrt/system/observer.hpp"
+
+namespace dsrt::trace {
+
+/// What happened at one trace point.
+enum class TraceKind : std::uint8_t {
+  LocalSubmit,
+  GlobalArrival,
+  SubtaskSubmit,
+  JobComplete,
+  JobAbort,
+  GlobalFinish,
+  GlobalMiss,
+  GlobalAbort,
+};
+
+/// One recorded lifecycle event.
+struct TraceEvent {
+  TraceKind kind{};
+  sim::Time at = 0;
+  core::TaskId task = 0;       ///< owning task (0 for locals)
+  core::NodeId node = 0;       ///< node involved (where applicable)
+  sim::Time deadline = 0;      ///< deadline attached to the event
+  std::size_t stage = 0;       ///< sibling index for subtask events
+};
+
+const char* to_string(TraceKind kind);
+
+/// Bounded in-memory event recorder for debugging and examples: attach to a
+/// run via SimulationRun::set_observer, then print a human-readable
+/// timeline. When the capacity is exhausted further events are counted but
+/// not stored (`dropped()`), so attaching to a long run is safe.
+class Recorder final : public system::Observer {
+ public:
+  explicit Recorder(std::size_t capacity = 100000);
+
+  void on_local_submitted(core::NodeId node, const sched::Job& job,
+                          sim::Time now) override;
+  void on_global_arrival(core::TaskId task, const core::TaskSpec& spec,
+                         sim::Time now, sim::Time deadline) override;
+  void on_subtask_submitted(core::TaskId task,
+                            const core::LeafSubmission& submission,
+                            sim::Time now) override;
+  void on_job_disposed(const sched::Job& job, sim::Time now,
+                       sched::JobOutcome outcome) override;
+  void on_global_finished(core::TaskId task, sim::Time now,
+                          bool missed) override;
+  void on_global_aborted(core::TaskId task, sim::Time now) override;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Prints up to `limit` events as one line each.
+  void print(std::ostream& os, std::size_t limit = 100) const;
+
+  /// Events belonging to one global task, in order.
+  std::vector<TraceEvent> task_timeline(core::TaskId task) const;
+
+ private:
+  void push(TraceEvent event);
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dsrt::trace

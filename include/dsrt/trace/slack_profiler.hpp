@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dsrt/stats/tally.hpp"
+#include "dsrt/system/observer.hpp"
+
+namespace dsrt::trace {
+
+/// Per-stage behaviour of global subtasks: how long each stage waits in its
+/// node's queue (the slack it consumes), and how often it overruns its
+/// *virtual* deadline.
+///
+/// This quantifies the paper's Section 4 argument directly: under UD, an
+/// early-stage subtask carries the far-away end-to-end deadline, gets low
+/// EDF priority, and burns the task's slack waiting ("subtasks that
+/// represent early stages of global tasks consume most of the slack");
+/// under EQS/EQF the waits even out across stages. Stages are indexed by
+/// the subtask's position within its parent group.
+class SlackProfiler final : public system::Observer {
+ public:
+  struct StageStats {
+    stats::Tally wait;             ///< queueing delay (slack consumed)
+    stats::Tally response;         ///< wait + service
+    stats::Ratio virtual_miss;     ///< finished after the virtual deadline
+    stats::Tally allotted_window;  ///< virtual deadline - submission time
+  };
+
+  /// Stages at index >= max_stages are folded into the last bucket.
+  explicit SlackProfiler(std::size_t max_stages = 16);
+
+  void on_subtask_submitted(core::TaskId task,
+                            const core::LeafSubmission& submission,
+                            sim::Time now) override;
+  void on_job_disposed(const sched::Job& job, sim::Time now,
+                       sched::JobOutcome outcome) override;
+
+  /// Stats for stages 0..max observed.
+  const std::vector<StageStats>& stages() const { return stages_; }
+
+  /// Subtasks submitted but not yet disposed (should be small/zero after a
+  /// drained run).
+  std::size_t in_flight() const { return pending_.size(); }
+
+  void clear();
+
+ private:
+  std::size_t bucket(std::size_t stage) const;
+
+  std::size_t max_stages_;
+  std::vector<StageStats> stages_;
+  /// (task, leaf) -> stage index of the submission.
+  std::map<std::pair<core::TaskId, std::size_t>, std::size_t> pending_;
+};
+
+}  // namespace dsrt::trace

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsrt::util {
+
+/// Minimal command-line flag parser shared by benches and examples.
+///
+/// Accepts `--name=value`, `--name value`, and bare boolean `--name`.
+/// Unknown positional arguments are collected in `positional()`.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// True when the flag was given (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Typed getters; return `fallback` when the flag is absent. Throw
+  /// std::invalid_argument when present but unparsable.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  double get(const std::string& name, double fallback) const;
+  long get(const std::string& name, long fallback) const;
+  bool get(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dsrt::util

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dsrt/core/task_spec.hpp"
+#include "dsrt/sim/distribution.hpp"
+#include "dsrt/sim/rng.hpp"
+#include "dsrt/sim/simulator.hpp"
+#include "dsrt/workload/pex_error.hpp"
+#include "dsrt/workload/shapes.hpp"
+
+namespace dsrt::workload {
+
+/// Poisson stream of local tasks bound to one node (Section 4.1: "local
+/// tasks are being generated at each node according to a Poisson
+/// distribution"). Each arrival carries (exec, pex, absolute deadline) built
+/// from the execution-time and slack distributions via dl = ar + ex + sl.
+class LocalTaskSource {
+ public:
+  /// Receives (node, exec, pex, deadline) at the arrival instant.
+  using Sink = std::function<void(core::NodeId, double, double, sim::Time)>;
+
+  /// `rate` is the rate of arrival *events* (1/mean inter-arrival); a rate
+  /// of zero produces no tasks. Arrivals stop strictly after `until`.
+  /// `batch` (optional) draws the number of tasks released per arrival
+  /// event (rounded, min 1) — a compound-Poisson burstiness model; pass
+  /// nullptr for the paper's one-task-per-arrival stream. With batches the
+  /// task rate is rate * E[batch]; callers keeping a load target must
+  /// divide the event rate accordingly.
+  LocalTaskSource(sim::Simulator& sim, core::NodeId node, double rate,
+                  sim::DistributionPtr exec, sim::DistributionPtr slack,
+                  PexErrorModelPtr pex_error, sim::Rng rng, sim::Time until,
+                  Sink sink, sim::DistributionPtr batch = nullptr);
+
+  /// Schedules the first arrival. Call once.
+  void start();
+
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  void schedule_next();
+  void arrive();
+
+  sim::Simulator& sim_;
+  core::NodeId node_;
+  double rate_;
+  sim::DistributionPtr exec_;
+  sim::DistributionPtr slack_;
+  PexErrorModelPtr pex_error_;
+  sim::Rng rng_;
+  sim::Time until_;
+  Sink sink_;
+  sim::DistributionPtr batch_;
+  std::uint64_t generated_ = 0;
+};
+
+/// Structural parameters of the global-task stream.
+struct GlobalTaskParams {
+  GlobalShape shape = GlobalShape::Serial;
+  std::size_t nodes = 1;       ///< k compute nodes (ids 0..nodes-1)
+  std::size_t subtasks = 1;    ///< m (fixed count)
+  sim::DistributionPtr subtask_count;  ///< optional: per-task random m
+  SerialParallelShape sp_shape;        ///< for GlobalShape::SerialParallel
+  sim::DistributionPtr exec;           ///< subtask execution times
+  sim::DistributionPtr slack;          ///< absolute end-to-end slack
+  PexErrorModelPtr pex_error;
+  /// Section 3.2 network modeling: when > 0 (Serial shape only), a
+  /// transmission subtask is inserted between consecutive stages, executed
+  /// on link node ids nodes..nodes+link_nodes-1 with `comm_exec` service.
+  std::size_t link_nodes = 0;
+  sim::DistributionPtr comm_exec;
+  /// When true, tasks arrive every 1/rate time units (deterministic period)
+  /// instead of as a Poisson stream — the periodic-task variant discussed
+  /// with the flow-shop related work [3], [4].
+  bool periodic = false;
+};
+
+/// Single Poisson stream of global tasks (Section 4.1). Every arrival draws
+/// a task structure for the configured shape and an end-to-end deadline
+///   dl(T) = ar(T) + critical_path_exec(T) + slack,
+/// which reduces to the paper's serial total-time construction and to its
+/// parallel formula (2) `dl = max_i ex(Ti) + slack + ar`.
+class GlobalTaskSource {
+ public:
+  /// Receives (spec, deadline) at the arrival instant.
+  using Sink = std::function<void(const core::TaskSpec&, sim::Time)>;
+
+  GlobalTaskSource(sim::Simulator& sim, GlobalTaskParams params, double rate,
+                   sim::Rng rng, sim::Time until, Sink sink);
+
+  /// Schedules the first arrival. Call once.
+  void start();
+
+  std::uint64_t generated() const { return generated_; }
+
+  /// Draws one task structure (no arrival bookkeeping) — exposed so tests
+  /// and examples can sample the population directly.
+  core::TaskSpec make_task();
+
+  /// Draws an end-to-end slack value.
+  double draw_slack() { return params_.slack->sample(rng_); }
+
+ private:
+  void schedule_next();
+  void arrive();
+  std::size_t draw_subtask_count();
+
+  sim::Simulator& sim_;
+  GlobalTaskParams params_;
+  double rate_;
+  sim::Rng rng_;
+  sim::Time until_;
+  Sink sink_;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace dsrt::workload

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "dsrt/sim/distribution.hpp"
+#include "dsrt/sim/rng.hpp"
+
+namespace dsrt::workload {
+
+/// How the predicted execution time pex(X) is derived from the real
+/// execution time ex(X). The baseline assumes perfect prediction
+/// (pex = ex, Table 1); the technical-report ablation introduces error.
+class PexErrorModel {
+ public:
+  virtual ~PexErrorModel() = default;
+
+  /// Produces pex for a subtask whose real execution time is `exec`.
+  virtual double predict(double exec, sim::Rng& rng) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// pex = ex exactly.
+class PerfectPrediction final : public PexErrorModel {
+ public:
+  double predict(double exec, sim::Rng&) const override { return exec; }
+  std::string_view name() const override { return "perfect"; }
+};
+
+/// pex = ex * (1 + U[-e, +e]), clamped at zero: multiplicative random error
+/// of relative magnitude `e`.
+class UniformRelativeError final : public PexErrorModel {
+ public:
+  explicit UniformRelativeError(double magnitude);
+  double predict(double exec, sim::Rng& rng) const override;
+  std::string_view name() const override { return "uniform-relative"; }
+
+  double magnitude() const { return magnitude_; }
+
+ private:
+  double magnitude_;
+};
+
+/// pex = ex * f: systematic over/under-estimation bias.
+class ScaledPrediction final : public PexErrorModel {
+ public:
+  explicit ScaledPrediction(double factor);
+  double predict(double exec, sim::Rng&) const override;
+  std::string_view name() const override { return "scaled"; }
+
+ private:
+  double factor_;
+};
+
+/// pex drawn fresh from the service-time distribution, independent of ex:
+/// models a designer who knows only the distribution of demands, not the
+/// realization — the weakest useful predictor.
+class DistributionOnlyPrediction final : public PexErrorModel {
+ public:
+  explicit DistributionOnlyPrediction(sim::DistributionPtr dist);
+  double predict(double exec, sim::Rng& rng) const override;
+  std::string_view name() const override { return "distribution-only"; }
+
+ private:
+  sim::DistributionPtr dist_;
+};
+
+using PexErrorModelPtr = std::shared_ptr<const PexErrorModel>;
+
+PexErrorModelPtr make_perfect_prediction();
+PexErrorModelPtr make_uniform_relative_error(double magnitude);
+PexErrorModelPtr make_scaled_prediction(double factor);
+PexErrorModelPtr make_distribution_only(sim::DistributionPtr dist);
+
+}  // namespace dsrt::workload

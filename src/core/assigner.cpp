@@ -1,0 +1,178 @@
+#include "dsrt/core/assigner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dsrt::core {
+
+TaskInstance::TaskInstance(TaskId id, const TaskSpec& spec, sim::Time arrival,
+                           sim::Time deadline, SerialStrategyPtr ssp,
+                           ParallelStrategyPtr psp)
+    : id_(id),
+      arrival_(arrival),
+      deadline_(deadline),
+      ssp_(std::move(ssp)),
+      psp_(std::move(psp)) {
+  if (!ssp_) throw std::invalid_argument("TaskInstance: null serial strategy");
+  if (!psp_)
+    throw std::invalid_argument("TaskInstance: null parallel strategy");
+  build(spec, -1, 0);
+}
+
+std::size_t TaskInstance::build(const TaskSpec& spec, int parent,
+                                std::size_t index_in_parent) {
+  const std::size_t v = vertices_.size();
+  vertices_.emplace_back();
+  {
+    Vertex& vx = vertices_.back();
+    vx.kind = spec.kind();
+    vx.parent = parent;
+    vx.index_in_parent = index_in_parent;
+    vx.pred_duration = spec.predicted_duration();
+    if (spec.is_simple()) {
+      vx.node = spec.node();
+      vx.exec = spec.exec();
+    }
+  }
+  if (!spec.is_simple()) {
+    std::vector<std::size_t> children;
+    children.reserve(spec.children().size());
+    for (std::size_t i = 0; i < spec.children().size(); ++i)
+      children.push_back(build(spec.children()[i], static_cast<int>(v), i));
+    vertices_[v].children = std::move(children);
+    vertices_[v].pending = vertices_[v].children.size();
+    if (vertices_[v].kind == SpecKind::Serial) {
+      // Suffix sums of child predicted durations: pex_suffix[i] =
+      // sum_{j >= i} pex(child j); the SSP formulas consume these.
+      auto& suffix = vertices_[v].pex_suffix;
+      suffix.assign(vertices_[v].children.size() + 1, 0.0);
+      for (std::size_t i = vertices_[v].children.size(); i-- > 0;) {
+        suffix[i] =
+            suffix[i + 1] + vertices_[vertices_[v].children[i]].pred_duration;
+      }
+    }
+  }
+  return v;
+}
+
+void TaskInstance::start(sim::Time now, std::vector<LeafSubmission>& out) {
+  if (started_) throw std::logic_error("TaskInstance::start called twice");
+  started_ = true;
+  activate(0, now, deadline_, PriorityClass::Normal, out);
+}
+
+void TaskInstance::activate(std::size_t v, sim::Time now, sim::Time deadline,
+                            PriorityClass priority,
+                            std::vector<LeafSubmission>& out) {
+  Vertex& vx = vertices_[v];
+  vx.assigned_deadline = deadline;
+  vx.activated_at = now;
+  vx.priority = priority;
+  switch (vx.kind) {
+    case SpecKind::Simple: {
+      ++outstanding_;
+      const std::size_t sibling_count =
+          vx.parent < 0
+              ? 1
+              : vertices_[static_cast<std::size_t>(vx.parent)].children.size();
+      out.push_back(LeafSubmission{v, vx.node, vx.exec, vx.pred_duration,
+                                   deadline, priority, vx.index_in_parent,
+                                   sibling_count});
+      return;
+    }
+    case SpecKind::Serial: {
+      vx.next_child = 0;
+      activate_serial_child(v, now, out);
+      return;
+    }
+    case SpecKind::Parallel: {
+      vx.pending = vx.children.size();
+      double pex_max = 0;
+      for (std::size_t c : vx.children)
+        pex_max = std::max(pex_max, vertices_[c].pred_duration);
+      for (std::size_t i = 0; i < vx.children.size(); ++i) {
+        const std::size_t c = vx.children[i];
+        ParallelContext ctx;
+        ctx.group_arrival = now;
+        ctx.group_deadline = deadline;
+        ctx.now = now;
+        ctx.index = i;
+        ctx.count = vx.children.size();
+        ctx.pex_self = vertices_[c].pred_duration;
+        ctx.pex_max = pex_max;
+        const ParallelAssignment pa = psp_->assign(ctx);
+        const PriorityClass child_priority =
+            (priority == PriorityClass::Elevated ||
+             pa.priority == PriorityClass::Elevated)
+                ? PriorityClass::Elevated
+                : PriorityClass::Normal;
+        activate(c, now, pa.deadline, child_priority, out);
+      }
+      return;
+    }
+  }
+}
+
+void TaskInstance::activate_serial_child(std::size_t group, sim::Time now,
+                                         std::vector<LeafSubmission>& out) {
+  Vertex& gx = vertices_[group];
+  const std::size_t i = gx.next_child;
+  const std::size_t child = gx.children[i];
+  SerialContext ctx;
+  ctx.group_arrival = gx.activated_at;
+  ctx.group_deadline = gx.assigned_deadline;
+  ctx.now = now;
+  ctx.index = i;
+  ctx.count = gx.children.size();
+  ctx.pex_self = vertices_[child].pred_duration;
+  ctx.pex_remaining = gx.pex_suffix[i];
+  ctx.pex_group_total = gx.pex_suffix[0];
+  const sim::Time dl = ssp_->assign(ctx);
+  activate(child, now, dl, gx.priority, out);
+}
+
+bool TaskInstance::on_leaf_complete(std::size_t leaf, sim::Time now,
+                                    std::vector<LeafSubmission>& out) {
+  if (leaf >= vertices_.size() || vertices_[leaf].kind != SpecKind::Simple)
+    throw std::invalid_argument("on_leaf_complete: not a leaf vertex");
+  if (outstanding_ == 0)
+    throw std::logic_error("on_leaf_complete: nothing outstanding");
+  --outstanding_;
+  if (state_ != InstanceState::Running) return false;  // orphan drain
+  return complete_vertex(leaf, now, out);
+}
+
+bool TaskInstance::complete_vertex(std::size_t v, sim::Time now,
+                                   std::vector<LeafSubmission>& out) {
+  vertices_[v].done = true;
+  const int parent = vertices_[v].parent;
+  if (parent < 0) {
+    state_ = InstanceState::Completed;
+    return true;
+  }
+  Vertex& px = vertices_[static_cast<std::size_t>(parent)];
+  if (px.kind == SpecKind::Serial) {
+    ++px.next_child;
+    if (px.next_child < px.children.size()) {
+      activate_serial_child(static_cast<std::size_t>(parent), now, out);
+      return false;
+    }
+    return complete_vertex(static_cast<std::size_t>(parent), now, out);
+  }
+  // Parallel join: last child to finish completes the group.
+  if (--px.pending > 0) return false;
+  return complete_vertex(static_cast<std::size_t>(parent), now, out);
+}
+
+void TaskInstance::abort() {
+  if (state_ == InstanceState::Running) state_ = InstanceState::Aborted;
+}
+
+sim::Time TaskInstance::vertex_deadline(std::size_t vertex) const {
+  if (vertex >= vertices_.size())
+    throw std::out_of_range("vertex_deadline: bad vertex");
+  return vertices_[vertex].assigned_deadline;
+}
+
+}  // namespace dsrt::core

@@ -1,0 +1,64 @@
+#include "dsrt/core/parallel_strategies.hpp"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dsrt::core {
+
+ParallelAssignment ParallelUltimate::assign(const ParallelContext& ctx) const {
+  return {ctx.group_deadline, PriorityClass::Normal};
+}
+
+DivX::DivX(double x) : x_(x) {
+  if (x <= 0) throw std::invalid_argument("DivX: x <= 0");
+  std::ostringstream os;
+  os << "DIV" << x;
+  name_ = os.str();
+}
+
+ParallelAssignment DivX::assign(const ParallelContext& ctx) const {
+  const double allowance = ctx.group_deadline - ctx.group_arrival;
+  const double divisor = static_cast<double>(ctx.count) * x_;
+  return {ctx.group_arrival + allowance / divisor, PriorityClass::Normal};
+}
+
+ParallelAssignment GlobalsFirst::assign(const ParallelContext& ctx) const {
+  return {ctx.group_deadline, PriorityClass::Elevated};
+}
+
+ParallelAssignment ParallelEqualFlexibility::assign(
+    const ParallelContext& ctx) const {
+  if (ctx.pex_max <= 0) return {ctx.group_deadline, PriorityClass::Normal};
+  const double window = ctx.group_deadline - ctx.group_arrival;
+  const double share = ctx.pex_self / ctx.pex_max;
+  return {ctx.group_arrival + window * share, PriorityClass::Normal};
+}
+
+ParallelStrategyPtr make_parallel_ud() {
+  return std::make_shared<ParallelUltimate>();
+}
+ParallelStrategyPtr make_div_x(double x) { return std::make_shared<DivX>(x); }
+ParallelStrategyPtr make_gf() { return std::make_shared<GlobalsFirst>(); }
+ParallelStrategyPtr make_parallel_eqf() {
+  return std::make_shared<ParallelEqualFlexibility>();
+}
+
+ParallelStrategyPtr parallel_strategy_by_name(std::string_view name) {
+  if (name == "UD") return make_parallel_ud();
+  if (name == "GF") return make_gf();
+  if (name == "EQF-P") return make_parallel_eqf();
+  if (name.rfind("DIV", 0) == 0) {
+    const std::string x_text(name.substr(3));
+    try {
+      return make_div_x(std::stod(x_text));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad DIV-x strategy: " + std::string(name));
+    }
+  }
+  throw std::invalid_argument("unknown parallel strategy: " +
+                              std::string(name));
+}
+
+}  // namespace dsrt::core

@@ -1,0 +1,119 @@
+#include "dsrt/core/serial_strategies.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace dsrt::core {
+
+sim::Time UltimateDeadline::assign(const SerialContext& ctx) const {
+  return ctx.group_deadline;
+}
+
+sim::Time EffectiveDeadline::assign(const SerialContext& ctx) const {
+  const double pex_later = ctx.pex_remaining - ctx.pex_self;
+  return ctx.group_deadline - pex_later;
+}
+
+sim::Time EqualSlack::assign(const SerialContext& ctx) const {
+  const double remaining_slack =
+      ctx.group_deadline - ctx.now - ctx.pex_remaining;
+  const auto stages_left = static_cast<double>(ctx.count - ctx.index);
+  return ctx.now + ctx.pex_self + remaining_slack / stages_left;
+}
+
+sim::Time EqualFlexibility::assign(const SerialContext& ctx) const {
+  const double remaining_slack =
+      ctx.group_deadline - ctx.now - ctx.pex_remaining;
+  if (ctx.pex_remaining <= 0) {
+    // No basis for proportional division; fall back to equal division so
+    // zero-length stages still get earlier-than-ultimate deadlines.
+    const auto stages_left = static_cast<double>(ctx.count - ctx.index);
+    return ctx.now + ctx.pex_self + remaining_slack / stages_left;
+  }
+  const double share = ctx.pex_self / ctx.pex_remaining;
+  return ctx.now + ctx.pex_self + remaining_slack * share;
+}
+
+EqualFlexibilityReserve::EqualFlexibilityReserve(std::size_t artificial_stages,
+                                                 double phantom_pex_factor)
+    : artificial_stages_(artificial_stages),
+      phantom_pex_factor_(phantom_pex_factor) {
+  if (phantom_pex_factor <= 0)
+    throw std::invalid_argument(
+        "EqualFlexibilityReserve: phantom_pex_factor <= 0");
+}
+
+sim::Time EqualFlexibilityReserve::assign(const SerialContext& ctx) const {
+  const double mean_pex =
+      ctx.count > 0 ? ctx.pex_group_total / static_cast<double>(ctx.count)
+                    : 0.0;
+  const double phantom_pex = phantom_pex_factor_ * mean_pex *
+                             static_cast<double>(artificial_stages_);
+  // EQF over the augmented stage list: the phantom stages sit after the real
+  // ones, enlarging the remaining-pex denominator and absorbing part of the
+  // slack. Because they never run, their reserve flows back to the remaining
+  // real stages at each submission (slack inheritance).
+  const double pex_remaining = ctx.pex_remaining + phantom_pex;
+  const double remaining_slack = ctx.group_deadline - ctx.now - pex_remaining;
+  if (pex_remaining <= 0) {
+    const auto stages_left =
+        static_cast<double>(ctx.count - ctx.index + artificial_stages_);
+    return ctx.now + ctx.pex_self + remaining_slack / stages_left;
+  }
+  const double share = ctx.pex_self / pex_remaining;
+  return ctx.now + ctx.pex_self + remaining_slack * share;
+}
+
+sim::Time EqualSlackStatic::assign(const SerialContext& ctx) const {
+  const double total_slack =
+      ctx.group_deadline - ctx.group_arrival - ctx.pex_group_total;
+  const double prefix_pex =
+      ctx.pex_group_total - ctx.pex_remaining + ctx.pex_self;
+  const double share = static_cast<double>(ctx.index + 1) /
+                       static_cast<double>(ctx.count);
+  return ctx.group_arrival + prefix_pex + total_slack * share;
+}
+
+sim::Time EqualFlexibilityStatic::assign(const SerialContext& ctx) const {
+  const double total_slack =
+      ctx.group_deadline - ctx.group_arrival - ctx.pex_group_total;
+  const double prefix_pex =
+      ctx.pex_group_total - ctx.pex_remaining + ctx.pex_self;
+  if (ctx.pex_group_total <= 0) {
+    const double share = static_cast<double>(ctx.index + 1) /
+                         static_cast<double>(ctx.count);
+    return ctx.group_arrival + prefix_pex + total_slack * share;
+  }
+  return ctx.group_arrival + prefix_pex +
+         total_slack * (prefix_pex / ctx.pex_group_total);
+}
+
+SerialStrategyPtr make_ud() { return std::make_shared<UltimateDeadline>(); }
+SerialStrategyPtr make_ed() { return std::make_shared<EffectiveDeadline>(); }
+SerialStrategyPtr make_eqs() { return std::make_shared<EqualSlack>(); }
+SerialStrategyPtr make_eqf() { return std::make_shared<EqualFlexibility>(); }
+SerialStrategyPtr make_eqf_reserve(std::size_t artificial_stages,
+                                   double phantom_pex_factor) {
+  return std::make_shared<EqualFlexibilityReserve>(artificial_stages,
+                                                   phantom_pex_factor);
+}
+
+SerialStrategyPtr make_eqs_static() {
+  return std::make_shared<EqualSlackStatic>();
+}
+SerialStrategyPtr make_eqf_static() {
+  return std::make_shared<EqualFlexibilityStatic>();
+}
+
+SerialStrategyPtr serial_strategy_by_name(std::string_view name) {
+  if (name == "UD") return make_ud();
+  if (name == "ED") return make_ed();
+  if (name == "EQS") return make_eqs();
+  if (name == "EQF") return make_eqf();
+  if (name == "EQS-S") return make_eqs_static();
+  if (name == "EQF-S") return make_eqf_static();
+  throw std::invalid_argument("unknown serial strategy: " + std::string(name));
+}
+
+}  // namespace dsrt::core

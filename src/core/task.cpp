@@ -1,0 +1,27 @@
+#include "dsrt/core/task.hpp"
+
+#include <limits>
+
+namespace dsrt::core {
+
+double TaskAttributes::flexibility() const {
+  const double sl = slack();
+  if (exec == 0) {
+    if (sl == 0) return 0;
+    return sl > 0 ? std::numeric_limits<double>::infinity()
+                  : -std::numeric_limits<double>::infinity();
+  }
+  return sl / exec;
+}
+
+TaskAttributes TaskAttributes::from_slack(sim::Time arrival, double exec,
+                                          double slack) {
+  TaskAttributes a;
+  a.arrival = arrival;
+  a.exec = exec;
+  a.predicted_exec = exec;
+  a.deadline = arrival + exec + slack;
+  return a;
+}
+
+}  // namespace dsrt::core

@@ -1,0 +1,130 @@
+#include "dsrt/core/task_spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace dsrt::core {
+
+TaskSpec::TaskSpec(SpecKind kind, NodeId node, double exec, double pex,
+                   std::vector<TaskSpec> children)
+    : kind_(kind),
+      node_(node),
+      exec_(exec),
+      pex_(pex),
+      children_(std::move(children)) {}
+
+TaskSpec TaskSpec::simple(NodeId node, double exec, double pex) {
+  if (exec < 0) throw std::invalid_argument("TaskSpec: negative exec");
+  if (pex < 0) throw std::invalid_argument("TaskSpec: negative pex");
+  return TaskSpec(SpecKind::Simple, node, exec, pex, {});
+}
+
+TaskSpec TaskSpec::simple(NodeId node, double exec) {
+  return simple(node, exec, exec);
+}
+
+TaskSpec TaskSpec::serial(std::vector<TaskSpec> children) {
+  if (children.empty())
+    throw std::invalid_argument("TaskSpec::serial: no children");
+  return TaskSpec(SpecKind::Serial, 0, 0, 0, std::move(children));
+}
+
+TaskSpec TaskSpec::parallel(std::vector<TaskSpec> children) {
+  if (children.empty())
+    throw std::invalid_argument("TaskSpec::parallel: no children");
+  return TaskSpec(SpecKind::Parallel, 0, 0, 0, std::move(children));
+}
+
+NodeId TaskSpec::node() const {
+  if (!is_simple()) throw std::logic_error("TaskSpec::node on complex task");
+  return node_;
+}
+
+double TaskSpec::exec() const {
+  if (!is_simple()) throw std::logic_error("TaskSpec::exec on complex task");
+  return exec_;
+}
+
+double TaskSpec::pex() const {
+  if (!is_simple()) throw std::logic_error("TaskSpec::pex on complex task");
+  return pex_;
+}
+
+double TaskSpec::predicted_duration() const {
+  switch (kind_) {
+    case SpecKind::Simple:
+      return pex_;
+    case SpecKind::Serial: {
+      double total = 0;
+      for (const auto& c : children_) total += c.predicted_duration();
+      return total;
+    }
+    case SpecKind::Parallel: {
+      double longest = 0;
+      for (const auto& c : children_)
+        longest = std::max(longest, c.predicted_duration());
+      return longest;
+    }
+  }
+  return 0;  // unreachable
+}
+
+double TaskSpec::critical_path_exec() const {
+  switch (kind_) {
+    case SpecKind::Simple:
+      return exec_;
+    case SpecKind::Serial: {
+      double total = 0;
+      for (const auto& c : children_) total += c.critical_path_exec();
+      return total;
+    }
+    case SpecKind::Parallel: {
+      double longest = 0;
+      for (const auto& c : children_)
+        longest = std::max(longest, c.critical_path_exec());
+      return longest;
+    }
+  }
+  return 0;  // unreachable
+}
+
+double TaskSpec::total_exec() const {
+  if (is_simple()) return exec_;
+  double total = 0;
+  for (const auto& c : children_) total += c.total_exec();
+  return total;
+}
+
+std::size_t TaskSpec::leaf_count() const {
+  if (is_simple()) return 1;
+  std::size_t n = 0;
+  for (const auto& c : children_) n += c.leaf_count();
+  return n;
+}
+
+std::size_t TaskSpec::depth() const {
+  if (is_simple()) return 1;
+  std::size_t deepest = 0;
+  for (const auto& c : children_) deepest = std::max(deepest, c.depth());
+  return 1 + deepest;
+}
+
+std::string TaskSpec::to_string() const {
+  if (is_simple()) {
+    std::ostringstream os;
+    os << "T@" << node_;
+    return os.str();
+  }
+  const char* sep = kind_ == SpecKind::Serial ? " " : " || ";
+  std::string out = "[";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i) out += sep;
+    out += children_[i].to_string();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dsrt::core

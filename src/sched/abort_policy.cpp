@@ -1,0 +1,27 @@
+#include "dsrt/sched/abort_policy.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dsrt::sched {
+
+AbortPolicyPtr make_no_abort() { return std::make_shared<NoAbort>(); }
+AbortPolicyPtr make_abort_tardy() {
+  return std::make_shared<AbortTardyOnDispatch>();
+}
+AbortPolicyPtr make_abort_ultimate() {
+  return std::make_shared<AbortTardyUltimate>();
+}
+AbortPolicyPtr make_abort_hopeless() {
+  return std::make_shared<AbortHopelessOnDispatch>();
+}
+
+AbortPolicyPtr abort_policy_by_name(std::string_view name) {
+  if (name == "NoAbort") return make_no_abort();
+  if (name == "AbortTardy") return make_abort_tardy();
+  if (name == "AbortUltimate") return make_abort_ultimate();
+  if (name == "AbortHopeless") return make_abort_hopeless();
+  throw std::invalid_argument("unknown abort policy: " + std::string(name));
+}
+
+}  // namespace dsrt::sched

@@ -1,0 +1,122 @@
+#include "dsrt/sched/node.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dsrt::sched {
+
+namespace {
+
+int class_rank(core::PriorityClass priority) {
+  // Elevated (Globals First) jobs always dispatch before Normal jobs.
+  return priority == core::PriorityClass::Elevated ? 0 : 1;
+}
+
+}  // namespace
+
+Node::Node(core::NodeId id, sim::Simulator& sim, PolicyPtr policy,
+           AbortPolicyPtr abort_policy, PreemptionMode preemption)
+    : id_(id),
+      sim_(sim),
+      policy_(std::move(policy)),
+      abort_policy_(std::move(abort_policy)),
+      preemption_(preemption),
+      busy_signal_(sim.now(), 0),
+      queue_signal_(sim.now(), 0) {
+  if (!policy_) throw std::invalid_argument("Node: null policy");
+  if (!abort_policy_) throw std::invalid_argument("Node: null abort policy");
+}
+
+void Node::set_completion_handler(CompletionHandler handler) {
+  handler_ = std::move(handler);
+}
+
+Node::QueueKey Node::key_for(const Job& job) {
+  return {{class_rank(job.priority), policy_->key(job)}, arrival_seq_++};
+}
+
+void Node::submit(Job job) {
+  ++submitted_;
+  job.release = sim_.now();
+  if (job.remaining <= 0) job.remaining = job.exec;
+  QueueKey key = key_for(job);
+  if (!in_service_) {
+    // Submitting to an idle server is a dispatch instant, so the abort
+    // policy screens here as well.
+    if (abort_policy_->should_abort(job, sim_.now())) {
+      ++aborted_;
+      if (handler_) handler_(job, sim_.now(), JobOutcome::Aborted);
+      dispatch_next();  // an aborted arrival may still free a queued job
+      return;
+    }
+    start_service(std::move(job), key);
+    return;
+  }
+  if (preemption_ == PreemptionMode::Preemptive &&
+      QueueOrder{}(key, in_service_key_)) {
+    // The newcomer outranks the job in service: suspend it with its
+    // remaining demand and give the server to the newcomer.
+    Job suspended = std::move(*in_service_);
+    in_service_.reset();
+    ++service_token_;  // invalidate the scheduled completion event
+    suspended.remaining -= sim_.now() - service_started_;
+    if (suspended.remaining < 0) suspended.remaining = 0;
+    ++preemptions_;
+    enqueue(std::move(suspended), in_service_key_);
+    start_service(std::move(job), key);
+    return;
+  }
+  enqueue(std::move(job), key);
+}
+
+void Node::enqueue(Job job, QueueKey key) {
+  queue_.emplace(key, std::move(job));
+  queue_signal_.update(sim_.now(), static_cast<double>(queue_.size()));
+}
+
+void Node::start_service(Job job, QueueKey key) {
+  in_service_ = std::move(job);
+  in_service_key_ = key;
+  service_started_ = sim_.now();
+  busy_signal_.update(sim_.now(), 1);
+  const std::uint64_t token = ++service_token_;
+  sim_.in(in_service_->remaining,
+          [this, token] { on_service_complete(token); });
+}
+
+void Node::on_service_complete(std::uint64_t service_token) {
+  if (service_token != service_token_ || !in_service_) return;  // stale
+  Job done = std::move(*in_service_);
+  in_service_.reset();
+  busy_signal_.update(sim_.now(), 0);
+  done.remaining = 0;
+  ++completed_;
+  if (handler_) handler_(done, sim_.now(), JobOutcome::Completed);
+  dispatch_next();
+}
+
+void Node::dispatch_next() {
+  while (!in_service_ && !queue_.empty()) {
+    auto first = queue_.begin();
+    const QueueKey key = first->first;
+    Job job = std::move(first->second);
+    queue_.erase(first);
+    queue_signal_.update(sim_.now(), static_cast<double>(queue_.size()));
+    if (abort_policy_->should_abort(job, sim_.now())) {
+      ++aborted_;
+      if (handler_) handler_(job, sim_.now(), JobOutcome::Aborted);
+      continue;  // keep draining until a servable job is found
+    }
+    start_service(std::move(job), key);
+  }
+  if (!in_service_) busy_signal_.update(sim_.now(), 0);
+}
+
+void Node::reset_observation(sim::Time now) {
+  busy_signal_.reset(now);
+  busy_signal_.update(now, in_service_ ? 1 : 0);
+  queue_signal_.reset(now);
+  queue_signal_.update(now, static_cast<double>(queue_.size()));
+}
+
+}  // namespace dsrt::sched

@@ -1,0 +1,21 @@
+#include "dsrt/sched/policy.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dsrt::sched {
+
+PolicyPtr make_edf() { return std::make_shared<EarliestDeadlineFirst>(); }
+PolicyPtr make_mlf() { return std::make_shared<MinimumLaxityFirst>(); }
+PolicyPtr make_fcfs() { return std::make_shared<FirstComeFirstServed>(); }
+PolicyPtr make_sjf() { return std::make_shared<ShortestJobFirst>(); }
+
+PolicyPtr policy_by_name(std::string_view name) {
+  if (name == "EDF") return make_edf();
+  if (name == "MLF") return make_mlf();
+  if (name == "FCFS") return make_fcfs();
+  if (name == "SJF") return make_sjf();
+  throw std::invalid_argument("unknown policy: " + std::string(name));
+}
+
+}  // namespace dsrt::sched

@@ -1,0 +1,146 @@
+#include "dsrt/sim/distribution.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace dsrt::sim {
+
+namespace {
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Constant::Constant(double value) : value_(value) {}
+double Constant::sample(Rng&) const { return value_; }
+double Constant::mean() const { return value_; }
+std::string Constant::describe() const {
+  return "Const(" + format_double(value_) + ")";
+}
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (lo > hi) throw std::invalid_argument("Uniform: lo > hi");
+}
+double Uniform::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
+double Uniform::mean() const { return 0.5 * (lo_ + hi_); }
+std::string Uniform::describe() const {
+  return "U[" + format_double(lo_) + "," + format_double(hi_) + "]";
+}
+
+Exponential::Exponential(double mean) : mean_(mean) {
+  if (mean <= 0) throw std::invalid_argument("Exponential: mean <= 0");
+}
+double Exponential::sample(Rng& rng) const { return rng.exponential(mean_); }
+double Exponential::mean() const { return mean_; }
+std::string Exponential::describe() const {
+  return "Exp(mean=" + format_double(mean_) + ")";
+}
+
+Erlang::Erlang(unsigned stages, double mean) : stages_(stages), mean_(mean) {
+  if (stages == 0) throw std::invalid_argument("Erlang: stages == 0");
+  if (mean <= 0) throw std::invalid_argument("Erlang: mean <= 0");
+}
+double Erlang::sample(Rng& rng) const {
+  const double stage_mean = mean_ / stages_;
+  double total = 0;
+  for (unsigned i = 0; i < stages_; ++i) total += rng.exponential(stage_mean);
+  return total;
+}
+double Erlang::mean() const { return mean_; }
+std::string Erlang::describe() const {
+  return "Erlang(k=" + std::to_string(stages_) +
+         ",mean=" + format_double(mean_) + ")";
+}
+
+Hyperexponential::Hyperexponential(double mean, double scv)
+    : mean_(mean), scv_(scv) {
+  if (mean <= 0) throw std::invalid_argument("Hyperexponential: mean <= 0");
+  if (scv < 1.0)
+    throw std::invalid_argument("Hyperexponential: scv < 1 (use Erlang)");
+  // Balanced-means H2: p1*m1 = p2*m2 = mean/2 pins both branch means given
+  // the squared coefficient of variation.
+  prob_first_ = 0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  mean_first_ = mean / (2.0 * prob_first_);
+  mean_second_ = mean / (2.0 * (1.0 - prob_first_));
+}
+
+double Hyperexponential::sample(Rng& rng) const {
+  const double branch_mean =
+      rng.uniform01() < prob_first_ ? mean_first_ : mean_second_;
+  return rng.exponential(branch_mean);
+}
+
+double Hyperexponential::mean() const { return mean_; }
+
+std::string Hyperexponential::describe() const {
+  return "H2(mean=" + format_double(mean_) + ",scv=" + format_double(scv_) +
+         ")";
+}
+
+TwoPoint::TwoPoint(double a, double b, double prob_a)
+    : a_(a), b_(b), prob_a_(prob_a) {
+  if (prob_a < 0 || prob_a > 1)
+    throw std::invalid_argument("TwoPoint: prob_a outside [0,1]");
+}
+double TwoPoint::sample(Rng& rng) const {
+  return rng.uniform01() < prob_a_ ? a_ : b_;
+}
+double TwoPoint::mean() const { return prob_a_ * a_ + (1 - prob_a_) * b_; }
+std::string TwoPoint::describe() const {
+  return "TwoPoint(" + format_double(a_) + "|" + format_double(b_) +
+         ",p=" + format_double(prob_a_) + ")";
+}
+
+namespace {
+
+/// Multiplies samples of an inner distribution by a constant factor.
+class Scaled final : public Distribution {
+ public:
+  Scaled(DistributionPtr base, double factor)
+      : base_(std::move(base)), factor_(factor) {
+    if (!base_) throw std::invalid_argument("Scaled: null base");
+  }
+  double sample(Rng& rng) const override {
+    return factor_ * base_->sample(rng);
+  }
+  double mean() const override { return factor_ * base_->mean(); }
+  std::string describe() const override {
+    return format_double(factor_) + "*" + base_->describe();
+  }
+
+ private:
+  DistributionPtr base_;
+  double factor_;
+};
+
+}  // namespace
+
+DistributionPtr constant(double value) {
+  return std::make_shared<Constant>(value);
+}
+DistributionPtr uniform(double lo, double hi) {
+  return std::make_shared<Uniform>(lo, hi);
+}
+DistributionPtr exponential(double mean) {
+  return std::make_shared<Exponential>(mean);
+}
+DistributionPtr erlang(unsigned stages, double mean) {
+  return std::make_shared<Erlang>(stages, mean);
+}
+DistributionPtr hyperexponential(double mean, double scv) {
+  return std::make_shared<Hyperexponential>(mean, scv);
+}
+DistributionPtr two_point(double a, double b, double prob_a) {
+  return std::make_shared<TwoPoint>(a, b, prob_a);
+}
+DistributionPtr scaled(DistributionPtr base, double factor) {
+  return std::make_shared<Scaled>(std::move(base), factor);
+}
+
+}  // namespace dsrt::sim

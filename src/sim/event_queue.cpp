@@ -1,0 +1,17 @@
+#include "dsrt/sim/event_queue.hpp"
+
+#include <utility>
+
+namespace dsrt::sim {
+
+void EventQueue::push(Time at, Action action) {
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+EventQueue::Action EventQueue::pop() {
+  Action action = std::move(heap_.top().action);
+  heap_.pop();
+  return action;
+}
+
+}  // namespace dsrt::sim

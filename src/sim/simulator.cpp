@@ -1,0 +1,35 @@
+#include "dsrt/sim/simulator.hpp"
+
+#include <utility>
+
+namespace dsrt::sim {
+
+void Simulator::at(Time at, EventQueue::Action action) {
+  if (at < now_) {
+    ++past_schedules_;
+    at = now_;
+  }
+  queue_.push(at, std::move(action));
+}
+
+void Simulator::in(Time delay, EventQueue::Action action) {
+  at(now_ + (delay < 0 ? 0 : delay), std::move(action));
+}
+
+void Simulator::run(Time until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    const Time next = queue_.next_time();
+    if (next > until) {
+      now_ = until;
+      return;
+    }
+    now_ = next;
+    auto action = queue_.pop();
+    ++executed_;
+    action();
+  }
+  if (until != kTimeInfinity && now_ < until) now_ = until;
+}
+
+}  // namespace dsrt::sim

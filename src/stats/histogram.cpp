@@ -1,0 +1,73 @@
+#include "dsrt/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsrt::stats {
+
+Histogram::Histogram(double width, std::size_t bins) : width_(width) {
+  if (width <= 0) throw std::invalid_argument("Histogram: width <= 0");
+  if (bins == 0) throw std::invalid_argument("Histogram: no bins");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++count_;
+  if (x < 0) x = 0;
+  const auto bin = static_cast<std::size_t>(x / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.width_ != width_ || other.counts_.size() != counts_.size())
+    throw std::invalid_argument("Histogram::merge: geometry mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  overflow_ = 0;
+  count_ = 0;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double inside = (target - cumulative) /
+                            static_cast<double>(counts_[i]);
+      return (static_cast<double>(i) + inside) * width_;
+    }
+    cumulative = next;
+  }
+  // Quantile falls in the overflow bucket: report the covered maximum.
+  return width_ * static_cast<double>(counts_.size());
+}
+
+double Histogram::fraction_above(double threshold) const {
+  if (count_ == 0) return 0;
+  std::uint64_t above = overflow_;
+  // Count bins lying entirely at-or-above the threshold: a threshold on a
+  // bin boundary includes that bin; mid-bin thresholds round up (the
+  // partially-covered bin is excluded — bin-resolution semantics).
+  const auto first_bin =
+      threshold < 0 ? std::size_t{0}
+                    : static_cast<std::size_t>(std::ceil(threshold / width_));
+  for (std::size_t i = first_bin; i < counts_.size(); ++i)
+    above += counts_[i];
+  return static_cast<double>(above) / static_cast<double>(count_);
+}
+
+}  // namespace dsrt::stats

@@ -1,0 +1,65 @@
+#include "dsrt/stats/tally.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsrt::stats {
+
+void Tally::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Tally::merge(const Tally& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Tally::reset() { *this = Tally{}; }
+
+double Tally::variance() const {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Tally::stddev() const { return std::sqrt(variance()); }
+
+double Tally::std_error() const {
+  if (count_ == 0) return 0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void Ratio::add(bool hit) {
+  ++trials_;
+  if (hit) ++hits_;
+}
+
+void Ratio::merge(const Ratio& other) {
+  trials_ += other.trials_;
+  hits_ += other.hits_;
+}
+
+void Ratio::reset() { *this = Ratio{}; }
+
+double Ratio::value() const {
+  if (trials_ == 0) return 0;
+  return static_cast<double>(hits_) / static_cast<double>(trials_);
+}
+
+}  // namespace dsrt::stats

@@ -1,0 +1,28 @@
+#include "dsrt/stats/time_weighted.hpp"
+
+namespace dsrt::stats {
+
+TimeWeighted::TimeWeighted(sim::Time start, double value)
+    : start_(start), last_(start), value_(value) {}
+
+void TimeWeighted::update(sim::Time now, double value) {
+  if (now < last_) now = last_;
+  integral_ += value_ * (now - last_);
+  last_ = now;
+  value_ = value;
+}
+
+double TimeWeighted::mean(sim::Time now) const {
+  if (now < last_) now = last_;
+  const sim::Time span = now - start_;
+  if (span <= 0) return value_;
+  return (integral_ + value_ * (now - last_)) / span;
+}
+
+void TimeWeighted::reset(sim::Time now) {
+  start_ = now;
+  last_ = now;
+  integral_ = 0;
+}
+
+}  // namespace dsrt::stats

@@ -1,0 +1,46 @@
+#include "dsrt/system/baseline.hpp"
+
+namespace dsrt::system {
+
+Config baseline_ssp() {
+  Config cfg;  // defaults are Table 1 already; spelled out for clarity
+  cfg.nodes = 6;
+  cfg.policy = sched::make_edf();
+  cfg.abort_policy = sched::make_no_abort();
+  cfg.load = 0.5;
+  cfg.frac_local = 0.75;
+  cfg.subtasks = 4;
+  cfg.local_exec = sim::exponential(1.0);
+  cfg.subtask_exec = sim::exponential(1.0);
+  cfg.local_slack = sim::uniform(0.25, 2.5);
+  cfg.rel_flex = 1.0;
+  cfg.shape = GlobalShape::Serial;
+  cfg.ssp = core::make_ud();
+  cfg.psp = core::make_parallel_ud();
+  cfg.pex_error = workload::make_perfect_prediction();
+  cfg.horizon = 1e6;
+  return cfg;
+}
+
+Config baseline_psp() {
+  Config cfg = baseline_ssp();
+  cfg.shape = GlobalShape::Parallel;
+  // Section 5.2: "the slack distribution is now [1.25, 5.0]" — one
+  // distribution shared by both classes ("the slack of global tasks and
+  // local tasks is generated from the same slack distribution"); a global
+  // task applies it on top of its longest subtask (equation 2).
+  cfg.local_slack = sim::uniform(1.25, 5.0);
+  cfg.parallel_slack = sim::uniform(1.25, 5.0);
+  return cfg;
+}
+
+Config baseline_combined() {
+  Config cfg = baseline_ssp();
+  cfg.shape = GlobalShape::SerialParallel;
+  cfg.sp_shape.stages = 3;
+  cfg.sp_shape.parallel_prob = 0.5;
+  cfg.sp_shape.parallel_width = 3;
+  return cfg;
+}
+
+}  // namespace dsrt::system

@@ -1,0 +1,101 @@
+#include "dsrt/system/cli.hpp"
+
+#include <stdexcept>
+
+#include "dsrt/system/baseline.hpp"
+
+namespace dsrt::system {
+
+Config config_from_flags(const util::Flags& flags) {
+  const std::string shape = flags.get("shape", std::string("serial"));
+  Config cfg;
+  if (shape == "serial") {
+    cfg = baseline_ssp();
+  } else if (shape == "parallel") {
+    cfg = baseline_psp();
+  } else if (shape == "serial-parallel") {
+    cfg = baseline_combined();
+  } else {
+    throw std::invalid_argument("config_from_flags: unknown shape '" + shape +
+                                "'");
+  }
+
+  cfg.load = flags.get("load", cfg.load);
+  cfg.frac_local = flags.get("frac_local", cfg.frac_local);
+  cfg.nodes = static_cast<std::size_t>(
+      flags.get("nodes", static_cast<long>(cfg.nodes)));
+  cfg.subtasks = static_cast<std::size_t>(
+      flags.get("m", static_cast<long>(cfg.subtasks)));
+  cfg.rel_flex = flags.get("rel_flex", cfg.rel_flex);
+
+  if (flags.has("ssp"))
+    cfg.ssp = core::serial_strategy_by_name(flags.get("ssp", std::string()));
+  if (flags.has("psp"))
+    cfg.psp =
+        core::parallel_strategy_by_name(flags.get("psp", std::string()));
+  if (flags.has("policy"))
+    cfg.policy = sched::policy_by_name(flags.get("policy", std::string()));
+  if (flags.has("abort"))
+    cfg.abort_policy =
+        sched::abort_policy_by_name(flags.get("abort", std::string()));
+
+  if (flags.has("smin") || flags.has("smax")) {
+    const auto* base =
+        dynamic_cast<const sim::Uniform*>(cfg.local_slack.get());
+    const double lo = flags.get("smin", base ? base->lo() : 0.25);
+    const double hi = flags.get("smax", base ? base->hi() : 2.5);
+    cfg.local_slack = sim::uniform(lo, hi);
+    if (cfg.shape == GlobalShape::Parallel)
+      cfg.parallel_slack = sim::uniform(lo, hi);
+  }
+
+  const double pex_err = flags.get("pex_err", 0.0);
+  if (pex_err > 0)
+    cfg.pex_error = workload::make_uniform_relative_error(pex_err);
+
+  if (flags.has("m_min") || flags.has("m_max")) {
+    const double lo = flags.get("m_min", 1.0);
+    const double hi = flags.get("m_max", lo);
+    cfg.subtask_count = sim::uniform(lo, hi);
+  }
+
+  cfg.sp_shape.stages = static_cast<std::size_t>(
+      flags.get("sp_stages", static_cast<long>(cfg.sp_shape.stages)));
+  cfg.sp_shape.parallel_prob =
+      flags.get("sp_prob", cfg.sp_shape.parallel_prob);
+  cfg.sp_shape.parallel_width = static_cast<std::size_t>(
+      flags.get("sp_width", static_cast<long>(cfg.sp_shape.parallel_width)));
+
+  cfg.link_nodes =
+      static_cast<std::size_t>(flags.get("links", 0L));
+  if (cfg.link_nodes > 0)
+    cfg.comm_exec = sim::exponential(flags.get("hop", 0.25));
+
+  cfg.periodic_globals = flags.get("periodic", false);
+  cfg.preemption = flags.get("preempt", false)
+                       ? sched::PreemptionMode::Preemptive
+                       : sched::PreemptionMode::NonPreemptive;
+
+  cfg.horizon = flags.get("horizon", cfg.horizon);
+  cfg.warmup = flags.get("warmup", cfg.warmup);
+  cfg.seed = static_cast<std::uint64_t>(
+      flags.get("seed", static_cast<long>(cfg.seed)));
+
+  cfg.validate();
+  return cfg;
+}
+
+std::string cli_usage() {
+  return
+      "flags (all optional; defaults are the Table-1 baseline):\n"
+      "  --shape=serial|parallel|serial-parallel\n"
+      "  --load=0.5 --frac_local=0.75 --nodes=6 --m=4 --rel_flex=1.0\n"
+      "  --ssp=UD|ED|EQS|EQF|EQS-S|EQF-S --psp=UD|DIV<x>|GF\n"
+      "  --policy=EDF|MLF|FCFS|SJF --abort=NoAbort|AbortTardy|AbortHopeless\n"
+      "  --smin=0.25 --smax=2.5 --pex_err=0 --m_min= --m_max=\n"
+      "  --sp_stages=3 --sp_prob=0.5 --sp_width=3\n"
+      "  --links=0 --hop=0.25 --periodic --preempt\n"
+      "  --horizon=1e6 --warmup=0 --seed=20250612 --reps=2\n";
+}
+
+}  // namespace dsrt::system

@@ -1,0 +1,44 @@
+#include "dsrt/system/experiment.hpp"
+
+#include <stdexcept>
+
+#include "dsrt/system/simulation.hpp"
+
+namespace dsrt::system {
+
+ExperimentResult run_replications(const Config& config,
+                                  std::size_t replications,
+                                  double confidence) {
+  if (replications == 0)
+    throw std::invalid_argument("run_replications: zero replications");
+  ExperimentResult result;
+  result.runs.reserve(replications);
+
+  std::vector<double> md_local, md_global, md_overall;
+  std::vector<double> resp_local, resp_global, util;
+  for (std::size_t r = 0; r < replications; ++r) {
+    RunMetrics m = simulate(config, r);
+    md_local.push_back(m.local.missed.value());
+    md_global.push_back(m.global.missed.value());
+    const auto trials = m.local.missed.trials() + m.global.missed.trials();
+    const auto hits = m.local.missed.hits() + m.global.missed.hits();
+    md_overall.push_back(
+        trials == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(trials));
+    resp_local.push_back(m.local.response.mean());
+    resp_global.push_back(m.global.response.mean());
+    util.push_back(m.mean_utilization);
+    result.runs.push_back(std::move(m));
+  }
+
+  result.md_local = stats::replication_estimate(md_local, confidence);
+  result.md_global = stats::replication_estimate(md_global, confidence);
+  result.md_overall = stats::replication_estimate(md_overall, confidence);
+  result.response_local = stats::replication_estimate(resp_local, confidence);
+  result.response_global =
+      stats::replication_estimate(resp_global, confidence);
+  result.utilization = stats::replication_estimate(util, confidence);
+  return result;
+}
+
+}  // namespace dsrt::system

@@ -1,0 +1,35 @@
+#include "dsrt/system/metrics.hpp"
+
+#include <algorithm>
+
+namespace dsrt::system {
+
+void ClassMetrics::reset() { *this = ClassMetrics{}; }
+
+void ClassMetrics::record_completed(double response_time,
+                                    double lateness_value) {
+  missed.add(lateness_value > 0);
+  response.add(response_time);
+  lateness.add(lateness_value);
+  tardiness.add(std::max(0.0, lateness_value));
+  response_hist.add(response_time);
+  tardiness_hist.add(std::max(0.0, lateness_value));
+}
+
+void ClassMetrics::record_aborted() {
+  missed.add(true);
+  ++aborted;
+}
+
+void RunMetrics::reset() {
+  local.reset();
+  global.reset();
+  subtask_wait.reset();
+  local_wait.reset();
+  mean_utilization = 0;
+  mean_link_utilization = 0;
+  events = 0;
+  observed_span = 0;
+}
+
+}  // namespace dsrt::system

@@ -1,0 +1,149 @@
+#include "dsrt/system/process_manager.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dsrt::system {
+
+ProcessManager::ProcessManager(sim::Simulator& sim,
+                               std::vector<std::unique_ptr<sched::Node>>& nodes,
+                               core::SerialStrategyPtr ssp,
+                               core::ParallelStrategyPtr psp,
+                               RunMetrics& metrics)
+    : sim_(sim),
+      nodes_(nodes),
+      ssp_(std::move(ssp)),
+      psp_(std::move(psp)),
+      metrics_(metrics) {
+  for (auto& node : nodes_) {
+    node->set_completion_handler(
+        [this](const sched::Job& job, sim::Time now,
+               sched::JobOutcome outcome) { on_disposed(job, now, outcome); });
+  }
+}
+
+void ProcessManager::submit_local(core::NodeId node, double exec, double pex,
+                                  sim::Time deadline) {
+  if (node >= nodes_.size())
+    throw std::out_of_range("submit_local: bad node id");
+  ++metrics_.local.generated;
+  sched::Job job;
+  job.id = next_job_id_++;
+  job.cls = core::TaskClass::Local;
+  job.priority = core::PriorityClass::Normal;
+  job.task = 0;
+  job.node = node;
+  job.deadline = deadline;
+  job.ultimate_deadline = deadline;
+  job.exec = exec;
+  job.pex = pex;
+  if (observer_) observer_->on_local_submitted(node, job, sim_.now());
+  nodes_[node]->submit(std::move(job));
+}
+
+void ProcessManager::submit_global(const core::TaskSpec& spec,
+                                   sim::Time deadline) {
+  ++metrics_.global.generated;
+  const core::TaskId id = next_task_id_++;
+  auto [it, inserted] = instances_.try_emplace(
+      id, id, spec, sim_.now(), deadline, ssp_, psp_);
+  (void)inserted;
+  if (observer_) observer_->on_global_arrival(id, spec, sim_.now(), deadline);
+  scratch_.clear();
+  it->second.start(sim_.now(), scratch_);
+  dispatch_submissions(id, scratch_);
+}
+
+void ProcessManager::dispatch_submissions(
+    core::TaskId task, const std::vector<core::LeafSubmission>& subs) {
+  if (subs.empty()) return;
+  const auto inst_it = instances_.find(task);
+  const sim::Time ultimate = inst_it != instances_.end()
+                                 ? inst_it->second.deadline()
+                                 : sim::kTimeInfinity;
+  for (const auto& sub : subs) {
+    if (sub.node >= nodes_.size())
+      throw std::out_of_range("global subtask: bad node id");
+    sched::Job job;
+    job.id = next_job_id_++;
+    job.cls = core::TaskClass::Global;
+    job.priority = sub.priority;
+    job.task = task;
+    job.leaf = static_cast<std::uint32_t>(sub.leaf);
+    job.node = sub.node;
+    job.deadline = sub.deadline;
+    job.ultimate_deadline = ultimate;
+    job.exec = sub.exec;
+    job.pex = sub.pex;
+    if (observer_) observer_->on_subtask_submitted(task, sub, sim_.now());
+    nodes_[sub.node]->submit(std::move(job));
+  }
+}
+
+void ProcessManager::on_disposed(const sched::Job& job, sim::Time now,
+                                 sched::JobOutcome outcome) {
+  disposal_queue_.push_back(Disposal{job, now, outcome});
+  if (draining_disposals_) return;  // the outer drain loop will pick it up
+  draining_disposals_ = true;
+  // Index-based loop: handle_disposal may append to the queue.
+  for (std::size_t i = 0; i < disposal_queue_.size(); ++i) {
+    const Disposal d = disposal_queue_[i];
+    handle_disposal(d);
+  }
+  disposal_queue_.clear();
+  draining_disposals_ = false;
+}
+
+void ProcessManager::handle_disposal(const Disposal& d) {
+  const sched::Job& job = d.job;
+  const sim::Time now = d.at;
+  const sched::JobOutcome outcome = d.outcome;
+  if (observer_) observer_->on_job_disposed(job, now, outcome);
+  if (job.cls == core::TaskClass::Local) {
+    if (outcome == sched::JobOutcome::Aborted) {
+      metrics_.local.record_aborted();
+    } else {
+      metrics_.local_wait.add(now - job.release - job.exec);
+      metrics_.local.record_completed(/*response=*/now - job.release,
+                                      /*lateness=*/now - job.deadline);
+    }
+    return;
+  }
+
+  const auto it = instances_.find(job.task);
+  if (it == instances_.end())
+    throw std::logic_error("global job completion for unknown instance");
+  core::TaskInstance& inst = it->second;
+
+  if (outcome == sched::JobOutcome::Aborted &&
+      inst.state() == core::InstanceState::Running) {
+    // A discarded subtask dooms its global task: record the miss once and
+    // stop issuing further stages. Already-queued sibling subtasks drain
+    // silently below.
+    inst.abort();
+    metrics_.global.record_aborted();
+    if (observer_) observer_->on_global_aborted(job.task, now);
+  }
+
+  if (outcome == sched::JobOutcome::Completed)
+    metrics_.subtask_wait.add(now - job.release - job.exec);
+
+  scratch_.clear();
+  const bool task_done = inst.on_leaf_complete(job.leaf, now, scratch_);
+  // Submissions may dispose synchronously (idle node + abort policy), but
+  // such disposals only enqueue onto disposal_queue_ while draining, so
+  // `inst` and `it` stay valid through this call.
+  dispatch_submissions(job.task, scratch_);
+  if (task_done) finish_global(inst, now);
+  if (inst.state() != core::InstanceState::Running && inst.drained())
+    instances_.erase(it);
+}
+
+void ProcessManager::finish_global(core::TaskInstance& inst, sim::Time now) {
+  metrics_.global.record_completed(/*response=*/now - inst.arrival(),
+                                   /*lateness=*/now - inst.deadline());
+  if (observer_)
+    observer_->on_global_finished(inst.id(), now, now > inst.deadline());
+}
+
+}  // namespace dsrt::system

@@ -1,0 +1,33 @@
+#include "dsrt/trace/fairness_profiler.hpp"
+
+namespace dsrt::trace {
+
+void FairnessProfiler::on_global_arrival(core::TaskId task,
+                                         const core::TaskSpec& spec,
+                                         sim::Time now, sim::Time) {
+  pending_[task] = Pending{spec.leaf_count(), now};
+}
+
+void FairnessProfiler::on_global_finished(core::TaskId task, sim::Time now,
+                                          bool missed) {
+  const auto it = pending_.find(task);
+  if (it == pending_.end()) return;
+  SizeStats& s = stats_[it->second.size];
+  s.missed.add(missed);
+  s.response.add(now - it->second.arrival);
+  pending_.erase(it);
+}
+
+void FairnessProfiler::on_global_aborted(core::TaskId task, sim::Time) {
+  const auto it = pending_.find(task);
+  if (it == pending_.end()) return;
+  stats_[it->second.size].missed.add(true);
+  pending_.erase(it);
+}
+
+void FairnessProfiler::clear() {
+  stats_.clear();
+  pending_.clear();
+}
+
+}  // namespace dsrt::trace

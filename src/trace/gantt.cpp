@@ -1,0 +1,52 @@
+#include "dsrt/trace/gantt.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace dsrt::trace {
+
+GanttChart::GanttChart(sim::Time from, sim::Time to, std::size_t columns)
+    : from_(from), to_(to), columns_(columns) {
+  if (!(to > from)) throw std::invalid_argument("GanttChart: empty window");
+  if (columns == 0) throw std::invalid_argument("GanttChart: zero columns");
+}
+
+void GanttChart::on_job_disposed(const sched::Job& job, sim::Time now,
+                                 sched::JobOutcome outcome) {
+  if (outcome != sched::JobOutcome::Completed) return;
+  const sim::Time start = now - job.exec;
+  if (now <= from_ || start >= to_) return;
+  intervals_.push_back(Interval{job.node, start, now, job.cls});
+}
+
+void GanttChart::render(std::ostream& os, std::size_t node_count) const {
+  const double column_span = (to_ - from_) / static_cast<double>(columns_);
+  for (std::size_t node = 0; node < node_count; ++node) {
+    // Per-column class presence masks: bit 0 local, bit 1 global.
+    std::vector<unsigned> mask(columns_, 0);
+    for (const auto& iv : intervals_) {
+      if (iv.node != node) continue;
+      const double lo = std::max(iv.start, from_);
+      const double hi = std::min(iv.end, to_);
+      auto first = static_cast<std::size_t>((lo - from_) / column_span);
+      auto last = static_cast<std::size_t>((hi - from_) / column_span);
+      first = std::min(first, columns_ - 1);
+      last = std::min(last, columns_ - 1);
+      for (std::size_t c = first; c <= last; ++c)
+        mask[c] |= (iv.cls == core::TaskClass::Local ? 1u : 2u);
+    }
+    std::string row(columns_, '.');
+    for (std::size_t c = 0; c < columns_; ++c) {
+      if (mask[c] == 1) row[c] = 'L';
+      if (mask[c] == 2) row[c] = 'G';
+      if (mask[c] == 3) row[c] = '*';
+    }
+    os << "node " << node << " |" << row << "|\n";
+  }
+  os << "        t=" << from_ << " .. " << to_
+     << "   ('.'=idle 'L'=local 'G'=global '*'=both)\n";
+}
+
+}  // namespace dsrt::trace

@@ -1,0 +1,98 @@
+#include "dsrt/trace/recorder.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace dsrt::trace {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::LocalSubmit: return "local-submit";
+    case TraceKind::GlobalArrival: return "global-arrival";
+    case TraceKind::SubtaskSubmit: return "subtask-submit";
+    case TraceKind::JobComplete: return "job-complete";
+    case TraceKind::JobAbort: return "job-abort";
+    case TraceKind::GlobalFinish: return "global-finish";
+    case TraceKind::GlobalMiss: return "global-miss";
+    case TraceKind::GlobalAbort: return "global-abort";
+  }
+  return "?";
+}
+
+Recorder::Recorder(std::size_t capacity) : capacity_(capacity) {
+  events_.reserve(capacity < 1024 ? capacity : 1024);
+}
+
+void Recorder::push(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void Recorder::on_local_submitted(core::NodeId node, const sched::Job& job,
+                                  sim::Time now) {
+  push({TraceKind::LocalSubmit, now, 0, node, job.deadline, 0});
+}
+
+void Recorder::on_global_arrival(core::TaskId task, const core::TaskSpec&,
+                                 sim::Time now, sim::Time deadline) {
+  push({TraceKind::GlobalArrival, now, task, 0, deadline, 0});
+}
+
+void Recorder::on_subtask_submitted(core::TaskId task,
+                                    const core::LeafSubmission& submission,
+                                    sim::Time now) {
+  push({TraceKind::SubtaskSubmit, now, task, submission.node,
+        submission.deadline, submission.sibling_index});
+}
+
+void Recorder::on_job_disposed(const sched::Job& job, sim::Time now,
+                               sched::JobOutcome outcome) {
+  push({outcome == sched::JobOutcome::Completed ? TraceKind::JobComplete
+                                                : TraceKind::JobAbort,
+        now, job.task, job.node, job.deadline, 0});
+}
+
+void Recorder::on_global_finished(core::TaskId task, sim::Time now,
+                                  bool missed) {
+  push({missed ? TraceKind::GlobalMiss : TraceKind::GlobalFinish, now, task,
+        0, 0, 0});
+}
+
+void Recorder::on_global_aborted(core::TaskId task, sim::Time now) {
+  push({TraceKind::GlobalAbort, now, task, 0, 0, 0});
+}
+
+void Recorder::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void Recorder::print(std::ostream& os, std::size_t limit) const {
+  std::size_t shown = 0;
+  for (const auto& e : events_) {
+    if (shown++ >= limit) {
+      os << "... (" << events_.size() - limit << " more)\n";
+      break;
+    }
+    os << std::fixed << std::setprecision(3) << std::setw(12) << e.at << "  "
+       << std::left << std::setw(16) << to_string(e.kind) << std::right;
+    if (e.task != 0) os << " task=" << e.task;
+    if (e.kind == TraceKind::SubtaskSubmit)
+      os << " stage=" << e.stage << " node=" << e.node;
+    if (e.kind == TraceKind::LocalSubmit) os << " node=" << e.node;
+    if (e.deadline != 0) os << " dl=" << e.deadline;
+    os << '\n';
+  }
+}
+
+std::vector<TraceEvent> Recorder::task_timeline(core::TaskId task) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.task == task) out.push_back(e);
+  return out;
+}
+
+}  // namespace dsrt::trace

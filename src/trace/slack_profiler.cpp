@@ -1,0 +1,43 @@
+#include "dsrt/trace/slack_profiler.hpp"
+
+#include <algorithm>
+
+namespace dsrt::trace {
+
+SlackProfiler::SlackProfiler(std::size_t max_stages)
+    : max_stages_(std::max<std::size_t>(1, max_stages)) {}
+
+std::size_t SlackProfiler::bucket(std::size_t stage) const {
+  return std::min(stage, max_stages_ - 1);
+}
+
+void SlackProfiler::on_subtask_submitted(
+    core::TaskId task, const core::LeafSubmission& submission, sim::Time now) {
+  const std::size_t stage = bucket(submission.sibling_index);
+  if (stages_.size() <= stage) stages_.resize(stage + 1);
+  stages_[stage].allotted_window.add(submission.deadline - now);
+  pending_[{task, submission.leaf}] = stage;
+}
+
+void SlackProfiler::on_job_disposed(const sched::Job& job, sim::Time now,
+                                    sched::JobOutcome outcome) {
+  if (job.cls != core::TaskClass::Global) return;
+  const auto it = pending_.find({job.task, job.leaf});
+  if (it == pending_.end()) return;
+  const std::size_t stage = it->second;
+  pending_.erase(it);
+  if (outcome != sched::JobOutcome::Completed) {
+    stages_[stage].virtual_miss.add(true);
+    return;
+  }
+  stages_[stage].wait.add(now - job.release - job.exec);
+  stages_[stage].response.add(now - job.release);
+  stages_[stage].virtual_miss.add(now > job.deadline);
+}
+
+void SlackProfiler::clear() {
+  stages_.clear();
+  pending_.clear();
+}
+
+}  // namespace dsrt::trace

@@ -1,0 +1,139 @@
+#include "dsrt/workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace dsrt::workload {
+
+LocalTaskSource::LocalTaskSource(sim::Simulator& sim, core::NodeId node,
+                                 double rate, sim::DistributionPtr exec,
+                                 sim::DistributionPtr slack,
+                                 PexErrorModelPtr pex_error, sim::Rng rng,
+                                 sim::Time until, Sink sink,
+                                 sim::DistributionPtr batch)
+    : sim_(sim),
+      node_(node),
+      rate_(rate),
+      exec_(std::move(exec)),
+      slack_(std::move(slack)),
+      pex_error_(std::move(pex_error)),
+      rng_(rng),
+      until_(until),
+      sink_(std::move(sink)),
+      batch_(std::move(batch)) {
+  if (rate < 0) throw std::invalid_argument("LocalTaskSource: negative rate");
+  if (!exec_ || !slack_ || !pex_error_ || !sink_)
+    throw std::invalid_argument("LocalTaskSource: null component");
+}
+
+void LocalTaskSource::start() {
+  if (rate_ <= 0) return;
+  schedule_next();
+}
+
+void LocalTaskSource::schedule_next() {
+  const sim::Time gap = rng_.exponential(1.0 / rate_);
+  const sim::Time at = sim_.now() + gap;
+  if (at > until_) return;
+  sim_.at(at, [this] { arrive(); });
+}
+
+void LocalTaskSource::arrive() {
+  std::size_t count = 1;
+  if (batch_) {
+    const auto raw = std::llround(batch_->sample(rng_));
+    count = raw < 1 ? 1 : static_cast<std::size_t>(raw);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    ++generated_;
+    const double exec = exec_->sample(rng_);
+    const double pex = pex_error_->predict(exec, rng_);
+    const double slack = slack_->sample(rng_);
+    const sim::Time deadline = sim_.now() + exec + slack;
+    sink_(node_, exec, pex, deadline);
+  }
+  schedule_next();
+}
+
+GlobalTaskSource::GlobalTaskSource(sim::Simulator& sim,
+                                   GlobalTaskParams params, double rate,
+                                   sim::Rng rng, sim::Time until, Sink sink)
+    : sim_(sim),
+      params_(std::move(params)),
+      rate_(rate),
+      rng_(rng),
+      until_(until),
+      sink_(std::move(sink)) {
+  if (rate < 0) throw std::invalid_argument("GlobalTaskSource: negative rate");
+  if (!params_.exec || !params_.slack || !params_.pex_error || !sink_)
+    throw std::invalid_argument("GlobalTaskSource: null component");
+  if (params_.nodes == 0)
+    throw std::invalid_argument("GlobalTaskSource: no nodes");
+  if (params_.link_nodes > 0) {
+    if (!params_.comm_exec)
+      throw std::invalid_argument("GlobalTaskSource: links need comm_exec");
+    if (params_.shape != GlobalShape::Serial)
+      throw std::invalid_argument(
+          "GlobalTaskSource: link nodes support serial tasks only");
+  }
+}
+
+void GlobalTaskSource::start() {
+  if (rate_ <= 0) return;
+  schedule_next();
+}
+
+void GlobalTaskSource::schedule_next() {
+  const sim::Time gap =
+      params_.periodic ? 1.0 / rate_ : rng_.exponential(1.0 / rate_);
+  const sim::Time at = sim_.now() + gap;
+  if (at > until_) return;
+  sim_.at(at, [this] { arrive(); });
+}
+
+void GlobalTaskSource::arrive() {
+  ++generated_;
+  const core::TaskSpec spec = make_task();
+  // dl(T) = ar + ex(T) + sl(T): serial tasks use the total execution time,
+  // parallel tasks the longest subtask (the paper's equation 2); a
+  // serial-parallel tree generalizes both via its critical path.
+  const sim::Time deadline =
+      sim_.now() + spec.critical_path_exec() + draw_slack();
+  sink_(spec, deadline);
+  schedule_next();
+}
+
+std::size_t GlobalTaskSource::draw_subtask_count() {
+  if (!params_.subtask_count) return params_.subtasks;
+  const double raw = params_.subtask_count->sample(rng_);
+  auto m = static_cast<long long>(std::llround(raw));
+  m = std::max<long long>(1, m);
+  if (params_.shape == GlobalShape::Parallel)
+    m = std::min<long long>(m, static_cast<long long>(params_.nodes));
+  return static_cast<std::size_t>(m);
+}
+
+core::TaskSpec GlobalTaskSource::make_task() {
+  switch (params_.shape) {
+    case GlobalShape::Serial:
+      if (params_.link_nodes > 0) {
+        return make_serial_task_with_comm(
+            draw_subtask_count(), params_.nodes, params_.link_nodes,
+            *params_.exec, *params_.comm_exec, *params_.pex_error, rng_);
+      }
+      return make_serial_task(draw_subtask_count(), params_.nodes,
+                              *params_.exec, *params_.pex_error, rng_);
+    case GlobalShape::Parallel:
+      return make_parallel_task(draw_subtask_count(), params_.nodes,
+                                *params_.exec, *params_.pex_error, rng_);
+    case GlobalShape::SerialParallel:
+      return make_serial_parallel_task(params_.sp_shape, params_.nodes,
+                                       *params_.exec, *params_.pex_error,
+                                       rng_);
+  }
+  throw std::logic_error("GlobalTaskSource: bad shape");
+}
+
+}  // namespace dsrt::workload

@@ -1,0 +1,53 @@
+#include "dsrt/workload/pex_error.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dsrt::workload {
+
+UniformRelativeError::UniformRelativeError(double magnitude)
+    : magnitude_(magnitude) {
+  if (magnitude < 0)
+    throw std::invalid_argument("UniformRelativeError: negative magnitude");
+}
+
+double UniformRelativeError::predict(double exec, sim::Rng& rng) const {
+  const double factor = 1.0 + rng.uniform(-magnitude_, magnitude_);
+  return std::max(0.0, exec * factor);
+}
+
+ScaledPrediction::ScaledPrediction(double factor) : factor_(factor) {
+  if (factor < 0)
+    throw std::invalid_argument("ScaledPrediction: negative factor");
+}
+
+double ScaledPrediction::predict(double exec, sim::Rng&) const {
+  return exec * factor_;
+}
+
+DistributionOnlyPrediction::DistributionOnlyPrediction(
+    sim::DistributionPtr dist)
+    : dist_(std::move(dist)) {
+  if (!dist_)
+    throw std::invalid_argument("DistributionOnlyPrediction: null dist");
+}
+
+double DistributionOnlyPrediction::predict(double, sim::Rng& rng) const {
+  return std::max(0.0, dist_->sample(rng));
+}
+
+PexErrorModelPtr make_perfect_prediction() {
+  return std::make_shared<PerfectPrediction>();
+}
+PexErrorModelPtr make_uniform_relative_error(double magnitude) {
+  return std::make_shared<UniformRelativeError>(magnitude);
+}
+PexErrorModelPtr make_scaled_prediction(double factor) {
+  return std::make_shared<ScaledPrediction>(factor);
+}
+PexErrorModelPtr make_distribution_only(sim::DistributionPtr dist) {
+  return std::make_shared<DistributionOnlyPrediction>(std::move(dist));
+}
+
+}  // namespace dsrt::workload

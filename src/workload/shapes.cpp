@@ -1,0 +1,135 @@
+#include "dsrt/workload/shapes.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace dsrt::workload {
+
+std::vector<core::NodeId> sample_distinct_nodes(std::size_t nodes,
+                                                std::size_t count,
+                                                sim::Rng& rng) {
+  if (count > nodes)
+    throw std::invalid_argument(
+        "sample_distinct_nodes: more subtasks than nodes");
+  std::vector<core::NodeId> pool(nodes);
+  std::iota(pool.begin(), pool.end(), core::NodeId{0});
+  // Partial Fisher-Yates: the first `count` entries become the sample.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(nodes - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+namespace {
+
+core::TaskSpec make_leaf(core::NodeId node, const sim::Distribution& exec_dist,
+                         const PexErrorModel& pex_error, sim::Rng& rng) {
+  const double exec = exec_dist.sample(rng);
+  const double pex = pex_error.predict(exec, rng);
+  return core::TaskSpec::simple(node, exec, pex);
+}
+
+}  // namespace
+
+core::TaskSpec make_serial_task(std::size_t subtasks, std::size_t nodes,
+                                const sim::Distribution& exec_dist,
+                                const PexErrorModel& pex_error,
+                                sim::Rng& rng) {
+  if (subtasks == 0) throw std::invalid_argument("make_serial_task: m == 0");
+  if (nodes == 0) throw std::invalid_argument("make_serial_task: no nodes");
+  std::vector<core::TaskSpec> children;
+  children.reserve(subtasks);
+  for (std::size_t i = 0; i < subtasks; ++i) {
+    const auto node = static_cast<core::NodeId>(rng.below(nodes));
+    children.push_back(make_leaf(node, exec_dist, pex_error, rng));
+  }
+  return core::TaskSpec::serial(std::move(children));
+}
+
+core::TaskSpec make_parallel_task(std::size_t subtasks, std::size_t nodes,
+                                  const sim::Distribution& exec_dist,
+                                  const PexErrorModel& pex_error,
+                                  sim::Rng& rng) {
+  if (subtasks == 0) throw std::invalid_argument("make_parallel_task: m == 0");
+  const auto sites = sample_distinct_nodes(nodes, subtasks, rng);
+  std::vector<core::TaskSpec> children;
+  children.reserve(subtasks);
+  for (const auto node : sites)
+    children.push_back(make_leaf(node, exec_dist, pex_error, rng));
+  return core::TaskSpec::parallel(std::move(children));
+}
+
+double SerialParallelShape::expected_leaves() const {
+  return static_cast<double>(stages) *
+         (parallel_prob * static_cast<double>(parallel_width) +
+          (1.0 - parallel_prob));
+}
+
+double SerialParallelShape::expected_critical_path(double mean_exec) const {
+  return static_cast<double>(stages) * mean_exec *
+         (parallel_prob * harmonic(parallel_width) + (1.0 - parallel_prob));
+}
+
+core::TaskSpec make_serial_parallel_task(const SerialParallelShape& shape,
+                                         std::size_t nodes,
+                                         const sim::Distribution& exec_dist,
+                                         const PexErrorModel& pex_error,
+                                         sim::Rng& rng) {
+  if (shape.stages == 0)
+    throw std::invalid_argument("make_serial_parallel_task: no stages");
+  if (shape.parallel_width == 0 || shape.parallel_width > nodes)
+    throw std::invalid_argument(
+        "make_serial_parallel_task: bad parallel width");
+  std::vector<core::TaskSpec> stages;
+  stages.reserve(shape.stages);
+  for (std::size_t s = 0; s < shape.stages; ++s) {
+    if (rng.uniform01() < shape.parallel_prob) {
+      const auto sites =
+          sample_distinct_nodes(nodes, shape.parallel_width, rng);
+      std::vector<core::TaskSpec> group;
+      group.reserve(sites.size());
+      for (const auto node : sites)
+        group.push_back(make_leaf(node, exec_dist, pex_error, rng));
+      stages.push_back(core::TaskSpec::parallel(std::move(group)));
+    } else {
+      const auto node = static_cast<core::NodeId>(rng.below(nodes));
+      stages.push_back(make_leaf(node, exec_dist, pex_error, rng));
+    }
+  }
+  return core::TaskSpec::serial(std::move(stages));
+}
+
+core::TaskSpec make_serial_task_with_comm(
+    std::size_t subtasks, std::size_t nodes, std::size_t link_nodes,
+    const sim::Distribution& exec_dist, const sim::Distribution& comm_dist,
+    const PexErrorModel& pex_error, sim::Rng& rng) {
+  if (subtasks == 0)
+    throw std::invalid_argument("make_serial_task_with_comm: m == 0");
+  if (nodes == 0)
+    throw std::invalid_argument("make_serial_task_with_comm: no nodes");
+  if (link_nodes == 0)
+    throw std::invalid_argument("make_serial_task_with_comm: no link nodes");
+  std::vector<core::TaskSpec> children;
+  children.reserve(2 * subtasks - 1);
+  for (std::size_t i = 0; i < subtasks; ++i) {
+    if (i > 0) {
+      const auto link = static_cast<core::NodeId>(
+          nodes + static_cast<std::size_t>(rng.below(link_nodes)));
+      children.push_back(make_leaf(link, comm_dist, pex_error, rng));
+    }
+    const auto node = static_cast<core::NodeId>(rng.below(nodes));
+    children.push_back(make_leaf(node, exec_dist, pex_error, rng));
+  }
+  return core::TaskSpec::serial(std::move(children));
+}
+
+double harmonic(std::size_t n) {
+  double h = 0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+}  // namespace dsrt::workload

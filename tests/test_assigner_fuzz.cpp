@@ -1,0 +1,175 @@
+// Randomized stress tests for TaskInstance: arbitrary serial-parallel
+// trees, strategies, and completion interleavings must preserve the
+// decomposition invariants — every leaf submitted exactly once, completion
+// reached exactly when all leaves finish, all virtual deadlines finite for
+// activated vertices.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "dsrt/core/assigner.hpp"
+#include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/sim/rng.hpp"
+
+namespace {
+
+using namespace dsrt::core;
+using dsrt::sim::Rng;
+
+/// Random serial-parallel tree with at most `max_depth` levels.
+TaskSpec random_tree(Rng& rng, int max_depth) {
+  if (max_depth <= 1 || rng.uniform01() < 0.4) {
+    return TaskSpec::simple(static_cast<NodeId>(rng.below(8)),
+                            rng.exponential(1.0));
+  }
+  const std::size_t width = 2 + rng.below(3);
+  std::vector<TaskSpec> children;
+  children.reserve(width);
+  for (std::size_t i = 0; i < width; ++i)
+    children.push_back(random_tree(rng, max_depth - 1));
+  return rng.uniform01() < 0.5 ? TaskSpec::serial(std::move(children))
+                               : TaskSpec::parallel(std::move(children));
+}
+
+struct StrategyPair {
+  SerialStrategyPtr ssp;
+  ParallelStrategyPtr psp;
+};
+
+StrategyPair random_strategies(Rng& rng) {
+  static const std::vector<const char*> serial_names = {
+      "UD", "ED", "EQS", "EQF", "EQS-S", "EQF-S"};
+  static const std::vector<const char*> parallel_names = {
+      "UD", "DIV1", "DIV2", "DIV0.5", "GF", "EQF-P"};
+  return {serial_strategy_by_name(
+              serial_names[rng.below(serial_names.size())]),
+          parallel_strategy_by_name(
+              parallel_names[rng.below(parallel_names.size())])};
+}
+
+TEST(TaskInstanceFuzz, RandomTreesCompleteUnderRandomInterleavings) {
+  Rng rng(20250612);
+  for (int trial = 0; trial < 500; ++trial) {
+    const TaskSpec spec = random_tree(rng, 4);
+    const auto [ssp, psp] = random_strategies(rng);
+    const double arrival = rng.uniform(0, 10);
+    const double deadline =
+        arrival + spec.critical_path_exec() + rng.uniform(0, 20);
+    TaskInstance inst(static_cast<TaskId>(trial), spec, arrival, deadline,
+                      ssp, psp);
+
+    std::vector<LeafSubmission> ready;
+    inst.start(arrival, ready);
+    EXPECT_FALSE(ready.empty());
+
+    std::set<std::size_t> submitted;
+    for (const auto& s : ready) {
+      EXPECT_TRUE(submitted.insert(s.leaf).second)
+          << "leaf submitted twice at start";
+    }
+
+    double now = arrival;
+    std::size_t completions = 0;
+    bool done = false;
+    while (!ready.empty()) {
+      // Complete a random ready leaf at a random later time.
+      const std::size_t pick = rng.below(ready.size());
+      const LeafSubmission sub = ready[static_cast<std::size_t>(pick)];
+      ready.erase(ready.begin() + static_cast<long>(pick));
+      now += rng.exponential(0.2);
+      std::vector<LeafSubmission> next;
+      done = inst.on_leaf_complete(sub.leaf, now, next);
+      ++completions;
+      for (const auto& s : next) {
+        EXPECT_TRUE(submitted.insert(s.leaf).second)
+            << "leaf submitted twice mid-run";
+        EXPECT_TRUE(std::isfinite(s.deadline));
+        ready.push_back(s);
+      }
+      EXPECT_EQ(done, ready.empty() && completions == spec.leaf_count())
+          << "completion must coincide with the last leaf";
+    }
+    EXPECT_TRUE(done);
+    EXPECT_EQ(completions, spec.leaf_count());
+    EXPECT_EQ(submitted.size(), spec.leaf_count());
+    EXPECT_EQ(inst.state(), InstanceState::Completed);
+    EXPECT_TRUE(inst.drained());
+  }
+}
+
+TEST(TaskInstanceFuzz, AbortMidTreeAlwaysDrains) {
+  Rng rng(777);
+  for (int trial = 0; trial < 300; ++trial) {
+    const TaskSpec spec = random_tree(rng, 4);
+    const auto [ssp, psp] = random_strategies(rng);
+    TaskInstance inst(1, spec, 0.0, spec.critical_path_exec() + 5.0, ssp,
+                      psp);
+    std::vector<LeafSubmission> ready;
+    inst.start(0.0, ready);
+    double now = 0;
+    // Complete a random prefix, then abort.
+    const std::size_t to_complete = rng.below(spec.leaf_count());
+    std::size_t completed = 0;
+    while (completed < to_complete && !ready.empty()) {
+      const LeafSubmission sub = ready.back();
+      ready.pop_back();
+      now += 0.1;
+      std::vector<LeafSubmission> next;
+      inst.on_leaf_complete(sub.leaf, now, next);
+      ++completed;
+      ready.insert(ready.end(), next.begin(), next.end());
+    }
+    if (inst.state() == InstanceState::Completed) continue;  // tiny tree
+    inst.abort();
+    EXPECT_EQ(inst.state(), InstanceState::Aborted);
+    // Drain outstanding submissions; none may spawn more work.
+    for (const auto& sub : ready) {
+      std::vector<LeafSubmission> next;
+      EXPECT_FALSE(inst.on_leaf_complete(sub.leaf, now + 1.0, next));
+      EXPECT_TRUE(next.empty());
+    }
+    EXPECT_TRUE(inst.drained());
+  }
+}
+
+TEST(TaskInstanceFuzz, GenerousDeadlineOnScheduleNeverViolated) {
+  // With every stage finishing exactly on pex and a non-negative-slack
+  // deadline, the dynamic strategies' virtual deadlines are always
+  // reachable: completion time <= dl(T).
+  Rng rng(31337);
+  for (int trial = 0; trial < 300; ++trial) {
+    const TaskSpec spec = random_tree(rng, 3);
+    for (const char* name : {"UD", "ED", "EQS", "EQF"}) {
+      TaskInstance inst(1, spec, 0.0, spec.critical_path_exec() + 1.0,
+                        serial_strategy_by_name(name), make_parallel_ud());
+      std::vector<LeafSubmission> ready;
+      inst.start(0.0, ready);
+      // Simulate perfectly parallel execution: each leaf completes at its
+      // release time + exec; track per-leaf finish times.
+      std::vector<std::pair<LeafSubmission, double>> queue;
+      for (const auto& s : ready) queue.emplace_back(s, s.exec);
+      double finish = 0;
+      bool done = false;
+      while (!queue.empty()) {
+        // Earliest-finishing leaf completes next.
+        auto it = std::min_element(
+            queue.begin(), queue.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+        const auto [sub, at] = *it;
+        queue.erase(it);
+        finish = at;
+        std::vector<LeafSubmission> next;
+        done = inst.on_leaf_complete(sub.leaf, at, next);
+        for (const auto& s : next) queue.emplace_back(s, at + s.exec);
+      }
+      EXPECT_TRUE(done);
+      EXPECT_LE(finish, spec.critical_path_exec() + 1.0 + 1e-9) << name;
+    }
+  }
+}
+
+}  // namespace

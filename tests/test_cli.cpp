@@ -1,0 +1,102 @@
+// Tests for the flag-to-Config mapping used by the generic CLI.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsrt/system/cli.hpp"
+
+namespace {
+
+using namespace dsrt;
+
+system::Config parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  const util::Flags flags(static_cast<int>(argv.size()), argv.data());
+  return system::config_from_flags(flags);
+}
+
+TEST(Cli, DefaultsAreTable1Baseline) {
+  const auto cfg = parse({});
+  EXPECT_EQ(cfg.nodes, 6u);
+  EXPECT_EQ(cfg.subtasks, 4u);
+  EXPECT_DOUBLE_EQ(cfg.load, 0.5);
+  EXPECT_EQ(cfg.shape, system::GlobalShape::Serial);
+  EXPECT_EQ(cfg.ssp->name(), "UD");
+}
+
+TEST(Cli, ShapeSelection) {
+  EXPECT_EQ(parse({"--shape=parallel"}).shape, system::GlobalShape::Parallel);
+  EXPECT_EQ(parse({"--shape=serial-parallel"}).shape,
+            system::GlobalShape::SerialParallel);
+  EXPECT_THROW(parse({"--shape=ring"}), std::invalid_argument);
+}
+
+TEST(Cli, StrategyAndPolicySelection) {
+  const auto cfg = parse({"--ssp=EQF", "--psp=DIV2", "--policy=MLF",
+                          "--abort=AbortTardy"});
+  EXPECT_EQ(cfg.ssp->name(), "EQF");
+  EXPECT_EQ(cfg.psp->name(), "DIV2");
+  EXPECT_EQ(cfg.policy->name(), "MLF");
+  EXPECT_EQ(cfg.abort_policy->name(), "AbortTardy");
+  EXPECT_THROW(parse({"--ssp=WAT"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--psp=WAT"}), std::invalid_argument);
+}
+
+TEST(Cli, NumericKnobs) {
+  const auto cfg = parse({"--load=0.7", "--frac_local=0.5", "--nodes=8",
+                          "--m=6", "--rel_flex=2", "--horizon=5000",
+                          "--warmup=100", "--seed=99"});
+  EXPECT_DOUBLE_EQ(cfg.load, 0.7);
+  EXPECT_DOUBLE_EQ(cfg.frac_local, 0.5);
+  EXPECT_EQ(cfg.nodes, 8u);
+  EXPECT_EQ(cfg.subtasks, 6u);
+  EXPECT_DOUBLE_EQ(cfg.rel_flex, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.horizon, 5000.0);
+  EXPECT_DOUBLE_EQ(cfg.warmup, 100.0);
+  EXPECT_EQ(cfg.seed, 99u);
+}
+
+TEST(Cli, SlackRangeOverride) {
+  const auto cfg = parse({"--smin=1.0", "--smax=4.0"});
+  const auto* u = dynamic_cast<const sim::Uniform*>(cfg.local_slack.get());
+  ASSERT_NE(u, nullptr);
+  EXPECT_DOUBLE_EQ(u->lo(), 1.0);
+  EXPECT_DOUBLE_EQ(u->hi(), 4.0);
+}
+
+TEST(Cli, ParallelShapeSharesSlackRange) {
+  const auto cfg = parse({"--shape=parallel", "--smin=2.0", "--smax=6.0"});
+  const auto* p = dynamic_cast<const sim::Uniform*>(cfg.parallel_slack.get());
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->lo(), 2.0);
+}
+
+TEST(Cli, PexErrorAndVariableM) {
+  const auto cfg = parse({"--pex_err=0.5", "--m_min=2", "--m_max=6"});
+  EXPECT_EQ(cfg.pex_error->name(), "uniform-relative");
+  ASSERT_NE(cfg.subtask_count, nullptr);
+  EXPECT_DOUBLE_EQ(cfg.subtask_count->mean(), 4.0);
+}
+
+TEST(Cli, NetworkAndPeriodic) {
+  const auto cfg = parse({"--links=2", "--hop=0.5", "--periodic"});
+  EXPECT_EQ(cfg.link_nodes, 2u);
+  ASSERT_NE(cfg.comm_exec, nullptr);
+  EXPECT_DOUBLE_EQ(cfg.comm_exec->mean(), 0.5);
+  EXPECT_TRUE(cfg.periodic_globals);
+}
+
+TEST(Cli, InvalidCombinationsRejectedByValidate) {
+  EXPECT_THROW(parse({"--load=1.5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--shape=parallel", "--m=9"}), std::invalid_argument);
+}
+
+TEST(Cli, UsageMentionsEveryFlagGroup) {
+  const std::string usage = system::cli_usage();
+  for (const char* token : {"--shape", "--ssp", "--psp", "--policy",
+                            "--abort", "--links", "--periodic", "--horizon"})
+    EXPECT_NE(usage.find(token), std::string::npos) << token;
+}
+
+}  // namespace

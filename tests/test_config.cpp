@@ -1,0 +1,177 @@
+// Tests for Config: the Section 4.1 load equations, slack scaling, and
+// validation.
+#include <gtest/gtest.h>
+
+#include "dsrt/sim/rng.hpp"
+#include "dsrt/stats/tally.hpp"
+#include "dsrt/system/baseline.hpp"
+#include "dsrt/system/config.hpp"
+#include "dsrt/workload/shapes.hpp"
+
+namespace {
+
+using namespace dsrt::system;
+
+TEST(Config, BaselineMatchesTable1) {
+  const Config cfg = baseline_ssp();
+  EXPECT_EQ(cfg.nodes, 6u);
+  EXPECT_EQ(cfg.subtasks, 4u);
+  EXPECT_DOUBLE_EQ(cfg.load, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.frac_local, 0.75);
+  EXPECT_DOUBLE_EQ(cfg.rel_flex, 1.0);
+  EXPECT_EQ(cfg.policy->name(), "EDF");
+  EXPECT_EQ(cfg.abort_policy->name(), "NoAbort");
+  EXPECT_EQ(cfg.ssp->name(), "UD");
+  EXPECT_DOUBLE_EQ(cfg.local_exec->mean(), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.subtask_exec->mean(), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.horizon, 1e6);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, LoadEquationRoundTrips) {
+  // load = (lambda_g * E[work_g] + lambda_l_total * E[ex_l]) / k must
+  // recover the configured load and frac_local split.
+  Config cfg = baseline_ssp();
+  const double work_rate = cfg.lambda_global() * cfg.expected_global_work() +
+                           cfg.lambda_local_total() * cfg.local_exec->mean();
+  EXPECT_NEAR(work_rate / static_cast<double>(cfg.nodes), cfg.load, 1e-12);
+  const double local_rate =
+      cfg.lambda_local_total() * cfg.local_exec->mean();
+  EXPECT_NEAR(local_rate / work_rate, cfg.frac_local, 1e-12);
+}
+
+TEST(Config, LambdaValuesForTable1) {
+  // By hand: lambda_local_total = 0.5*0.75*6 = 2.25; lambda_global =
+  // 0.5*0.25*6/4 = 0.1875.
+  const Config cfg = baseline_ssp();
+  EXPECT_DOUBLE_EQ(cfg.lambda_local_total(), 2.25);
+  EXPECT_DOUBLE_EQ(cfg.lambda_global(), 0.1875);
+}
+
+TEST(Config, AllLocalMeansNoGlobals) {
+  Config cfg = baseline_ssp();
+  cfg.frac_local = 1.0;
+  EXPECT_DOUBLE_EQ(cfg.lambda_global(), 0.0);
+}
+
+TEST(Config, ExpectedLeavesPerShape) {
+  Config cfg = baseline_ssp();
+  EXPECT_DOUBLE_EQ(cfg.expected_leaves(), 4.0);
+  cfg.subtask_count = dsrt::sim::uniform(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(cfg.expected_leaves(), 4.0);  // mean of U[2,6]
+  cfg.subtask_count = nullptr;
+
+  Config combined = baseline_combined();
+  EXPECT_DOUBLE_EQ(combined.expected_leaves(),
+                   combined.sp_shape.expected_leaves());
+}
+
+TEST(Config, CriticalPathPerShape) {
+  Config serial = baseline_ssp();
+  EXPECT_DOUBLE_EQ(serial.expected_critical_path(), 4.0);
+  Config psp = baseline_psp();
+  // E[max of 4 Exp(1)] = H_4.
+  EXPECT_NEAR(psp.expected_critical_path(), dsrt::workload::harmonic(4),
+              1e-12);
+}
+
+TEST(Config, GlobalSlackGivesEqualFlexibilityAtRelFlexOne) {
+  // Section 4.2.1: with rel_flex = 1, global and local tasks have the same
+  // *average* flexibility sl/ex. Locals: E[sl]/E[ex] = 1.375/1. Globals:
+  // slack is the local range scaled by E[ex_g]/E[ex_l] = 4.
+  const Config cfg = baseline_ssp();
+  const auto slack = cfg.global_slack();
+  EXPECT_NEAR(slack->mean() / cfg.expected_critical_path(),
+              cfg.local_slack->mean() / cfg.local_exec->mean(), 1e-12);
+}
+
+TEST(Config, GlobalSlackScalesWithRelFlex) {
+  Config cfg = baseline_ssp();
+  const double base_mean = cfg.global_slack()->mean();
+  cfg.rel_flex = 2.0;
+  EXPECT_NEAR(cfg.global_slack()->mean(), 2.0 * base_mean, 1e-12);
+}
+
+TEST(Config, ParallelShapeUsesExplicitSlackRange) {
+  const Config cfg = baseline_psp();
+  const auto slack = cfg.global_slack();
+  dsrt::sim::Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const double s = slack->sample(rng);
+    EXPECT_GE(s, 1.25);
+    EXPECT_LE(s, 5.0);
+  }
+}
+
+TEST(Config, ValidateCatchesBadValues) {
+  {
+    Config cfg = baseline_ssp();
+    cfg.load = 1.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    Config cfg = baseline_ssp();
+    cfg.frac_local = -0.1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    Config cfg = baseline_ssp();
+    cfg.nodes = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    Config cfg = baseline_ssp();
+    cfg.subtasks = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    Config cfg = baseline_ssp();
+    cfg.ssp = nullptr;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    Config cfg = baseline_psp();
+    cfg.subtasks = 7;  // wider than k = 6 nodes
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    Config cfg = baseline_ssp();
+    cfg.rel_flex = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    Config cfg = baseline_ssp();
+    cfg.local_weights = {1, 2};  // wrong size for k=6
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    Config cfg = baseline_ssp();
+    cfg.local_weights = {0, 0, 0, 0, 0, 0};
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    Config cfg = baseline_ssp();
+    cfg.warmup = cfg.horizon;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    Config cfg = baseline_combined();
+    cfg.sp_shape.parallel_width = 9;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+}
+
+TEST(Config, DescribeMentionsKeyKnobs) {
+  const std::string d = baseline_ssp().describe();
+  EXPECT_NE(d.find("k=6"), std::string::npos);
+  EXPECT_NE(d.find("load=0.5"), std::string::npos);
+  EXPECT_NE(d.find("ssp=UD"), std::string::npos);
+  EXPECT_NE(d.find("shape=serial"), std::string::npos);
+}
+
+TEST(Config, CombinedBaselineValidates) {
+  EXPECT_NO_THROW(baseline_combined().validate());
+  EXPECT_NO_THROW(baseline_psp().validate());
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Unit + statistical tests for the variate distributions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dsrt/sim/distribution.hpp"
+#include "dsrt/stats/tally.hpp"
+
+namespace {
+
+using namespace dsrt::sim;
+
+dsrt::stats::Tally sample_many(const Distribution& d, int n, std::uint64_t
+                               seed = 5) {
+  Rng rng(seed);
+  dsrt::stats::Tally t;
+  for (int i = 0; i < n; ++i) t.add(d.sample(rng));
+  return t;
+}
+
+TEST(Distribution, ConstantIsConstant) {
+  const Constant c(4.2);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(c.sample(rng), 4.2);
+  EXPECT_DOUBLE_EQ(c.mean(), 4.2);
+}
+
+TEST(Distribution, UniformBoundsAndMean) {
+  const Uniform u(0.25, 2.5);
+  const auto t = sample_many(u, 100000);
+  EXPECT_GE(t.min(), 0.25);
+  EXPECT_LT(t.max(), 2.5);
+  EXPECT_NEAR(t.mean(), u.mean(), 0.01);
+  EXPECT_DOUBLE_EQ(u.mean(), 1.375);
+}
+
+TEST(Distribution, UniformRejectsInvertedRange) {
+  EXPECT_THROW(Uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Distribution, ExponentialMean) {
+  const Exponential e(2.0);
+  const auto t = sample_many(e, 200000);
+  EXPECT_NEAR(t.mean(), 2.0, 0.03);
+  EXPECT_GE(t.min(), 0.0);
+}
+
+TEST(Distribution, ExponentialRejectsNonPositiveMean) {
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Distribution, ErlangMeanAndVariance) {
+  // m-stage Erlang with total mean 4 (the paper's global task total
+  // execution time with m = 4, mu_subtask = 1).
+  const Erlang e(4, 4.0);
+  const auto t = sample_many(e, 200000);
+  EXPECT_NEAR(t.mean(), 4.0, 0.05);
+  // Var = k * (mean/k)^2 = mean^2 / k = 4.
+  EXPECT_NEAR(t.variance(), 4.0, 0.15);
+}
+
+TEST(Distribution, ErlangOneStageIsExponential) {
+  const Erlang e(1, 2.0);
+  const auto t = sample_many(e, 100000);
+  EXPECT_NEAR(t.variance(), 4.0, 0.25);  // Exp variance = mean^2
+}
+
+TEST(Distribution, ErlangRejectsBadArgs) {
+  EXPECT_THROW(Erlang(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Erlang(2, -1.0), std::invalid_argument);
+}
+
+TEST(Distribution, TwoPointMeanAndSupport) {
+  const TwoPoint d(1.0, 5.0, 0.75);
+  Rng rng(3);
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = d.sample(rng);
+    EXPECT_TRUE(v == 1.0 || v == 5.0);
+    ones += (v == 1.0);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Distribution, TwoPointRejectsBadProbability) {
+  EXPECT_THROW(TwoPoint(1, 2, -0.1), std::invalid_argument);
+  EXPECT_THROW(TwoPoint(1, 2, 1.1), std::invalid_argument);
+}
+
+TEST(Distribution, ScaledMultipliesSamplesAndMean) {
+  const auto base = uniform(1.0, 3.0);
+  const auto s = scaled(base, 2.5);
+  EXPECT_DOUBLE_EQ(s->mean(), 5.0);
+  const auto t = sample_many(*s, 50000);
+  EXPECT_GE(t.min(), 2.5);
+  EXPECT_LT(t.max(), 7.5);
+  EXPECT_NEAR(t.mean(), 5.0, 0.02);
+}
+
+TEST(Distribution, ScaledRejectsNull) {
+  EXPECT_THROW(scaled(nullptr, 2.0), std::invalid_argument);
+}
+
+TEST(Distribution, DescribeIsInformative) {
+  EXPECT_EQ(uniform(0.25, 2.5)->describe(), "U[0.25,2.5]");
+  EXPECT_EQ(exponential(1.0)->describe(), "Exp(mean=1)");
+  EXPECT_EQ(constant(2.0)->describe(), "Const(2)");
+  EXPECT_EQ(erlang(4, 4.0)->describe(), "Erlang(k=4,mean=4)");
+}
+
+TEST(Distribution, FactoriesReturnWorkingObjects) {
+  Rng rng(9);
+  EXPECT_DOUBLE_EQ(constant(3.0)->sample(rng), 3.0);
+  EXPECT_GE(two_point(2, 4, 0.5)->sample(rng), 2.0);
+}
+
+}  // namespace

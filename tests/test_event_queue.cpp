@@ -1,0 +1,81 @@
+// Unit tests for the pending-event set: ordering, tie-breaking, counters.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsrt/sim/event_queue.hpp"
+
+namespace {
+
+using dsrt::sim::EventQueue;
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.pushed(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i)
+    q.push(5.0, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, MixedTimesAndTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(2.0, [&] { order.push_back(20); });
+  q.push(1.0, [&] { order.push_back(10); });
+  q.push(2.0, [&] { order.push_back(21); });
+  q.push(1.0, [&] { order.push_back(11); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21}));
+}
+
+TEST(EventQueue, NextTimeReflectsEarliest) {
+  EventQueue q;
+  q.push(9.0, [] {});
+  q.push(4.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.0);
+  q.pop();
+  EXPECT_DOUBLE_EQ(q.next_time(), 9.0);
+}
+
+TEST(EventQueue, CountsPushes) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.push(1.0 * i, [] {});
+  EXPECT_EQ(q.pushed(), 7u);
+  EXPECT_EQ(q.size(), 7u);
+  q.pop();
+  EXPECT_EQ(q.pushed(), 7u);  // pushes, not current size
+  EXPECT_EQ(q.size(), 6u);
+}
+
+TEST(EventQueue, HandlesManyEvents) {
+  EventQueue q;
+  // Reverse insertion order stresses the heap.
+  for (int i = 10000; i > 0; --i)
+    q.push(static_cast<double>(i), [] {});
+  double last = 0;
+  while (!q.empty()) {
+    EXPECT_GE(q.next_time(), last);
+    last = q.next_time();
+    q.pop();
+  }
+}
+
+}  // namespace

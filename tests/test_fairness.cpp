@@ -1,0 +1,82 @@
+// Tests for the fairness profiler and the width-fairness claim itself.
+#include <gtest/gtest.h>
+
+#include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/system/baseline.hpp"
+#include "dsrt/system/simulation.hpp"
+#include "dsrt/trace/fairness_profiler.hpp"
+
+namespace {
+
+using namespace dsrt;
+
+system::Config variable_width_config(double horizon) {
+  system::Config cfg = system::baseline_psp();
+  cfg.horizon = horizon;
+  cfg.subtask_count = sim::uniform(1.0, 6.0);
+  return cfg;
+}
+
+TEST(FairnessProfiler, BucketsTasksBySize) {
+  trace::FairnessProfiler profiler;
+  system::SimulationRun run(variable_width_config(20000), 0);
+  run.set_observer(&profiler);
+  const auto metrics = run.run();
+  // Sizes 1..6 all appear (uniform rounding reaches every bucket).
+  ASSERT_GE(profiler.by_size().size(), 5u);
+  std::uint64_t total = 0;
+  for (const auto& [size, s] : profiler.by_size()) {
+    EXPECT_GE(size, 1u);
+    EXPECT_LE(size, 6u);
+    total += s.missed.trials();
+  }
+  EXPECT_EQ(total, metrics.global.missed.trials());
+}
+
+TEST(FairnessProfiler, ResponseGrowsWithWidth) {
+  // A wider parallel task waits for more members: conditional mean
+  // response must increase with m.
+  trace::FairnessProfiler profiler;
+  system::SimulationRun run(variable_width_config(60000), 0);
+  run.set_observer(&profiler);
+  run.run();
+  const auto& by_size = profiler.by_size();
+  ASSERT_TRUE(by_size.count(1));
+  ASSERT_TRUE(by_size.count(6));
+  EXPECT_GT(by_size.at(6).response.mean(), by_size.at(1).response.mean());
+}
+
+TEST(FairnessProfiler, DivXFlattensWidthPenalty) {
+  // The Section 7 claim: the miss-ratio spread across widths shrinks a lot
+  // from UD to DIV-1.
+  auto spread = [&](core::ParallelStrategyPtr psp) {
+    system::Config cfg = variable_width_config(60000);
+    cfg.psp = std::move(psp);
+    trace::FairnessProfiler profiler;
+    system::SimulationRun run(cfg, 0);
+    run.set_observer(&profiler);
+    run.run();
+    double lo = 1.0, hi = 0.0;
+    for (const auto& [size, s] : profiler.by_size()) {
+      (void)size;
+      lo = std::min(lo, s.missed.value());
+      hi = std::max(hi, s.missed.value());
+    }
+    return hi - lo;
+  };
+  const double ud_spread = spread(core::make_parallel_ud());
+  const double div_spread = spread(core::make_div_x(1.0));
+  EXPECT_LT(div_spread, 0.7 * ud_spread);
+}
+
+TEST(FairnessProfiler, ClearResets) {
+  trace::FairnessProfiler profiler;
+  system::SimulationRun run(variable_width_config(5000), 0);
+  run.set_observer(&profiler);
+  run.run();
+  EXPECT_FALSE(profiler.by_size().empty());
+  profiler.clear();
+  EXPECT_TRUE(profiler.by_size().empty());
+}
+
+}  // namespace

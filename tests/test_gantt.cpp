@@ -1,0 +1,88 @@
+// Tests for the Gantt chart reconstruction.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dsrt/system/baseline.hpp"
+#include "dsrt/system/simulation.hpp"
+#include "dsrt/trace/gantt.hpp"
+
+namespace {
+
+using namespace dsrt;
+
+TEST(GanttChart, ValidatesArguments) {
+  EXPECT_THROW(trace::GanttChart(5.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(trace::GanttChart(5.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(trace::GanttChart(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(GanttChart, SyntheticIntervalsRenderWhereExpected) {
+  trace::GanttChart gantt(0.0, 10.0, 10);  // one column per time unit
+  auto complete = [&](core::NodeId node, core::TaskClass cls, double start,
+                      double exec) {
+    sched::Job job;
+    job.node = node;
+    job.cls = cls;
+    job.exec = exec;
+    gantt.on_job_disposed(job, start + exec, sched::JobOutcome::Completed);
+  };
+  complete(0, core::TaskClass::Local, 1.0, 2.0);   // columns 1..3
+  complete(1, core::TaskClass::Global, 5.0, 1.0);  // columns 5..6
+  complete(1, core::TaskClass::Local, 5.5, 0.2);   // overlaps -> '*'
+
+  std::ostringstream os;
+  gantt.render(os, 2);
+  const std::string out = os.str();
+  const auto row0 = out.substr(out.find("node 0 |") + 8, 10);
+  const auto row1 = out.substr(out.find("node 1 |") + 8, 10);
+  EXPECT_EQ(row0, ".LLL......");
+  // Global spans [5,6): columns 5 and the boundary column 6; the short
+  // local overlaps only column 5, which therefore shows both classes.
+  EXPECT_EQ(row1, ".....*G...");
+  EXPECT_EQ(gantt.intervals(), 3u);
+}
+
+TEST(GanttChart, AbortedJobsLeaveNoTrace) {
+  trace::GanttChart gantt(0.0, 10.0, 10);
+  sched::Job job;
+  job.node = 0;
+  job.exec = 2.0;
+  gantt.on_job_disposed(job, 5.0, sched::JobOutcome::Aborted);
+  EXPECT_EQ(gantt.intervals(), 0u);
+}
+
+TEST(GanttChart, IgnoresWorkOutsideWindow) {
+  trace::GanttChart gantt(10.0, 20.0, 10);
+  sched::Job job;
+  job.node = 0;
+  job.cls = core::TaskClass::Local;
+  job.exec = 2.0;
+  gantt.on_job_disposed(job, 5.0, sched::JobOutcome::Completed);   // before
+  gantt.on_job_disposed(job, 30.0, sched::JobOutcome::Completed);  // after
+  EXPECT_EQ(gantt.intervals(), 0u);
+  gantt.on_job_disposed(job, 11.0, sched::JobOutcome::Completed);  // inside
+  EXPECT_EQ(gantt.intervals(), 1u);
+}
+
+TEST(GanttChart, LiveSystemWindowLooksBusyAtLoad) {
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = 2000;
+  trace::GanttChart gantt(1000.0, 1100.0, 100);
+  system::SimulationRun run(cfg, 0);
+  run.set_observer(&gantt);
+  run.run();
+  EXPECT_GT(gantt.intervals(), 20u);
+  std::ostringstream os;
+  gantt.render(os, cfg.nodes);
+  const std::string out = os.str();
+  // At load 0.5 every row exists and shows both work and idle time.
+  for (std::size_t n = 0; n < cfg.nodes; ++n)
+    EXPECT_NE(out.find("node " + std::to_string(n) + " |"),
+              std::string::npos);
+  EXPECT_NE(out.find('L'), std::string::npos);
+  EXPECT_NE(out.find('G'), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+}  // namespace

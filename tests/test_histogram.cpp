@@ -1,0 +1,94 @@
+// Unit tests for the histogram / quantile estimator.
+#include <gtest/gtest.h>
+
+#include "dsrt/sim/rng.hpp"
+#include "dsrt/stats/histogram.hpp"
+
+namespace {
+
+using dsrt::stats::Histogram;
+
+TEST(Histogram, RejectsBadGeometry) {
+  EXPECT_THROW(Histogram(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(-1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(1.0, 10);  // covers [0, 10)
+  h.add(0.5);
+  h.add(9.9);
+  h.add(15.0);  // overflow
+  h.add(-3.0);  // clamps to bin 0
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, QuantilesOfUniformStream) {
+  Histogram h(0.01, 100);  // [0, 1)
+  dsrt::sim::Rng rng(51);
+  for (int i = 0; i < 200000; ++i) h.add(rng.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileOfExponentialMatchesTheory) {
+  Histogram h(0.05, 400);  // [0, 20)
+  dsrt::sim::Rng rng(52);
+  for (int i = 0; i < 200000; ++i) h.add(rng.exponential(1.0));
+  // Median of Exp(1) = ln 2; p90 = ln 10.
+  EXPECT_NEAR(h.quantile(0.5), 0.693, 0.05);
+  EXPECT_NEAR(h.quantile(0.9), 2.303, 0.08);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h(1.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileInOverflowReportsRangeMax) {
+  Histogram h(1.0, 4);  // [0,4)
+  for (int i = 0; i < 10; ++i) h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+}
+
+TEST(Histogram, FractionAbove) {
+  Histogram h(1.0, 10);
+  for (double v : {0.5, 1.5, 2.5, 3.5, 20.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.fraction_above(2.0), 0.6);  // 2.5, 3.5, 20
+  EXPECT_DOUBLE_EQ(h.fraction_above(100.0), 0.2);  // overflow only
+  EXPECT_DOUBLE_EQ(h.fraction_above(-1.0), 1.0);
+}
+
+TEST(Histogram, MergeRequiresSameGeometry) {
+  Histogram a(1.0, 10), b(1.0, 10), c(2.0, 10);
+  a.add(1.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h(1.0, 10);
+  h.add(3.0);
+  h.add(100.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, QuantileMonotoneInQ) {
+  Histogram h(0.1, 100);
+  dsrt::sim::Rng rng(53);
+  for (int i = 0; i < 10000; ++i) h.add(rng.exponential(2.0));
+  double prev = -1;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// End-to-end integration tests on the full baseline system: determinism,
+// sanity at light load, and — most importantly — the qualitative shapes of
+// the paper's figures at reduced horizons.
+#include <gtest/gtest.h>
+
+#include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/system/baseline.hpp"
+#include "dsrt/system/experiment.hpp"
+#include "dsrt/system/simulation.hpp"
+
+namespace {
+
+using namespace dsrt;
+using system::Config;
+using system::RunMetrics;
+
+Config quick(Config cfg, double horizon = 40000) {
+  cfg.horizon = horizon;
+  return cfg;
+}
+
+TEST(IntegrationBaseline, DeterministicForSameSeedAndReplication) {
+  const Config cfg = quick(system::baseline_ssp(), 5000);
+  const RunMetrics a = system::simulate(cfg, 0);
+  const RunMetrics b = system::simulate(cfg, 0);
+  EXPECT_EQ(a.local.missed.trials(), b.local.missed.trials());
+  EXPECT_EQ(a.local.missed.hits(), b.local.missed.hits());
+  EXPECT_EQ(a.global.missed.trials(), b.global.missed.trials());
+  EXPECT_EQ(a.global.missed.hits(), b.global.missed.hits());
+  EXPECT_DOUBLE_EQ(a.local.response.mean(), b.local.response.mean());
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(IntegrationBaseline, ReplicationsDiffer) {
+  const Config cfg = quick(system::baseline_ssp(), 5000);
+  const RunMetrics a = system::simulate(cfg, 0);
+  const RunMetrics b = system::simulate(cfg, 1);
+  EXPECT_NE(a.local.missed.trials(), b.local.missed.trials());
+}
+
+TEST(IntegrationBaseline, LightLoadMeetsNearlyAllDeadlines) {
+  Config cfg = quick(system::baseline_ssp());
+  cfg.load = 0.05;
+  for (const char* name : {"UD", "EQF"}) {
+    cfg.ssp = core::serial_strategy_by_name(name);
+    const RunMetrics m = system::simulate(cfg);
+    EXPECT_LT(m.local.missed.value(), 0.03) << name;
+    EXPECT_LT(m.global.missed.value(), 0.03) << name;
+  }
+}
+
+TEST(IntegrationBaseline, UtilizationTracksLoad) {
+  for (double load : {0.2, 0.5}) {
+    Config cfg = quick(system::baseline_ssp());
+    cfg.load = load;
+    const RunMetrics m = system::simulate(cfg);
+    EXPECT_NEAR(m.mean_utilization, load, 0.03);
+  }
+}
+
+TEST(IntegrationBaseline, TaskCountsMatchRates) {
+  // 2 runs x horizon: local ~ lambda_local_total * horizon.
+  Config cfg = quick(system::baseline_ssp(), 50000);
+  const RunMetrics m = system::simulate(cfg);
+  EXPECT_NEAR(static_cast<double>(m.local.generated),
+              cfg.lambda_local_total() * cfg.horizon,
+              0.05 * cfg.lambda_local_total() * cfg.horizon);
+  EXPECT_NEAR(static_cast<double>(m.global.generated),
+              cfg.lambda_global() * cfg.horizon,
+              0.10 * cfg.lambda_global() * cfg.horizon);
+}
+
+TEST(IntegrationBaseline, Fig2ShapeEqfBeatsUdForGlobals) {
+  // The paper's headline SSP result at load 0.5 (Fig. 2b), reduced horizon.
+  Config ud_cfg = quick(system::baseline_ssp(), 60000);
+  ud_cfg.ssp = core::make_ud();
+  Config eqf_cfg = ud_cfg;
+  eqf_cfg.ssp = core::make_eqf();
+  const RunMetrics ud = system::simulate(ud_cfg);
+  const RunMetrics eqf = system::simulate(eqf_cfg);
+  // Globals fare much worse than locals under UD...
+  EXPECT_GT(ud.global.missed.value(), ud.local.missed.value() + 0.05);
+  // ...and EQF closes a large part of that gap.
+  EXPECT_LT(eqf.global.missed.value(), ud.global.missed.value() - 0.04);
+  // Locals barely move (75% of contention is local-local).
+  EXPECT_NEAR(eqf.local.missed.value(), ud.local.missed.value(), 0.03);
+}
+
+TEST(IntegrationBaseline, Fig4ShapePspStrategies) {
+  // PSP at load 0.5: UD globals ~3x locals; DIV-1 narrows; GF beats DIV-1.
+  Config cfg = quick(system::baseline_psp(), 60000);
+  cfg.psp = core::make_parallel_ud();
+  const RunMetrics ud = system::simulate(cfg);
+  cfg.psp = core::make_div_x(1.0);
+  const RunMetrics div1 = system::simulate(cfg);
+  cfg.psp = core::make_gf();
+  const RunMetrics gf = system::simulate(cfg);
+
+  EXPECT_GT(ud.global.missed.value(), 2.0 * ud.local.missed.value());
+  EXPECT_LT(div1.global.missed.value(), 0.7 * ud.global.missed.value());
+  // DIV-1 keeps the classes at a similar level.
+  EXPECT_NEAR(div1.global.missed.value(), div1.local.missed.value(), 0.05);
+  EXPECT_LT(gf.global.missed.value(), div1.global.missed.value());
+}
+
+TEST(IntegrationBaseline, Section6CombinedStrategiesAdditive) {
+  Config cfg = quick(system::baseline_combined(), 60000);
+  auto run_combo = [&](const char* ssp, const char* psp) {
+    cfg.ssp = core::serial_strategy_by_name(ssp);
+    cfg.psp = core::parallel_strategy_by_name(psp);
+    return system::simulate(cfg);
+  };
+  const RunMetrics udud = run_combo("UD", "UD");
+  const RunMetrics both = run_combo("EQF", "DIV1");
+  EXPECT_GT(udud.global.missed.value(), udud.local.missed.value() + 0.05);
+  EXPECT_LT(both.global.missed.value(), udud.global.missed.value());
+  // EQF-DIV1 keeps MD_global close to MD_local.
+  EXPECT_LT(both.global.missed.value() - both.local.missed.value(),
+            udud.global.missed.value() - udud.local.missed.value());
+}
+
+TEST(IntegrationBaseline, ArtificialStagesImproveOnEqf) {
+  // Section 7's proposed "trick": adding phantom stages to EQF further
+  // reduces global misses (validated at full horizon in EXPERIMENTS.md;
+  // here at a reduced one with slack for noise).
+  Config cfg = quick(system::baseline_ssp(), 80000);
+  cfg.ssp = core::make_eqf();
+  const RunMetrics eqf = system::simulate(cfg);
+  cfg.ssp = core::make_eqf_reserve(2);
+  const RunMetrics reserve = system::simulate(cfg);
+  EXPECT_LT(reserve.global.missed.value(), eqf.global.missed.value() + 0.01);
+  EXPECT_NEAR(reserve.local.missed.value(), eqf.local.missed.value(), 0.03);
+}
+
+TEST(IntegrationBaseline, WarmupDropsEarlyTasks) {
+  Config cfg = quick(system::baseline_ssp(), 20000);
+  cfg.warmup = 10000;
+  const RunMetrics with_warmup = system::simulate(cfg);
+  cfg.warmup = 0;
+  const RunMetrics without = system::simulate(cfg);
+  EXPECT_LT(with_warmup.local.missed.trials(),
+            without.local.missed.trials());
+  EXPECT_GT(with_warmup.local.missed.trials(), 0u);
+}
+
+TEST(IntegrationBaseline, ExperimentAggregatesReplications) {
+  Config cfg = quick(system::baseline_ssp(), 20000);
+  const auto result = system::run_replications(cfg, 3);
+  ASSERT_EQ(result.runs.size(), 3u);
+  EXPECT_EQ(result.md_local.replications, 3u);
+  EXPECT_GT(result.md_local.half_width, 0.0);
+  EXPECT_GE(result.md_overall.mean, 0.0);
+  EXPECT_LE(result.md_overall.mean, 1.0);
+  // Pooled ratio lies between the class ratios.
+  EXPECT_GE(result.md_overall.mean,
+            std::min(result.md_local.mean, result.md_global.mean) - 1e-9);
+  EXPECT_LE(result.md_overall.mean,
+            std::max(result.md_local.mean, result.md_global.mean) + 1e-9);
+  EXPECT_THROW(system::run_replications(cfg, 0), std::invalid_argument);
+}
+
+TEST(IntegrationBaseline, AbortPolicyReducesWastedWork) {
+  // With firm deadlines the server never wastes time on doomed subtasks,
+  // so utilization cannot exceed the no-abort case.
+  Config cfg = quick(system::baseline_ssp(), 40000);
+  cfg.load = 0.8;
+  const RunMetrics keep = system::simulate(cfg);
+  cfg.abort_policy = sched::make_abort_tardy();
+  const RunMetrics drop = system::simulate(cfg);
+  EXPECT_LT(drop.mean_utilization, keep.mean_utilization);
+  EXPECT_GT(drop.global.aborted + drop.local.aborted, 0u);
+}
+
+TEST(IntegrationBaseline, HeterogeneousWeightsShiftLoad) {
+  Config cfg = quick(system::baseline_ssp(), 30000);
+  cfg.local_weights = {10, 1, 1, 1, 1, 1};
+  system::SimulationRun run(cfg, 0);
+  run.run();
+  // Node 0 must be far busier than node 5.
+  EXPECT_GT(run.nodes()[0]->utilization(cfg.horizon),
+            run.nodes()[5]->utilization(cfg.horizon) + 0.2);
+}
+
+TEST(IntegrationBaseline, RunTwiceThrows) {
+  system::SimulationRun run(quick(system::baseline_ssp(), 1000), 0);
+  run.run();
+  EXPECT_THROW(run.run(), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Unit tests for the metrics containers.
+#include <gtest/gtest.h>
+
+#include "dsrt/system/metrics.hpp"
+
+namespace {
+
+using dsrt::system::ClassMetrics;
+using dsrt::system::RunMetrics;
+
+TEST(ClassMetrics, RecordCompletedOnTime) {
+  ClassMetrics m;
+  m.record_completed(/*response=*/2.0, /*lateness=*/-1.0);
+  EXPECT_EQ(m.missed.trials(), 1u);
+  EXPECT_EQ(m.missed.hits(), 0u);
+  EXPECT_DOUBLE_EQ(m.response.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.lateness.mean(), -1.0);
+  EXPECT_DOUBLE_EQ(m.tardiness.mean(), 0.0);
+}
+
+TEST(ClassMetrics, RecordCompletedLate) {
+  ClassMetrics m;
+  m.record_completed(5.0, 1.5);
+  EXPECT_EQ(m.missed.hits(), 1u);
+  EXPECT_DOUBLE_EQ(m.tardiness.mean(), 1.5);
+}
+
+TEST(ClassMetrics, ExactlyOnTimeIsNotMissed) {
+  // The paper counts a task tardy only when it finishes strictly after dl.
+  ClassMetrics m;
+  m.record_completed(3.0, 0.0);
+  EXPECT_EQ(m.missed.hits(), 0u);
+}
+
+TEST(ClassMetrics, AbortedCountsAsMiss) {
+  ClassMetrics m;
+  m.record_aborted();
+  EXPECT_EQ(m.missed.trials(), 1u);
+  EXPECT_EQ(m.missed.hits(), 1u);
+  EXPECT_EQ(m.aborted, 1u);
+  EXPECT_TRUE(m.response.empty());  // no response time for discarded work
+}
+
+TEST(ClassMetrics, ResetClearsEverything) {
+  ClassMetrics m;
+  m.generated = 5;
+  m.record_completed(1, 1);
+  m.record_aborted();
+  m.reset();
+  EXPECT_EQ(m.generated, 0u);
+  EXPECT_EQ(m.aborted, 0u);
+  EXPECT_EQ(m.missed.trials(), 0u);
+  EXPECT_TRUE(m.response.empty());
+}
+
+TEST(RunMetrics, ResetClearsBothClasses) {
+  RunMetrics m;
+  m.local.record_completed(1, -1);
+  m.global.record_completed(2, 1);
+  m.subtask_wait.add(0.5);
+  m.mean_utilization = 0.4;
+  m.events = 100;
+  m.reset();
+  EXPECT_EQ(m.local.missed.trials(), 0u);
+  EXPECT_EQ(m.global.missed.trials(), 0u);
+  EXPECT_TRUE(m.subtask_wait.empty());
+  EXPECT_DOUBLE_EQ(m.mean_utilization, 0.0);
+  EXPECT_EQ(m.events, 0u);
+}
+
+}  // namespace

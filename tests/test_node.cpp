@@ -1,0 +1,213 @@
+// Tests for the node server: non-preemptive service, policy-ordered queue,
+// class priority (GF mechanism), abort screening, statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsrt/sched/node.hpp"
+
+namespace {
+
+using namespace dsrt::sched;
+using dsrt::core::PriorityClass;
+using dsrt::core::TaskClass;
+using dsrt::sim::Simulator;
+
+struct Disposal {
+  JobId id;
+  double at;
+  JobOutcome outcome;
+};
+
+struct Fixture {
+  Simulator sim;
+  Node node;
+  std::vector<Disposal> log;
+
+  explicit Fixture(PolicyPtr policy = make_edf(),
+                   AbortPolicyPtr abort = make_no_abort())
+      : node(0, sim, std::move(policy), std::move(abort)) {
+    node.set_completion_handler(
+        [this](const Job& job, double now, JobOutcome outcome) {
+          log.push_back({job.id, now, outcome});
+        });
+  }
+
+  Job job(JobId id, double exec, double deadline,
+          PriorityClass prio = PriorityClass::Normal) {
+    Job j;
+    j.id = id;
+    j.exec = exec;
+    j.pex = exec;
+    j.deadline = deadline;
+    j.priority = prio;
+    return j;
+  }
+};
+
+TEST(Node, ServesImmediatelyWhenIdle) {
+  Fixture f;
+  f.node.submit(f.job(1, 2.0, 10.0));
+  EXPECT_TRUE(f.node.busy());
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.log[0].at, 2.0);
+  EXPECT_EQ(f.log[0].outcome, JobOutcome::Completed);
+}
+
+TEST(Node, EdfOrdersWaitingJobs) {
+  Fixture f;
+  f.node.submit(f.job(1, 1.0, 100.0));  // in service
+  f.node.submit(f.job(2, 1.0, 50.0));
+  f.node.submit(f.job(3, 1.0, 10.0));
+  f.node.submit(f.job(4, 1.0, 30.0));
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 4u);
+  EXPECT_EQ(f.log[0].id, 1u);
+  EXPECT_EQ(f.log[1].id, 3u);  // earliest deadline first among queued
+  EXPECT_EQ(f.log[2].id, 4u);
+  EXPECT_EQ(f.log[3].id, 2u);
+}
+
+TEST(Node, NoPreemption) {
+  // A later, more urgent arrival does not interrupt the job in service.
+  Fixture f;
+  f.node.submit(f.job(1, 5.0, 100.0));
+  f.sim.in(1.0, [&] { f.node.submit(f.job(2, 0.5, 2.0)); });
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 2u);
+  EXPECT_EQ(f.log[0].id, 1u);
+  EXPECT_DOUBLE_EQ(f.log[0].at, 5.0);
+  EXPECT_EQ(f.log[1].id, 2u);
+  EXPECT_DOUBLE_EQ(f.log[1].at, 5.5);
+}
+
+TEST(Node, FifoTieBreakOnEqualKeys) {
+  Fixture f;
+  f.node.submit(f.job(1, 1.0, 9.0));
+  for (JobId id = 2; id <= 5; ++id) f.node.submit(f.job(id, 1.0, 7.0));
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 5u);
+  for (JobId id = 2; id <= 5; ++id) EXPECT_EQ(f.log[id - 1].id, id);
+}
+
+TEST(Node, ElevatedClassBeatsEarlierDeadline) {
+  // The GF mechanism: an Elevated job with a LATER deadline still
+  // dispatches before Normal jobs with earlier deadlines.
+  Fixture f;
+  f.node.submit(f.job(1, 1.0, 5.0));  // occupies the server
+  f.node.submit(f.job(2, 1.0, 2.0));
+  f.node.submit(f.job(3, 1.0, 50.0, PriorityClass::Elevated));
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 3u);
+  EXPECT_EQ(f.log[1].id, 3u);
+  EXPECT_EQ(f.log[2].id, 2u);
+}
+
+TEST(Node, EdfWithinElevatedClass) {
+  Fixture f;
+  f.node.submit(f.job(1, 1.0, 5.0));
+  f.node.submit(f.job(2, 1.0, 40.0, PriorityClass::Elevated));
+  f.node.submit(f.job(3, 1.0, 20.0, PriorityClass::Elevated));
+  f.sim.run();
+  EXPECT_EQ(f.log[1].id, 3u);  // earlier elevated deadline first
+  EXPECT_EQ(f.log[2].id, 2u);
+}
+
+TEST(Node, AbortTardyDiscardsAtDispatch) {
+  Fixture f(make_edf(), make_abort_tardy());
+  f.node.submit(f.job(1, 4.0, 100.0));
+  f.node.submit(f.job(2, 1.0, 2.0));  // deadline passes while waiting
+  f.node.submit(f.job(3, 1.0, 50.0));
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 3u);
+  EXPECT_EQ(f.log[1].id, 2u);
+  EXPECT_EQ(f.log[1].outcome, JobOutcome::Aborted);
+  EXPECT_DOUBLE_EQ(f.log[1].at, 4.0);  // discarded when the server freed
+  EXPECT_EQ(f.log[2].id, 3u);
+  EXPECT_EQ(f.log[2].outcome, JobOutcome::Completed);
+  EXPECT_EQ(f.node.jobs_aborted(), 1u);
+  EXPECT_EQ(f.node.jobs_completed(), 2u);
+}
+
+TEST(Node, AbortTardyScreensIdleSubmission) {
+  Fixture f(make_edf(), make_abort_tardy());
+  f.sim.at(10.0, [&] { f.node.submit(f.job(1, 1.0, 5.0)); });
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 1u);
+  EXPECT_EQ(f.log[0].outcome, JobOutcome::Aborted);
+  EXPECT_FALSE(f.node.busy());
+}
+
+TEST(Node, DrainsConsecutiveTardyJobs) {
+  Fixture f(make_edf(), make_abort_tardy());
+  f.node.submit(f.job(1, 6.0, 100.0));
+  for (JobId id = 2; id <= 4; ++id) f.node.submit(f.job(id, 1.0, 3.0));
+  f.node.submit(f.job(5, 1.0, 200.0));
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 5u);
+  EXPECT_EQ(f.node.jobs_aborted(), 3u);
+  EXPECT_EQ(f.log.back().id, 5u);
+  EXPECT_EQ(f.log.back().outcome, JobOutcome::Completed);
+}
+
+TEST(Node, UtilizationTracksBusyFraction) {
+  Fixture f;
+  f.node.submit(f.job(1, 3.0, 10.0));
+  f.sim.run(10.0);
+  EXPECT_NEAR(f.node.utilization(10.0), 0.3, 1e-12);
+}
+
+TEST(Node, MeanQueueLength) {
+  Fixture f;
+  f.node.submit(f.job(1, 4.0, 99.0));  // serving [0,4)
+  f.node.submit(f.job(2, 1.0, 98.0));  // waits [0,4)
+  f.sim.run(8.0);
+  // One waiter for 4 of 8 time units.
+  EXPECT_NEAR(f.node.mean_queue_length(8.0), 0.5, 1e-12);
+}
+
+TEST(Node, ResetObservationRestartsWindow) {
+  Fixture f;
+  f.node.submit(f.job(1, 2.0, 99.0));
+  f.sim.run(2.0);
+  f.node.reset_observation(2.0);
+  f.sim.run(4.0);
+  EXPECT_NEAR(f.node.utilization(4.0), 0.0, 1e-12);
+}
+
+TEST(Node, CountsSubmissions) {
+  Fixture f;
+  for (JobId id = 1; id <= 3; ++id) f.node.submit(f.job(id, 1.0, 50.0));
+  EXPECT_EQ(f.node.jobs_submitted(), 3u);
+  f.sim.run();
+  EXPECT_EQ(f.node.jobs_completed(), 3u);
+}
+
+TEST(Node, ReleaseStampedOnSubmission) {
+  Fixture f;
+  double seen_release = -1;
+  f.node.set_completion_handler(
+      [&](const Job& job, double, JobOutcome) { seen_release = job.release; });
+  f.sim.at(3.5, [&] { f.node.submit(f.job(1, 1.0, 50.0)); });
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(seen_release, 3.5);
+}
+
+TEST(Node, RejectsNullPolicies) {
+  Simulator sim;
+  EXPECT_THROW(Node(0, sim, nullptr, make_no_abort()), std::invalid_argument);
+  EXPECT_THROW(Node(0, sim, make_edf(), nullptr), std::invalid_argument);
+}
+
+TEST(Node, MlfPolicyPrefersLongJobOfEqualDeadline) {
+  Fixture f(make_mlf());
+  f.node.submit(f.job(1, 1.0, 99.0));
+  f.node.submit(f.job(2, 1.0, 20.0));  // laxity key 19
+  f.node.submit(f.job(3, 5.0, 20.0));  // laxity key 15 -> first
+  f.sim.run();
+  EXPECT_EQ(f.log[1].id, 3u);
+  EXPECT_EQ(f.log[2].id, 2u);
+}
+
+}  // namespace

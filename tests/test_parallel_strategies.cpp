@@ -1,0 +1,164 @@
+// Tests for the PSP strategies (Section 5): UD, DIV-x, GF.
+#include <gtest/gtest.h>
+
+#include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/sim/rng.hpp"
+
+namespace {
+
+using namespace dsrt::core;
+
+ParallelContext ctx_of(double ar, double dl, std::size_t n,
+                       std::size_t index = 0) {
+  ParallelContext ctx;
+  ctx.group_arrival = ar;
+  ctx.group_deadline = dl;
+  ctx.now = ar;
+  ctx.index = index;
+  ctx.count = n;
+  ctx.pex_self = 1.0;
+  ctx.pex_max = 1.0;
+  return ctx;
+}
+
+TEST(ParallelStrategies, UltimateInheritsDeadline) {
+  ParallelUltimate ud;
+  const auto a = ud.assign(ctx_of(2.0, 12.0, 4));
+  EXPECT_DOUBLE_EQ(a.deadline, 12.0);
+  EXPECT_EQ(a.priority, PriorityClass::Normal);
+}
+
+TEST(ParallelStrategies, DivXFormula) {
+  // Equation (1): dl(Ti) = ar(T) + [dl(T) - ar(T)]/(n*x).
+  DivX div1(1.0);
+  // ar=2, dl=12, n=4, x=1: 2 + 10/4 = 4.5.
+  EXPECT_DOUBLE_EQ(div1.assign(ctx_of(2.0, 12.0, 4)).deadline, 4.5);
+  DivX div2(2.0);
+  // x=2: 2 + 10/8 = 3.25.
+  EXPECT_DOUBLE_EQ(div2.assign(ctx_of(2.0, 12.0, 4)).deadline, 3.25);
+}
+
+TEST(ParallelStrategies, DivXSameDeadlineForAllSubtasks) {
+  DivX div(1.5);
+  const double d0 = div.assign(ctx_of(0, 8, 4, 0)).deadline;
+  const double d3 = div.assign(ctx_of(0, 8, 4, 3)).deadline;
+  EXPECT_DOUBLE_EQ(d0, d3);
+}
+
+TEST(ParallelStrategies, DivXMonotoneInX) {
+  // Larger x -> earlier virtual deadline (higher priority).
+  double prev = 1e18;
+  for (double x : {0.25, 0.5, 1.0, 2.0, 4.0, 16.0}) {
+    const double d = DivX(x).assign(ctx_of(0, 10, 4)).deadline;
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(ParallelStrategies, DivXMonotoneInCount) {
+  // More subtasks -> earlier deadline: the promotion "adjusts
+  // automatically to the need" (Section 5.3).
+  double prev = 1e18;
+  for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+    const double d = DivX(1.0).assign(ctx_of(0, 10, n)).deadline;
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(ParallelStrategies, DivXAlwaysAfterArrival) {
+  // However big x is, the virtual deadline stays later than ar(T)
+  // (Section 5.1 notes this as DIV-x's limitation vs GF).
+  dsrt::sim::Rng rng(5);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double ar = rng.uniform(0, 100);
+    const double dl = ar + rng.uniform(0.1, 20);
+    const double x = rng.uniform(0.1, 50);
+    const auto n = 1 + rng.below(16);
+    const double d =
+        DivX(x).assign(ctx_of(ar, dl, static_cast<std::size_t>(n))).deadline;
+    EXPECT_GT(d, ar);
+    // Only a promoting configuration (n*x >= 1) stays within dl(T);
+    // n*x < 1 *demotes* and can legitimately exceed it.
+    if (static_cast<double>(n) * x >= 1.0) EXPECT_LE(d, dl);
+  }
+}
+
+TEST(ParallelStrategies, DivXWithSingleSubtaskAndX1IsUd) {
+  // n = 1, x = 1 divides by one: DIV-1 degenerates to UD.
+  EXPECT_DOUBLE_EQ(DivX(1.0).assign(ctx_of(3, 9, 1)).deadline, 9.0);
+}
+
+TEST(ParallelStrategies, DivXRejectsNonPositiveX) {
+  EXPECT_THROW(DivX(0.0), std::invalid_argument);
+  EXPECT_THROW(DivX(-1.0), std::invalid_argument);
+}
+
+TEST(ParallelStrategies, GlobalsFirstElevatesClass) {
+  GlobalsFirst gf;
+  const auto a = gf.assign(ctx_of(2.0, 12.0, 4));
+  EXPECT_DOUBLE_EQ(a.deadline, 12.0);  // keeps dl(T) for intra-class EDF
+  EXPECT_EQ(a.priority, PriorityClass::Elevated);
+}
+
+TEST(ParallelStrategies, Names) {
+  EXPECT_EQ(make_parallel_ud()->name(), "UD");
+  EXPECT_EQ(make_div_x(1.0)->name(), "DIV1");
+  EXPECT_EQ(make_div_x(2.0)->name(), "DIV2");
+  EXPECT_EQ(make_gf()->name(), "GF");
+}
+
+TEST(ParallelStrategies, LookupByName) {
+  EXPECT_EQ(parallel_strategy_by_name("UD")->name(), "UD");
+  EXPECT_EQ(parallel_strategy_by_name("GF")->name(), "GF");
+  EXPECT_EQ(parallel_strategy_by_name("DIV1")->name(), "DIV1");
+  EXPECT_EQ(parallel_strategy_by_name("DIV2.5")->name(), "DIV2.5");
+  EXPECT_THROW(parallel_strategy_by_name("DIVx"), std::invalid_argument);
+  EXPECT_THROW(parallel_strategy_by_name("bogus"), std::invalid_argument);
+}
+
+TEST(ParallelStrategies, EqfPScalesWindowByRelativeSize) {
+  ParallelEqualFlexibility eqf_p;
+  ParallelContext ctx = ctx_of(2.0, 12.0, 3);
+  ctx.pex_max = 4.0;
+  ctx.pex_self = 4.0;  // the longest member keeps the full window
+  EXPECT_DOUBLE_EQ(eqf_p.assign(ctx).deadline, 12.0);
+  ctx.pex_self = 1.0;  // quarter-size member gets a quarter of the window
+  EXPECT_DOUBLE_EQ(eqf_p.assign(ctx).deadline, 2.0 + 10.0 * 0.25);
+  EXPECT_EQ(eqf_p.assign(ctx).priority, PriorityClass::Normal);
+}
+
+TEST(ParallelStrategies, EqfPEqualizesFlexibility) {
+  // Allotted window / pex is the same for every member.
+  ParallelEqualFlexibility eqf_p;
+  ParallelContext ctx = ctx_of(0.0, 20.0, 4);
+  ctx.pex_max = 5.0;
+  double ratio = -1;
+  for (double pex : {1.0, 2.5, 5.0}) {
+    ctx.pex_self = pex;
+    const double window = eqf_p.assign(ctx).deadline - ctx.group_arrival;
+    if (ratio < 0) ratio = window / pex;
+    EXPECT_NEAR(window / pex, ratio, 1e-12);
+  }
+}
+
+TEST(ParallelStrategies, EqfPFallsBackToUdOnZeroPex) {
+  ParallelEqualFlexibility eqf_p;
+  ParallelContext ctx = ctx_of(1.0, 9.0, 3);
+  ctx.pex_max = 0.0;
+  ctx.pex_self = 0.0;
+  EXPECT_DOUBLE_EQ(eqf_p.assign(ctx).deadline, 9.0);
+}
+
+TEST(ParallelStrategies, EqfPLookup) {
+  EXPECT_EQ(parallel_strategy_by_name("EQF-P")->name(), "EQF-P");
+}
+
+TEST(ParallelStrategies, LookupDivXRoundTripsValue) {
+  const auto s = parallel_strategy_by_name("DIV3");
+  const auto* div = dynamic_cast<const DivX*>(s.get());
+  ASSERT_NE(div, nullptr);
+  EXPECT_DOUBLE_EQ(div->x(), 3.0);
+}
+
+}  // namespace

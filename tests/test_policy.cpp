@@ -1,0 +1,99 @@
+// Tests for local scheduling policies and abort policies.
+#include <gtest/gtest.h>
+
+#include "dsrt/sched/abort_policy.hpp"
+#include "dsrt/sched/policy.hpp"
+
+namespace {
+
+using namespace dsrt::sched;
+
+Job job_with(double deadline, double pex, double release = 0) {
+  Job j;
+  j.deadline = deadline;
+  j.pex = pex;
+  j.exec = pex;
+  j.release = release;
+  return j;
+}
+
+TEST(Policy, EdfOrdersByDeadline) {
+  const auto edf = make_edf();
+  EXPECT_LT(edf->key(job_with(5, 1)), edf->key(job_with(9, 1)));
+  EXPECT_DOUBLE_EQ(edf->key(job_with(5, 3)), 5.0);
+}
+
+TEST(Policy, MlfOrdersByStaticLaxity) {
+  // laxity = dl - now - pex: the shared `now` drops out of comparisons,
+  // leaving dl - pex.
+  const auto mlf = make_mlf();
+  EXPECT_DOUBLE_EQ(mlf->key(job_with(10, 3)), 7.0);
+  // A longer job with the same deadline is MORE urgent under MLF.
+  EXPECT_LT(mlf->key(job_with(10, 5)), mlf->key(job_with(10, 1)));
+}
+
+TEST(Policy, FcfsOrdersByRelease) {
+  const auto fcfs = make_fcfs();
+  EXPECT_LT(fcfs->key(job_with(1, 1, /*release=*/2.0)),
+            fcfs->key(job_with(99, 1, /*release=*/3.0)));
+}
+
+TEST(Policy, SjfOrdersByEstimate) {
+  const auto sjf = make_sjf();
+  EXPECT_LT(sjf->key(job_with(1, 0.5)), sjf->key(job_with(1, 2.0)));
+}
+
+TEST(Policy, EdfAndMlfDisagreeWhenSizesDiffer) {
+  // Deadlines 10 and 11; pex 1 and 5. EDF prefers the first, MLF the
+  // second — the classic bias [11] that motivates deadline adjustment.
+  const auto a = job_with(10, 1);
+  const auto b = job_with(11, 5);
+  EXPECT_LT(make_edf()->key(a), make_edf()->key(b));
+  EXPECT_GT(make_mlf()->key(a), make_mlf()->key(b));
+}
+
+TEST(Policy, LookupByName) {
+  EXPECT_EQ(policy_by_name("EDF")->name(), "EDF");
+  EXPECT_EQ(policy_by_name("MLF")->name(), "MLF");
+  EXPECT_EQ(policy_by_name("FCFS")->name(), "FCFS");
+  EXPECT_EQ(policy_by_name("SJF")->name(), "SJF");
+  EXPECT_THROW(policy_by_name("RR"), std::invalid_argument);
+}
+
+TEST(AbortPolicy, NoAbortNeverAborts) {
+  const auto p = make_no_abort();
+  EXPECT_FALSE(p->should_abort(job_with(5, 1), 100.0));
+}
+
+TEST(AbortPolicy, AbortTardyOnlyPastDeadline) {
+  const auto p = make_abort_tardy();
+  EXPECT_FALSE(p->should_abort(job_with(5, 1), 4.9));
+  EXPECT_FALSE(p->should_abort(job_with(5, 1), 5.0));  // not strictly past
+  EXPECT_TRUE(p->should_abort(job_with(5, 1), 5.1));
+}
+
+TEST(AbortPolicy, AbortHopelessUsesEstimate) {
+  const auto p = make_abort_hopeless();
+  // dl=5, pex=2: hopeless when now + 2 > 5.
+  EXPECT_FALSE(p->should_abort(job_with(5, 2), 3.0));
+  EXPECT_TRUE(p->should_abort(job_with(5, 2), 3.1));
+}
+
+TEST(AbortPolicy, UltimateChecksEndToEndDeadline) {
+  const auto p = make_abort_ultimate();
+  Job j = job_with(/*virtual deadline=*/5, 1);
+  j.ultimate_deadline = 20.0;
+  // Virtual deadline long gone, but the task can still make it.
+  EXPECT_FALSE(p->should_abort(j, 10.0));
+  EXPECT_TRUE(p->should_abort(j, 20.1));
+}
+
+TEST(AbortPolicy, LookupByName) {
+  EXPECT_EQ(abort_policy_by_name("NoAbort")->name(), "NoAbort");
+  EXPECT_EQ(abort_policy_by_name("AbortTardy")->name(), "AbortTardy");
+  EXPECT_EQ(abort_policy_by_name("AbortUltimate")->name(), "AbortUltimate");
+  EXPECT_EQ(abort_policy_by_name("AbortHopeless")->name(), "AbortHopeless");
+  EXPECT_THROW(abort_policy_by_name("?"), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,329 @@
+// Tests for the SSP strategies (Section 4): exact formula checks on pinned
+// contexts plus property sweeps (TEST_P) over randomized task shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/sim/rng.hpp"
+
+namespace {
+
+using namespace dsrt::core;
+
+/// Running example: T = [T1 T2 T3 T4] with pex = (2, 1, 4, 1), ar(T) = 0,
+/// dl(T) = 16 (slack 8). Context for subtask `index` submitted at `now`.
+SerialContext example_ctx(std::size_t index, double now) {
+  const std::vector<double> pex = {2, 1, 4, 1};
+  SerialContext ctx;
+  ctx.group_arrival = 0;
+  ctx.group_deadline = 16;
+  ctx.now = now;
+  ctx.index = index;
+  ctx.count = pex.size();
+  ctx.pex_self = pex[index];
+  ctx.pex_remaining =
+      std::accumulate(pex.begin() + static_cast<long>(index), pex.end(), 0.0);
+  ctx.pex_group_total = std::accumulate(pex.begin(), pex.end(), 0.0);
+  return ctx;
+}
+
+TEST(SerialStrategies, UltimateDeadlineIsGroupDeadline) {
+  UltimateDeadline ud;
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(ud.assign(example_ctx(i, 2.0 * double(i))), 16.0);
+}
+
+TEST(SerialStrategies, EffectiveDeadlineSubtractsLaterStages) {
+  EffectiveDeadline ed;
+  // dl(T1) = 16 - (1+4+1) = 10; dl(T2) = 16 - (4+1) = 11;
+  // dl(T3) = 16 - 1 = 15; dl(T4) = 16.
+  EXPECT_DOUBLE_EQ(ed.assign(example_ctx(0, 0)), 10.0);
+  EXPECT_DOUBLE_EQ(ed.assign(example_ctx(1, 2)), 11.0);
+  EXPECT_DOUBLE_EQ(ed.assign(example_ctx(2, 3)), 15.0);
+  EXPECT_DOUBLE_EQ(ed.assign(example_ctx(3, 7)), 16.0);
+}
+
+TEST(SerialStrategies, EffectiveDeadlineIgnoresSubmissionTime) {
+  // ED depends only on dl(T) and later pex, not on ar(Ti).
+  EffectiveDeadline ed;
+  EXPECT_DOUBLE_EQ(ed.assign(example_ctx(1, 0.0)),
+                   ed.assign(example_ctx(1, 5.0)));
+}
+
+TEST(SerialStrategies, EqualSlackDividesSlackEqually) {
+  EqualSlack eqs;
+  // Stage 1 at t=0: remaining slack = 16 - 0 - 8 = 8 over 4 stages -> 2
+  // each: dl(T1) = 0 + 2 + 2 = 4.
+  EXPECT_DOUBLE_EQ(eqs.assign(example_ctx(0, 0)), 4.0);
+  // Stage 2 submitted exactly at t=4 (T1 used its full allowance):
+  // remaining slack = 16 - 4 - 6 = 6 over 3 stages -> dl = 4 + 1 + 2 = 7.
+  EXPECT_DOUBLE_EQ(eqs.assign(example_ctx(1, 4.0)), 7.0);
+}
+
+TEST(SerialStrategies, EqualSlackInheritsLeftoverSlack) {
+  EqualSlack eqs;
+  // T1 finished early (t=2 instead of 4): stage 2 sees slack
+  // 16 - 2 - 6 = 8 over 3 stages -> dl = 2 + 1 + 8/3.
+  EXPECT_NEAR(eqs.assign(example_ctx(1, 2.0)), 3.0 + 8.0 / 3.0, 1e-12);
+}
+
+TEST(SerialStrategies, EqualFlexibilityProportionalShares) {
+  EqualFlexibility eqf;
+  // Stage 1 at t=0: slack 8, share pex1/sum = 2/8 -> dl = 0 + 2 + 2 = 4.
+  EXPECT_DOUBLE_EQ(eqf.assign(example_ctx(0, 0)), 4.0);
+  // Stage 3 at t=6: remaining pex = 5, slack = 16-6-5 = 5,
+  // share 4/5 -> dl = 6 + 4 + 4 = 14.
+  EXPECT_DOUBLE_EQ(eqf.assign(example_ctx(2, 6.0)), 14.0);
+}
+
+TEST(SerialStrategies, EqualFlexibilityEqualizesFlexibility) {
+  // Each remaining stage's allotted flexibility (slack share / pex) is the
+  // same: sl_i/pex_i = remaining_slack / remaining_pex.
+  EqualFlexibility eqf;
+  const auto ctx = example_ctx(1, 3.0);
+  const double dl = eqf.assign(ctx);
+  const double allotted_slack = dl - ctx.now - ctx.pex_self;
+  const double remaining_slack =
+      ctx.group_deadline - ctx.now - ctx.pex_remaining;
+  EXPECT_NEAR(allotted_slack / ctx.pex_self,
+              remaining_slack / ctx.pex_remaining, 1e-12);
+}
+
+TEST(SerialStrategies, EqfFallsBackToEqualDivisionOnZeroPex) {
+  EqualFlexibility eqf;
+  EqualSlack eqs;
+  SerialContext ctx;
+  ctx.group_deadline = 10;
+  ctx.now = 2;
+  ctx.index = 0;
+  ctx.count = 2;
+  ctx.pex_self = 0;
+  ctx.pex_remaining = 0;
+  ctx.pex_group_total = 0;
+  EXPECT_DOUBLE_EQ(eqf.assign(ctx), eqs.assign(ctx));
+  EXPECT_DOUBLE_EQ(eqf.assign(ctx), 6.0);  // 2 + 0 + 8/2
+}
+
+TEST(SerialStrategies, NegativeSlackPropagates) {
+  // Tight task already past its budget: EQS hands out negative shares
+  // (deadline earlier than now + pex) rather than hiding the overload.
+  EqualSlack eqs;
+  SerialContext ctx = example_ctx(1, 12.0);  // slack = 16-12-6 = -2
+  EXPECT_DOUBLE_EQ(eqs.assign(ctx), 12.0 + 1.0 - 2.0 / 3.0);
+}
+
+TEST(SerialStrategies, Names) {
+  EXPECT_EQ(make_ud()->name(), "UD");
+  EXPECT_EQ(make_ed()->name(), "ED");
+  EXPECT_EQ(make_eqs()->name(), "EQS");
+  EXPECT_EQ(make_eqf()->name(), "EQF");
+  EXPECT_EQ(make_eqf_reserve(2)->name(), "EQF-AS");
+}
+
+TEST(SerialStrategies, LookupByName) {
+  EXPECT_EQ(serial_strategy_by_name("UD")->name(), "UD");
+  EXPECT_EQ(serial_strategy_by_name("EQF")->name(), "EQF");
+  EXPECT_THROW(serial_strategy_by_name("nope"), std::invalid_argument);
+}
+
+TEST(SerialStrategies, ReserveAssignsEarlierThanEqf) {
+  // Phantom stages absorb part of the slack -> earlier (or equal)
+  // deadlines, monotonically in the number of phantom stages.
+  EqualFlexibility eqf;
+  const auto ctx = example_ctx(0, 0.0);
+  double prev = eqf.assign(ctx);
+  for (std::size_t a : {1u, 2u, 4u, 8u}) {
+    const double dl = EqualFlexibilityReserve(a).assign(ctx);
+    EXPECT_LE(dl, prev + 1e-12);
+    prev = dl;
+  }
+}
+
+TEST(SerialStrategies, ReserveRejectsBadFactor) {
+  EXPECT_THROW(EqualFlexibilityReserve(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(EqualFlexibilityReserve(1, -1.0), std::invalid_argument);
+}
+
+TEST(SerialStrategies, StaticTwinsIgnoreSubmissionTime) {
+  EqualSlackStatic eqs_s;
+  EqualFlexibilityStatic eqf_s;
+  for (double now : {0.0, 3.0, 12.0, 100.0}) {
+    auto ctx = example_ctx(1, now);
+    EXPECT_DOUBLE_EQ(eqs_s.assign(ctx), 7.0);   // 0 + 3 + 8*(2/4)
+    EXPECT_DOUBLE_EQ(eqf_s.assign(ctx), 6.0);   // 0 + 3 + 8*(3/8)
+  }
+}
+
+TEST(SerialStrategies, StaticScheduleValuesOnExample) {
+  // pex (2,1,4,1), ar 0, dl 16, total slack 8.
+  EqualSlackStatic eqs_s;
+  EqualFlexibilityStatic eqf_s;
+  const double expected_eqs[] = {4.0, 7.0, 13.0, 16.0};
+  const double expected_eqf[] = {4.0, 6.0, 14.0, 16.0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(eqs_s.assign(example_ctx(i, 1.0)), expected_eqs[i]);
+    EXPECT_DOUBLE_EQ(eqf_s.assign(example_ctx(i, 1.0)), expected_eqf[i]);
+  }
+}
+
+TEST(SerialStrategies, StaticFinalStageGetsGroupDeadline) {
+  EqualSlackStatic eqs_s;
+  EqualFlexibilityStatic eqf_s;
+  const auto ctx = example_ctx(3, 9.0);
+  EXPECT_DOUBLE_EQ(eqs_s.assign(ctx), 16.0);
+  EXPECT_DOUBLE_EQ(eqf_s.assign(ctx), 16.0);
+}
+
+TEST(SerialStrategies, StaticMatchesDynamicOnExactSchedule) {
+  // When each stage is submitted exactly at the previous stage's static
+  // deadline, dynamic EQS reproduces the static schedule.
+  EqualSlack dynamic;
+  EqualSlackStatic fixed;
+  double now = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto ctx = example_ctx(i, now);
+    const double ds = fixed.assign(ctx);
+    EXPECT_NEAR(dynamic.assign(ctx), ds, 1e-12);
+    now = ds;
+  }
+}
+
+TEST(SerialStrategies, StaticLookupByName) {
+  EXPECT_EQ(serial_strategy_by_name("EQS-S")->name(), "EQS-S");
+  EXPECT_EQ(serial_strategy_by_name("EQF-S")->name(), "EQF-S");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep over randomized serial tasks for every strategy.
+// ---------------------------------------------------------------------------
+
+class SerialStrategyProperties
+    : public ::testing::TestWithParam<const char*> {};
+
+/// Draws a random context mid-execution of a random task.
+SerialContext random_ctx(dsrt::sim::Rng& rng) {
+  const std::size_t m = 1 + static_cast<std::size_t>(rng.below(8));
+  std::vector<double> pex(m);
+  for (auto& p : pex) p = rng.exponential(1.0);
+  const std::size_t i = static_cast<std::size_t>(rng.below(m));
+  const double total = std::accumulate(pex.begin(), pex.end(), 0.0);
+  SerialContext ctx;
+  ctx.group_arrival = rng.uniform(0, 100);
+  ctx.count = m;
+  ctx.index = i;
+  ctx.pex_self = pex[i];
+  ctx.pex_remaining =
+      std::accumulate(pex.begin() + static_cast<long>(i), pex.end(), 0.0);
+  ctx.pex_group_total = total;
+  // Submission happened after the earlier stages' pex at the soonest.
+  ctx.now = ctx.group_arrival + (total - ctx.pex_remaining) +
+            rng.uniform(0, 2);
+  // Positive end-to-end slack.
+  ctx.group_deadline = ctx.now + ctx.pex_remaining + rng.uniform(0, 10);
+  return ctx;
+}
+
+TEST_P(SerialStrategyProperties, NeverExceedsGroupDeadline) {
+  const auto strategy = serial_strategy_by_name(GetParam());
+  dsrt::sim::Rng rng(777);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto ctx = random_ctx(rng);
+    EXPECT_LE(strategy->assign(ctx), ctx.group_deadline + 1e-9)
+        << "strategy " << GetParam() << " trial " << trial;
+  }
+}
+
+TEST_P(SerialStrategyProperties, FeasibleWhenSlackNonNegative) {
+  // With non-negative remaining slack the assigned deadline leaves at
+  // least pex_self of room: dl(Ti) >= now + pex(Ti).
+  const auto strategy = serial_strategy_by_name(GetParam());
+  dsrt::sim::Rng rng(778);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto ctx = random_ctx(rng);
+    EXPECT_GE(strategy->assign(ctx), ctx.now + ctx.pex_self - 1e-9);
+  }
+}
+
+TEST_P(SerialStrategyProperties, FinalStageGetsFullDeadline) {
+  // For the last subtask every strategy reduces to the group deadline.
+  const auto strategy = serial_strategy_by_name(GetParam());
+  dsrt::sim::Rng rng(779);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto ctx = random_ctx(rng);
+    ctx.index = ctx.count - 1;
+    ctx.pex_remaining = ctx.pex_self;
+    EXPECT_NEAR(strategy->assign(ctx), ctx.group_deadline, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, SerialStrategyProperties,
+                         ::testing::Values("UD", "ED", "EQS", "EQF"));
+
+TEST(SerialStrategyOrdering, EqfAndEqsBelowEdBelowUd) {
+  // With non-negative remaining slack: EQS, EQF <= ED <= UD.
+  dsrt::sim::Rng rng(780);
+  UltimateDeadline ud;
+  EffectiveDeadline ed;
+  EqualSlack eqs;
+  EqualFlexibility eqf;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto ctx = random_ctx(rng);
+    const double d_ud = ud.assign(ctx);
+    const double d_ed = ed.assign(ctx);
+    EXPECT_LE(d_ed, d_ud + 1e-9);
+    EXPECT_LE(eqs.assign(ctx), d_ed + 1e-9);
+    EXPECT_LE(eqf.assign(ctx), d_ed + 1e-9);
+  }
+}
+
+TEST(SerialStrategyOrdering, EqsEqualsEqfForUniformPex) {
+  // When all remaining stages have the same pex, proportional and equal
+  // division coincide.
+  EqualSlack eqs;
+  EqualFlexibility eqf;
+  for (std::size_t m = 1; m <= 6; ++m) {
+    for (std::size_t i = 0; i < m; ++i) {
+      SerialContext ctx;
+      ctx.count = m;
+      ctx.index = i;
+      ctx.pex_self = 1.5;
+      ctx.pex_remaining = 1.5 * static_cast<double>(m - i);
+      ctx.pex_group_total = 1.5 * static_cast<double>(m);
+      ctx.now = 3.0;
+      ctx.group_deadline = 20.0;
+      EXPECT_NEAR(eqs.assign(ctx), eqf.assign(ctx), 1e-12);
+    }
+  }
+}
+
+TEST(SerialStrategyTelescoping, OnTimeChainEndsExactlyAtDeadline) {
+  // If every stage finishes exactly at its virtual deadline, EQS and EQF
+  // consume precisely the whole end-to-end window: the last virtual
+  // deadline equals dl(T). (UD/ED trivially satisfy the <= direction.)
+  const std::vector<double> pex = {2, 1, 4, 1};
+  for (const char* name : {"EQS", "EQF"}) {
+    const auto strategy = serial_strategy_by_name(name);
+    double now = 0;
+    double dl = 0;
+    for (std::size_t i = 0; i < pex.size(); ++i) {
+      SerialContext ctx;
+      ctx.group_arrival = 0;
+      ctx.group_deadline = 16;
+      ctx.now = now;
+      ctx.index = i;
+      ctx.count = pex.size();
+      ctx.pex_self = pex[i];
+      ctx.pex_remaining = std::accumulate(
+          pex.begin() + static_cast<long>(i), pex.end(), 0.0);
+      ctx.pex_group_total = 8;
+      dl = strategy->assign(ctx);
+      now = dl;  // stage finishes exactly at its virtual deadline
+    }
+    EXPECT_NEAR(dl, 16.0, 1e-9) << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Unit tests for the discrete-event kernel: clock discipline, run bounds,
+// stop, past-scheduling clamp, nested scheduling, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsrt/sim/simulator.hpp"
+
+namespace {
+
+using dsrt::sim::Simulator;
+using dsrt::sim::kTimeInfinity;
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> stamps;
+  sim.at(1.5, [&] { stamps.push_back(sim.now()); });
+  sim.at(0.5, [&] { stamps.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(stamps, (std::vector<double>{0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+  EXPECT_EQ(sim.executed(), 2u);
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(5.0, [&] { ++fired; });
+  sim.run(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);  // clock parked at the horizon
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventAtExactHorizonFires) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(2.0, [&] { ++fired; });
+  sim.run(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, InSchedulesRelativeToNow) {
+  Simulator sim;
+  double second_time = -1;
+  sim.at(3.0, [&] {
+    sim.in(2.0, [&] { second_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second_time, 5.0);
+}
+
+TEST(Simulator, StopHaltsImmediately) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, PastSchedulingClampsAndCounts) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.at(4.0, [&] {
+    sim.at(1.0, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+  EXPECT_EQ(sim.past_schedules(), 1u);
+}
+
+TEST(Simulator, NegativeDelayClamps) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.at(2.0, [&] {
+    sim.in(-5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.0);
+}
+
+TEST(Simulator, CascadedEventsRunToCompletion) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 1000) sim.in(0.001, chain);
+  };
+  sim.in(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 1000);
+}
+
+TEST(Simulator, SimultaneousEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, RunWithEmptyQueueAdvancesToHorizon) {
+  Simulator sim;
+  sim.run(7.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+  sim.run(kTimeInfinity);  // no events, no horizon: clock unchanged
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+}
+
+}  // namespace

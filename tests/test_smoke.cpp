@@ -1,0 +1,23 @@
+// Build smoke test: the umbrella header compiles and a tiny end-to-end
+// simulation produces sane numbers.
+#include <gtest/gtest.h>
+
+#include "dsrt/dsrt.hpp"
+
+namespace {
+
+using namespace dsrt;
+
+TEST(Smoke, TinyBaselineRunProducesTasks) {
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = 2000;
+  system::RunMetrics m = system::simulate(cfg);
+  EXPECT_GT(m.local.missed.trials(), 100u);
+  EXPECT_GT(m.global.missed.trials(), 10u);
+  EXPECT_GE(m.local.missed.value(), 0.0);
+  EXPECT_LE(m.local.missed.value(), 1.0);
+  EXPECT_GT(m.mean_utilization, 0.1);
+  EXPECT_LT(m.mean_utilization, 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Unit tests for tallies, ratios, time-weighted stats, and confidence
+// intervals — the measurement machinery behind every reported number.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dsrt/stats/confidence.hpp"
+#include "dsrt/stats/tally.hpp"
+#include "dsrt/stats/time_weighted.hpp"
+
+namespace {
+
+using namespace dsrt::stats;
+
+TEST(Tally, EmptyDefaults) {
+  Tally t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(t.std_error(), 0.0);
+}
+
+TEST(Tally, KnownMoments) {
+  Tally t;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.add(x);
+  EXPECT_EQ(t.count(), 8u);
+  EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(t.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.min(), 2.0);
+  EXPECT_DOUBLE_EQ(t.max(), 9.0);
+  EXPECT_DOUBLE_EQ(t.sum(), 40.0);
+}
+
+TEST(Tally, SingleObservationHasZeroVariance) {
+  Tally t;
+  t.add(3.5);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 3.5);
+}
+
+TEST(Tally, MergeMatchesPooledComputation) {
+  Tally a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i * 0.1;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Tally, MergeWithEmptySides) {
+  Tally a, b;
+  a.add(1.0);
+  a.add(3.0);
+  Tally a_copy = a;
+  a.merge(b);  // empty rhs: no change
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // empty lhs adopts rhs
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Tally, ResetClears) {
+  Tally t;
+  t.add(5);
+  t.reset();
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tally, WelfordStableForLargeOffset) {
+  // Classic catastrophic-cancellation case: large mean, small variance.
+  Tally t;
+  const double offset = 1e9;
+  for (double x : {offset + 1, offset + 2, offset + 3}) t.add(x);
+  EXPECT_NEAR(t.variance(), 1.0, 1e-6);
+}
+
+TEST(Ratio, CountsHitsOverTrials) {
+  Ratio r;
+  for (int i = 0; i < 10; ++i) r.add(i < 3);
+  EXPECT_EQ(r.trials(), 10u);
+  EXPECT_EQ(r.hits(), 3u);
+  EXPECT_DOUBLE_EQ(r.value(), 0.3);
+}
+
+TEST(Ratio, EmptyIsZero) {
+  Ratio r;
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(Ratio, MergeAndReset) {
+  Ratio a, b;
+  a.add(true);
+  b.add(false);
+  b.add(true);
+  a.merge(b);
+  EXPECT_EQ(a.trials(), 3u);
+  EXPECT_EQ(a.hits(), 2u);
+  a.reset();
+  EXPECT_EQ(a.trials(), 0u);
+}
+
+TEST(TimeWeighted, PiecewiseConstantMean) {
+  TimeWeighted s(0, 0);
+  s.update(2.0, 1.0);   // value 0 over [0,2)
+  s.update(6.0, 3.0);   // value 1 over [2,6)
+  // value 3 over [6,10): mean = (0*2 + 1*4 + 3*4)/10 = 1.6
+  EXPECT_DOUBLE_EQ(s.mean(10.0), 1.6);
+  EXPECT_DOUBLE_EQ(s.current(), 3.0);
+}
+
+TEST(TimeWeighted, ZeroSpanReturnsCurrent) {
+  TimeWeighted s(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean(5.0), 2.0);
+}
+
+TEST(TimeWeighted, ResetRestartsWindow) {
+  TimeWeighted s(0, 10.0);
+  s.update(4.0, 0.0);
+  s.reset(4.0);
+  s.update(6.0, 2.0);
+  // after reset: value 0 over [4,6), 2 over [6,8): mean = 1
+  EXPECT_DOUBLE_EQ(s.mean(8.0), 1.0);
+}
+
+TEST(TimeWeighted, ClampsBackwardTime) {
+  TimeWeighted s(0, 1.0);
+  s.update(5.0, 2.0);
+  s.update(3.0, 4.0);  // clamped to t=5
+  EXPECT_DOUBLE_EQ(s.mean(5.0), 1.0);
+}
+
+TEST(Confidence, TCriticalKnownValues) {
+  EXPECT_NEAR(t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical(4, 0.95), 2.776, 1e-3);
+  EXPECT_NEAR(t_critical(30, 0.95), 2.042, 1e-3);
+  EXPECT_NEAR(t_critical(1000, 0.95), 1.960, 1e-3);
+  EXPECT_NEAR(t_critical(9, 0.90), 1.833, 1e-3);
+  EXPECT_NEAR(t_critical(9, 0.99), 3.250, 1e-3);
+}
+
+TEST(Confidence, RejectsUnsupportedLevel) {
+  EXPECT_THROW(t_critical(5, 0.8), std::invalid_argument);
+}
+
+TEST(Confidence, TwoReplicationInterval) {
+  // The paper's methodology: two runs per point. mean = 0.3,
+  // s = sqrt(0.0002); hw = t(1, .95) * s / sqrt(2).
+  const Estimate e = replication_estimate({0.29, 0.31});
+  EXPECT_DOUBLE_EQ(e.mean, 0.30);
+  EXPECT_NEAR(e.half_width, 12.706 * 0.0141421 / 1.41421, 1e-3);
+  EXPECT_TRUE(e.contains(0.30));
+  EXPECT_EQ(e.replications, 2u);
+}
+
+TEST(Confidence, SingleSampleHasNoWidth) {
+  const Estimate e = replication_estimate({0.4});
+  EXPECT_DOUBLE_EQ(e.mean, 0.4);
+  EXPECT_DOUBLE_EQ(e.half_width, 0.0);
+}
+
+TEST(Confidence, EmptySamples) {
+  const Estimate e = replication_estimate({});
+  EXPECT_EQ(e.replications, 0u);
+  EXPECT_DOUBLE_EQ(e.mean, 0.0);
+}
+
+TEST(Confidence, MoreReplicationsTightenInterval) {
+  std::vector<double> two = {0.28, 0.32};
+  std::vector<double> eight;
+  for (int i = 0; i < 4; ++i) {
+    eight.push_back(0.28);
+    eight.push_back(0.32);
+  }
+  EXPECT_LT(replication_estimate(eight).half_width,
+            replication_estimate(two).half_width);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// System-level property sweeps: parameterized over strategy combinations,
+// shapes, policies, and overload settings, asserting the invariants every
+// configuration must satisfy (task conservation, bounded ratios, drained
+// instances, deterministic replay). These catch interaction bugs the
+// focused unit tests cannot.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "dsrt/system/cli.hpp"
+#include "dsrt/system/simulation.hpp"
+
+namespace {
+
+using namespace dsrt;
+
+struct Case {
+  const char* shape;
+  const char* ssp;
+  const char* psp;
+  const char* policy;
+  const char* abort_policy;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = std::string(info.param.shape) + "_" + info.param.ssp +
+                     "_" + info.param.psp + "_" + info.param.policy + "_" +
+                     info.param.abort_policy;
+  for (auto& c : name)
+    if (c == '-' || c == '.') c = '_';
+  return name;
+}
+
+class SystemProperties : public ::testing::TestWithParam<Case> {
+ protected:
+  system::Config make_config() const {
+    const Case& c = GetParam();
+    std::vector<std::string> args_storage = {
+        "prog",
+        std::string("--shape=") + c.shape,
+        std::string("--ssp=") + c.ssp,
+        std::string("--psp=") + c.psp,
+        std::string("--policy=") + c.policy,
+        std::string("--abort=") + c.abort_policy,
+        "--horizon=8000",
+        "--load=0.6",
+    };
+    std::vector<const char*> argv;
+    argv.reserve(args_storage.size());
+    for (const auto& a : args_storage) argv.push_back(a.c_str());
+    const util::Flags flags(static_cast<int>(argv.size()), argv.data());
+    return system::config_from_flags(flags);
+  }
+};
+
+TEST_P(SystemProperties, InvariantsHold) {
+  const system::Config cfg = make_config();
+  system::SimulationRun run(cfg, 0);
+  const system::RunMetrics m = run.run();
+
+  // Ratios are probabilities.
+  EXPECT_GE(m.local.missed.value(), 0.0);
+  EXPECT_LE(m.local.missed.value(), 1.0);
+  EXPECT_GE(m.global.missed.value(), 0.0);
+  EXPECT_LE(m.global.missed.value(), 1.0);
+
+  // Conservation: finished + aborted <= generated (the rest is in flight
+  // at the horizon). "Finished" trials include aborted tasks.
+  EXPECT_LE(m.local.missed.trials(), m.local.generated);
+  EXPECT_LE(m.global.missed.trials(), m.global.generated);
+  EXPECT_LE(m.local.aborted, m.local.missed.trials());
+  EXPECT_LE(m.global.aborted, m.global.missed.trials());
+
+  // Work happened in both classes.
+  EXPECT_GT(m.local.missed.trials(), 100u);
+  EXPECT_GT(m.global.missed.trials(), 10u);
+
+  // Response time of a global task is at least its critical path's worth
+  // of service; mean response must exceed mean local response.
+  if (!m.global.response.empty())
+    EXPECT_GT(m.global.response.mean(), m.local.response.mean());
+
+  // The server can't be more than fully utilized, and at load 0.6 it must
+  // do real work.
+  EXPECT_GT(m.mean_utilization, 0.3);
+  EXPECT_LE(m.mean_utilization, 1.0);
+
+  // No model bugs: nothing scheduled into the past.
+  EXPECT_EQ(run.simulator().past_schedules(), 0u);
+
+  // Live instances at the horizon are only in-flight tasks (bounded by
+  // generated - finished).
+  EXPECT_LE(run.process_manager().live_instances(),
+            m.global.generated - m.global.missed.trials());
+}
+
+TEST_P(SystemProperties, ReplayIsDeterministic) {
+  const system::Config cfg = make_config();
+  const system::RunMetrics a = system::simulate(cfg, 3);
+  const system::RunMetrics b = system::simulate(cfg, 3);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.local.missed.hits(), b.local.missed.hits());
+  EXPECT_EQ(a.global.missed.hits(), b.global.missed.hits());
+  EXPECT_EQ(a.global.aborted, b.global.aborted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyMatrix, SystemProperties,
+    ::testing::Values(
+        // The paper's main combinations.
+        Case{"serial", "UD", "UD", "EDF", "NoAbort"},
+        Case{"serial", "ED", "UD", "EDF", "NoAbort"},
+        Case{"serial", "EQS", "UD", "EDF", "NoAbort"},
+        Case{"serial", "EQF", "UD", "EDF", "NoAbort"},
+        Case{"parallel", "UD", "UD", "EDF", "NoAbort"},
+        Case{"parallel", "UD", "DIV1", "EDF", "NoAbort"},
+        Case{"parallel", "UD", "DIV2", "EDF", "NoAbort"},
+        Case{"parallel", "UD", "GF", "EDF", "NoAbort"},
+        Case{"serial-parallel", "UD", "UD", "EDF", "NoAbort"},
+        Case{"serial-parallel", "EQF", "DIV1", "EDF", "NoAbort"},
+        // Relaxations.
+        Case{"serial", "EQF", "UD", "MLF", "NoAbort"},
+        Case{"serial", "EQF", "UD", "FCFS", "NoAbort"},
+        Case{"serial", "EQF", "UD", "SJF", "NoAbort"},
+        Case{"serial", "EQS", "UD", "EDF", "AbortTardy"},
+        Case{"serial", "UD", "UD", "EDF", "AbortHopeless"},
+        Case{"parallel", "UD", "DIV1", "EDF", "AbortTardy"},
+        Case{"serial-parallel", "EQF", "GF", "MLF", "AbortTardy"},
+        // Extension strategies.
+        Case{"serial", "EQS-S", "UD", "EDF", "NoAbort"},
+        Case{"serial", "EQF-S", "UD", "EDF", "NoAbort"},
+        Case{"serial-parallel", "EQF", "DIV0.5", "EDF", "NoAbort"}),
+    case_name);
+
+}  // namespace

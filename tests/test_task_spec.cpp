@@ -1,0 +1,129 @@
+// Unit tests for the task attributes (Section 3.1) and serial-parallel
+// task trees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsrt/core/task.hpp"
+#include "dsrt/core/task_spec.hpp"
+
+namespace {
+
+using namespace dsrt::core;
+
+TEST(TaskAttributes, DeadlineIdentity) {
+  // dl(X) = ar(X) + ex(X) + sl(X).
+  const auto a = TaskAttributes::from_slack(/*arrival=*/10.0, /*exec=*/3.0,
+                                            /*slack=*/2.0);
+  EXPECT_DOUBLE_EQ(a.deadline, 15.0);
+  EXPECT_DOUBLE_EQ(a.slack(), 2.0);
+  EXPECT_DOUBLE_EQ(a.predicted_exec, 3.0);
+}
+
+TEST(TaskAttributes, Flexibility) {
+  // fl(X) = sl(X)/ex(X).
+  const auto a = TaskAttributes::from_slack(0.0, 4.0, 2.0);
+  EXPECT_DOUBLE_EQ(a.flexibility(), 0.5);
+}
+
+TEST(TaskAttributes, FlexibilityZeroExec) {
+  TaskAttributes a;
+  a.arrival = 0;
+  a.exec = 0;
+  a.deadline = 1;  // slack 1, exec 0
+  EXPECT_TRUE(std::isinf(a.flexibility()));
+  a.deadline = 0;
+  EXPECT_DOUBLE_EQ(a.flexibility(), 0.0);
+}
+
+TEST(TaskSpec, SimpleLeaf) {
+  const auto leaf = TaskSpec::simple(3, 2.0, 1.8);
+  EXPECT_TRUE(leaf.is_simple());
+  EXPECT_EQ(leaf.node(), 3u);
+  EXPECT_DOUBLE_EQ(leaf.exec(), 2.0);
+  EXPECT_DOUBLE_EQ(leaf.pex(), 1.8);
+  EXPECT_DOUBLE_EQ(leaf.predicted_duration(), 1.8);
+  EXPECT_DOUBLE_EQ(leaf.critical_path_exec(), 2.0);
+  EXPECT_EQ(leaf.leaf_count(), 1u);
+  EXPECT_EQ(leaf.depth(), 1u);
+}
+
+TEST(TaskSpec, PerfectPredictionDefault) {
+  const auto leaf = TaskSpec::simple(0, 2.5);
+  EXPECT_DOUBLE_EQ(leaf.pex(), 2.5);
+}
+
+TEST(TaskSpec, RejectsNegativeTimes) {
+  EXPECT_THROW(TaskSpec::simple(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(TaskSpec::simple(0, 1.0, -0.5), std::invalid_argument);
+}
+
+TEST(TaskSpec, RejectsEmptyCompositions) {
+  EXPECT_THROW(TaskSpec::serial({}), std::invalid_argument);
+  EXPECT_THROW(TaskSpec::parallel({}), std::invalid_argument);
+}
+
+TEST(TaskSpec, ComplexAccessorsThrowOnLeafQueries) {
+  const auto t = TaskSpec::serial({TaskSpec::simple(0, 1.0)});
+  EXPECT_THROW(t.node(), std::logic_error);
+  EXPECT_THROW(t.exec(), std::logic_error);
+  EXPECT_THROW(t.pex(), std::logic_error);
+}
+
+TEST(TaskSpec, SerialAggregation) {
+  // T = [T1 T2 T3]: duration sums.
+  const auto t = TaskSpec::serial({TaskSpec::simple(0, 1.0),
+                                   TaskSpec::simple(1, 2.0),
+                                   TaskSpec::simple(2, 3.0)});
+  EXPECT_EQ(t.kind(), SpecKind::Serial);
+  EXPECT_DOUBLE_EQ(t.predicted_duration(), 6.0);
+  EXPECT_DOUBLE_EQ(t.critical_path_exec(), 6.0);
+  EXPECT_DOUBLE_EQ(t.total_exec(), 6.0);
+  EXPECT_EQ(t.leaf_count(), 3u);
+  EXPECT_EQ(t.depth(), 2u);
+}
+
+TEST(TaskSpec, ParallelAggregation) {
+  // T = [T1 || T2 || T3]: duration is the max, work is the sum.
+  const auto t = TaskSpec::parallel({TaskSpec::simple(0, 1.0),
+                                     TaskSpec::simple(1, 5.0),
+                                     TaskSpec::simple(2, 3.0)});
+  EXPECT_EQ(t.kind(), SpecKind::Parallel);
+  EXPECT_DOUBLE_EQ(t.predicted_duration(), 5.0);
+  EXPECT_DOUBLE_EQ(t.critical_path_exec(), 5.0);
+  EXPECT_DOUBLE_EQ(t.total_exec(), 9.0);
+  EXPECT_EQ(t.leaf_count(), 3u);
+}
+
+TEST(TaskSpec, NestedSerialParallel) {
+  // T = [A [B || C] D] with A=1, B=2, C=4, D=1.
+  const auto t = TaskSpec::serial({
+      TaskSpec::simple(0, 1.0),
+      TaskSpec::parallel({TaskSpec::simple(1, 2.0), TaskSpec::simple(2, 4.0)}),
+      TaskSpec::simple(0, 1.0),
+  });
+  EXPECT_DOUBLE_EQ(t.critical_path_exec(), 6.0);  // 1 + max(2,4) + 1
+  EXPECT_DOUBLE_EQ(t.total_exec(), 8.0);
+  EXPECT_EQ(t.leaf_count(), 4u);
+  EXPECT_EQ(t.depth(), 3u);
+  EXPECT_EQ(t.to_string(), "[T@0 [T@1 || T@2] T@0]");
+}
+
+TEST(TaskSpec, PexDivergesFromExecInAggregates) {
+  // Predicted durations use pex, critical path uses ex.
+  const auto t = TaskSpec::serial({TaskSpec::simple(0, 2.0, 1.0),
+                                   TaskSpec::simple(1, 2.0, 1.5)});
+  EXPECT_DOUBLE_EQ(t.predicted_duration(), 2.5);
+  EXPECT_DOUBLE_EQ(t.critical_path_exec(), 4.0);
+}
+
+TEST(TaskSpec, DeepNesting) {
+  auto t = TaskSpec::simple(0, 1.0);
+  for (int i = 0; i < 20; ++i)
+    t = TaskSpec::serial({t, TaskSpec::simple(0, 1.0)});
+  EXPECT_EQ(t.leaf_count(), 21u);
+  EXPECT_EQ(t.depth(), 21u);
+  EXPECT_DOUBLE_EQ(t.total_exec(), 21.0);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Tests for the observer hooks, trace recorder, and slack profiler.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/system/baseline.hpp"
+#include "dsrt/system/simulation.hpp"
+#include "dsrt/trace/recorder.hpp"
+#include "dsrt/trace/slack_profiler.hpp"
+
+namespace {
+
+using namespace dsrt;
+
+system::Config tiny_config() {
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = 2000;
+  return cfg;
+}
+
+TEST(Recorder, CapturesFullLifecycles) {
+  trace::Recorder recorder(1u << 20);
+  system::SimulationRun run(tiny_config(), 0);
+  run.set_observer(&recorder);
+  const auto metrics = run.run();
+
+  std::size_t arrivals = 0, submits = 0, finishes = 0;
+  for (const auto& e : recorder.events()) {
+    switch (e.kind) {
+      case trace::TraceKind::GlobalArrival: ++arrivals; break;
+      case trace::TraceKind::SubtaskSubmit: ++submits; break;
+      case trace::TraceKind::GlobalFinish:
+      case trace::TraceKind::GlobalMiss: ++finishes; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(arrivals, metrics.global.generated);
+  EXPECT_EQ(finishes, metrics.global.missed.trials());
+  // Every completed 4-stage task contributes 4 submissions; in-flight tasks
+  // at the horizon contribute 1..4.
+  EXPECT_GE(submits, 4 * finishes);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(Recorder, TimelineIsChronological) {
+  trace::Recorder recorder(1u << 20);
+  system::SimulationRun run(tiny_config(), 0);
+  run.set_observer(&recorder);
+  run.run();
+  double last = 0;
+  for (const auto& e : recorder.events()) {
+    EXPECT_GE(e.at, last);
+    last = e.at;
+  }
+}
+
+TEST(Recorder, TaskTimelineOrdered) {
+  trace::Recorder recorder(1u << 20);
+  system::SimulationRun run(tiny_config(), 0);
+  run.set_observer(&recorder);
+  run.run();
+  const auto timeline = recorder.task_timeline(1);
+  ASSERT_GE(timeline.size(), 3u);  // arrival + >=1 submit + finish
+  EXPECT_EQ(timeline.front().kind, trace::TraceKind::GlobalArrival);
+  // Stages of a serial task appear in order 0,1,2,3.
+  std::size_t expected_stage = 0;
+  for (const auto& e : timeline) {
+    if (e.kind == trace::TraceKind::SubtaskSubmit)
+      EXPECT_EQ(e.stage, expected_stage++);
+  }
+}
+
+TEST(Recorder, CapacityBoundsMemory) {
+  trace::Recorder recorder(10);
+  system::SimulationRun run(tiny_config(), 0);
+  run.set_observer(&recorder);
+  run.run();
+  EXPECT_EQ(recorder.events().size(), 10u);
+  EXPECT_GT(recorder.dropped(), 0u);
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(Recorder, PrintProducesOutput) {
+  trace::Recorder recorder(100);
+  system::SimulationRun run(tiny_config(), 0);
+  run.set_observer(&recorder);
+  run.run();
+  std::ostringstream os;
+  recorder.print(os, 100);
+  // Locals dominate the arrival stream, so at minimum their submissions
+  // appear; the truncation marker shows when events overflow the limit.
+  EXPECT_NE(os.str().find("local-submit"), std::string::npos);
+  std::ostringstream truncated;
+  recorder.print(truncated, 5);
+  EXPECT_NE(truncated.str().find("more)"), std::string::npos);
+}
+
+TEST(SlackProfiler, ObservesAllStages) {
+  trace::SlackProfiler profiler;
+  system::Config cfg = tiny_config();
+  cfg.horizon = 20000;
+  system::SimulationRun run(cfg, 0);
+  run.set_observer(&profiler);
+  run.run();
+  ASSERT_EQ(profiler.stages().size(), 4u);  // m = 4 serial stages
+  for (const auto& stage : profiler.stages()) {
+    EXPECT_GT(stage.wait.count(), 50u);
+    EXPECT_GE(stage.wait.mean(), 0.0);
+  }
+  // In-flight leftovers at the horizon only.
+  EXPECT_LT(profiler.in_flight(), 50u);
+}
+
+TEST(SlackProfiler, UdConcentratesWaitInEarlyStages) {
+  // The paper's mechanism: under UD stage 1 waits much longer than stage 4;
+  // under EQF the waits are far more even.
+  auto profile = [&](const char* name) {
+    trace::SlackProfiler profiler;
+    system::Config cfg = tiny_config();
+    cfg.horizon = 60000;
+    cfg.ssp = core::serial_strategy_by_name(name);
+    system::SimulationRun run(cfg, 0);
+    run.set_observer(&profiler);
+    run.run();
+    std::vector<double> waits;
+    for (const auto& s : profiler.stages()) waits.push_back(s.wait.mean());
+    return waits;
+  };
+  const auto ud = profile("UD");
+  const auto eqf = profile("EQF");
+  ASSERT_EQ(ud.size(), 4u);
+  // UD: first stage waits much longer than the last.
+  EXPECT_GT(ud[0], 1.5 * ud[3]);
+  // EQF: spread between extreme stages is much smaller than UD's.
+  const auto spread = [](const std::vector<double>& w) {
+    const auto [lo, hi] = std::minmax_element(w.begin(), w.end());
+    return *hi - *lo;
+  };
+  EXPECT_LT(spread(eqf), 0.5 * spread(ud));
+}
+
+TEST(SlackProfiler, WindowsShrinkUnderEqf) {
+  trace::SlackProfiler profiler;
+  system::Config cfg = tiny_config();
+  cfg.horizon = 20000;
+  cfg.ssp = core::make_eqf();
+  system::SimulationRun run(cfg, 0);
+  run.set_observer(&profiler);
+  run.run();
+  // EQF's stage window is ~ pex + share of slack, far below the full
+  // end-to-end window UD would hand out (mean total window ~ ex+slack ~ 9.5).
+  EXPECT_LT(profiler.stages()[0].allotted_window.mean(), 5.0);
+}
+
+TEST(Observer, DetachWorks) {
+  trace::Recorder recorder(100);
+  system::SimulationRun run(tiny_config(), 0);
+  run.set_observer(&recorder);
+  run.set_observer(nullptr);
+  run.run();
+  EXPECT_TRUE(recorder.events().empty());
+}
+
+}  // namespace

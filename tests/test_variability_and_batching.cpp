@@ -1,0 +1,131 @@
+// Tests for the hyperexponential distribution, batch-means estimation, and
+// bursty local arrivals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsrt/sim/distribution.hpp"
+#include "dsrt/sim/simulator.hpp"
+#include "dsrt/stats/confidence.hpp"
+#include "dsrt/stats/tally.hpp"
+#include "dsrt/system/baseline.hpp"
+#include "dsrt/system/simulation.hpp"
+#include "dsrt/workload/generator.hpp"
+
+namespace {
+
+using namespace dsrt;
+
+TEST(Hyperexponential, MeanAndScvMatch) {
+  const sim::Hyperexponential h2(2.0, 4.0);
+  sim::Rng rng(71);
+  stats::Tally t;
+  for (int i = 0; i < 400000; ++i) t.add(h2.sample(rng));
+  EXPECT_NEAR(t.mean(), 2.0, 0.05);
+  // scv = var/mean^2.
+  EXPECT_NEAR(t.variance() / (t.mean() * t.mean()), 4.0, 0.4);
+}
+
+TEST(Hyperexponential, ScvOneIsExponential) {
+  const sim::Hyperexponential h(1.0, 1.0);
+  sim::Rng rng(72);
+  stats::Tally t;
+  for (int i = 0; i < 200000; ++i) t.add(h.sample(rng));
+  EXPECT_NEAR(t.mean(), 1.0, 0.02);
+  EXPECT_NEAR(t.variance(), 1.0, 0.05);
+}
+
+TEST(Hyperexponential, RejectsBadParameters) {
+  EXPECT_THROW(sim::Hyperexponential(0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(sim::Hyperexponential(1.0, 0.5), std::invalid_argument);
+}
+
+TEST(Hyperexponential, Describe) {
+  EXPECT_EQ(sim::hyperexponential(1.0, 4.0)->describe(), "H2(mean=1,scv=4)");
+}
+
+TEST(BatchMeans, RecoversIidMean) {
+  sim::Rng rng(73);
+  std::vector<double> obs;
+  for (int i = 0; i < 10000; ++i) obs.push_back(rng.exponential(3.0));
+  const auto e = stats::batch_means_estimate(obs, 20);
+  EXPECT_NEAR(e.mean, 3.0, 0.15);
+  EXPECT_GT(e.half_width, 0.0);
+  EXPECT_TRUE(e.contains(3.0));
+  EXPECT_EQ(e.replications, 20u);
+}
+
+TEST(BatchMeans, WidensForCorrelatedSeries) {
+  // A slowly drifting series has correlated observations; batch means must
+  // produce a (much) wider interval than the naive iid formula.
+  std::vector<double> obs;
+  for (int i = 0; i < 10000; ++i)
+    obs.push_back(std::sin(i / 500.0));  // strong positive autocorrelation
+  const auto batched = stats::batch_means_estimate(obs, 10);
+  stats::Tally naive;
+  for (double v : obs) naive.add(v);
+  const double naive_hw = 1.96 * naive.std_error();
+  EXPECT_GT(batched.half_width, 3.0 * naive_hw);
+}
+
+TEST(BatchMeans, ValidatesArguments) {
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_THROW(stats::batch_means_estimate(tiny, 1), std::invalid_argument);
+  EXPECT_THROW(stats::batch_means_estimate(tiny, 3), std::invalid_argument);
+}
+
+TEST(BurstyArrivals, BatchedSourceEmitsBursts) {
+  sim::Simulator simulator;
+  std::vector<double> stamps;
+  workload::LocalTaskSource source(
+      simulator, 0, /*rate=*/0.05, sim::exponential(1.0),
+      sim::uniform(0, 1), workload::make_perfect_prediction(), sim::Rng(74),
+      20000.0,
+      [&](core::NodeId, double, double, double) {
+        stamps.push_back(simulator.now());
+      },
+      sim::constant(5.0));
+  source.start();
+  simulator.run();
+  ASSERT_GT(stamps.size(), 500u);
+  // Tasks arrive in groups of exactly 5 sharing a timestamp.
+  EXPECT_EQ(stamps.size() % 5, 0u);
+  for (std::size_t i = 0; i + 4 < stamps.size(); i += 5) {
+    EXPECT_DOUBLE_EQ(stamps[i], stamps[i + 4]);
+  }
+}
+
+TEST(BurstyArrivals, LoadIsPreservedInSystem) {
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = 40000;
+  cfg.local_batch = sim::uniform(1.0, 8.0);
+  const auto m = system::simulate(cfg);
+  // Same offered work: utilization still tracks the configured load.
+  EXPECT_NEAR(m.mean_utilization, cfg.load, 0.04);
+  // Same task volume as the unbatched stream (event rate was divided).
+  EXPECT_NEAR(static_cast<double>(m.local.generated),
+              cfg.lambda_local_total() * cfg.horizon,
+              0.08 * cfg.lambda_local_total() * cfg.horizon);
+}
+
+TEST(BurstyArrivals, BurstsIncreaseMisses) {
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = 60000;
+  const auto smooth = system::simulate(cfg);
+  cfg.local_batch = sim::uniform(1.0, 16.0);
+  const auto bursty = system::simulate(cfg);
+  EXPECT_GT(bursty.local.missed.value(), smooth.local.missed.value());
+  EXPECT_GT(bursty.global.missed.value(), smooth.global.missed.value());
+}
+
+TEST(ServiceVariability, HigherScvMoreGlobalMisses) {
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = 60000;
+  cfg.subtask_exec = sim::constant(1.0);
+  const auto det = system::simulate(cfg);
+  cfg.subtask_exec = sim::hyperexponential(1.0, 8.0);
+  const auto wild = system::simulate(cfg);
+  EXPECT_GT(wild.global.missed.value(), det.global.missed.value());
+}
+
+}  // namespace

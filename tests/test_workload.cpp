@@ -1,0 +1,223 @@
+// Tests for workload building blocks: node sampling, task shapes, pex
+// error models, and the statistical properties of the generated population.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsrt/sim/rng.hpp"
+#include "dsrt/stats/tally.hpp"
+#include "dsrt/workload/pex_error.hpp"
+#include "dsrt/workload/shapes.hpp"
+
+namespace {
+
+using namespace dsrt::workload;
+using dsrt::core::SpecKind;
+using dsrt::core::TaskSpec;
+using dsrt::sim::Rng;
+
+TEST(SampleDistinctNodes, ProducesDistinctIdsInRange) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sample = sample_distinct_nodes(6, 4, rng);
+    ASSERT_EQ(sample.size(), 4u);
+    std::set<dsrt::core::NodeId> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (auto node : sample) EXPECT_LT(node, 6u);
+  }
+}
+
+TEST(SampleDistinctNodes, FullPermutationWhenCountEqualsNodes) {
+  Rng rng(2);
+  const auto sample = sample_distinct_nodes(5, 5, rng);
+  std::set<dsrt::core::NodeId> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(SampleDistinctNodes, RejectsOversizedRequest) {
+  Rng rng(3);
+  EXPECT_THROW(sample_distinct_nodes(3, 4, rng), std::invalid_argument);
+}
+
+TEST(SampleDistinctNodes, RoughlyUniformFirstPosition) {
+  Rng rng(4);
+  std::vector<int> counts(6, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i)
+    ++counts[sample_distinct_nodes(6, 1, rng)[0]];
+  for (int c : counts) EXPECT_NEAR(c, n / 6, n / 60);
+}
+
+TEST(Shapes, SerialTaskStructure) {
+  Rng rng(5);
+  const auto exec = dsrt::sim::exponential(1.0);
+  const auto perfect = make_perfect_prediction();
+  const auto task = make_serial_task(4, 6, *exec, *perfect, rng);
+  EXPECT_EQ(task.kind(), SpecKind::Serial);
+  EXPECT_EQ(task.leaf_count(), 4u);
+  for (const auto& child : task.children()) {
+    EXPECT_TRUE(child.is_simple());
+    EXPECT_LT(child.node(), 6u);
+    EXPECT_DOUBLE_EQ(child.pex(), child.exec());  // perfect prediction
+  }
+}
+
+TEST(Shapes, ParallelTaskUsesDistinctNodes) {
+  Rng rng(6);
+  const auto exec = dsrt::sim::exponential(1.0);
+  const auto perfect = make_perfect_prediction();
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto task = make_parallel_task(4, 6, *exec, *perfect, rng);
+    EXPECT_EQ(task.kind(), SpecKind::Parallel);
+    std::set<dsrt::core::NodeId> nodes;
+    for (const auto& child : task.children()) nodes.insert(child.node());
+    EXPECT_EQ(nodes.size(), 4u) << "subtasks must land on distinct nodes";
+  }
+}
+
+TEST(Shapes, SerialTaskTotalExecIsErlangLike) {
+  // Sum of m iid Exp(1) has mean m and variance m (m-stage Erlang).
+  Rng rng(7);
+  const auto exec = dsrt::sim::exponential(1.0);
+  const auto perfect = make_perfect_prediction();
+  dsrt::stats::Tally t;
+  for (int i = 0; i < 40000; ++i)
+    t.add(make_serial_task(4, 6, *exec, *perfect, rng).total_exec());
+  EXPECT_NEAR(t.mean(), 4.0, 0.05);
+  EXPECT_NEAR(t.variance(), 4.0, 0.2);
+}
+
+TEST(Shapes, RejectsDegenerateRequests) {
+  Rng rng(8);
+  const auto exec = dsrt::sim::exponential(1.0);
+  const auto perfect = make_perfect_prediction();
+  EXPECT_THROW(make_serial_task(0, 6, *exec, *perfect, rng),
+               std::invalid_argument);
+  EXPECT_THROW(make_serial_task(2, 0, *exec, *perfect, rng),
+               std::invalid_argument);
+  EXPECT_THROW(make_parallel_task(0, 6, *exec, *perfect, rng),
+               std::invalid_argument);
+  EXPECT_THROW(make_parallel_task(7, 6, *exec, *perfect, rng),
+               std::invalid_argument);
+}
+
+TEST(Shapes, SerialParallelRespectsShape) {
+  Rng rng(9);
+  const auto exec = dsrt::sim::exponential(1.0);
+  const auto perfect = make_perfect_prediction();
+  SerialParallelShape shape;
+  shape.stages = 5;
+  shape.parallel_prob = 1.0;  // every stage parallel
+  shape.parallel_width = 3;
+  const auto task = make_serial_parallel_task(shape, 6, *exec, *perfect, rng);
+  EXPECT_EQ(task.kind(), SpecKind::Serial);
+  ASSERT_EQ(task.children().size(), 5u);
+  for (const auto& stage : task.children()) {
+    EXPECT_EQ(stage.kind(), SpecKind::Parallel);
+    EXPECT_EQ(stage.children().size(), 3u);
+  }
+  EXPECT_EQ(task.leaf_count(), 15u);
+}
+
+TEST(Shapes, SerialParallelAllSimpleWhenProbZero) {
+  Rng rng(10);
+  const auto exec = dsrt::sim::exponential(1.0);
+  const auto perfect = make_perfect_prediction();
+  SerialParallelShape shape;
+  shape.stages = 4;
+  shape.parallel_prob = 0.0;
+  shape.parallel_width = 3;
+  const auto task = make_serial_parallel_task(shape, 6, *exec, *perfect, rng);
+  for (const auto& stage : task.children()) EXPECT_TRUE(stage.is_simple());
+}
+
+TEST(Shapes, ExpectedLeavesFormula) {
+  SerialParallelShape shape;
+  shape.stages = 3;
+  shape.parallel_prob = 0.5;
+  shape.parallel_width = 3;
+  // 3 * (0.5*3 + 0.5*1) = 6.
+  EXPECT_DOUBLE_EQ(shape.expected_leaves(), 6.0);
+}
+
+TEST(Shapes, ExpectedLeavesMatchesEmpirical) {
+  Rng rng(11);
+  const auto exec = dsrt::sim::exponential(1.0);
+  const auto perfect = make_perfect_prediction();
+  SerialParallelShape shape;
+  shape.stages = 3;
+  shape.parallel_prob = 0.5;
+  shape.parallel_width = 3;
+  dsrt::stats::Tally t;
+  for (int i = 0; i < 20000; ++i)
+    t.add(static_cast<double>(
+        make_serial_parallel_task(shape, 6, *exec, *perfect, rng)
+            .leaf_count()));
+  EXPECT_NEAR(t.mean(), shape.expected_leaves(), 0.05);
+}
+
+TEST(Shapes, HarmonicNumbers) {
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(4), 25.0 / 12.0, 1e-12);
+}
+
+TEST(Shapes, ExpectedCriticalPathFormula) {
+  SerialParallelShape shape;
+  shape.stages = 2;
+  shape.parallel_prob = 1.0;
+  shape.parallel_width = 4;
+  // 2 stages * E[max of 4 Exp(1)] = 2 * H_4.
+  EXPECT_NEAR(shape.expected_critical_path(1.0), 2 * harmonic(4), 1e-12);
+}
+
+TEST(PexError, PerfectIsIdentity) {
+  Rng rng(12);
+  const auto m = make_perfect_prediction();
+  EXPECT_DOUBLE_EQ(m->predict(3.7, rng), 3.7);
+}
+
+TEST(PexError, UniformRelativeStaysInBand) {
+  Rng rng(13);
+  const auto m = make_uniform_relative_error(0.5);
+  for (int i = 0; i < 5000; ++i) {
+    const double p = m->predict(2.0, rng);
+    EXPECT_GE(p, 1.0);
+    EXPECT_LE(p, 3.0);
+  }
+}
+
+TEST(PexError, UniformRelativeIsUnbiased) {
+  Rng rng(14);
+  const auto m = make_uniform_relative_error(0.5);
+  dsrt::stats::Tally t;
+  for (int i = 0; i < 100000; ++i) t.add(m->predict(2.0, rng));
+  EXPECT_NEAR(t.mean(), 2.0, 0.01);
+}
+
+TEST(PexError, UniformRelativeClampsAtZero) {
+  Rng rng(15);
+  const auto m = make_uniform_relative_error(2.0);  // factor in [-1, 3]
+  for (int i = 0; i < 5000; ++i) EXPECT_GE(m->predict(1.0, rng), 0.0);
+}
+
+TEST(PexError, ScaledAppliesBias) {
+  Rng rng(16);
+  EXPECT_DOUBLE_EQ(make_scaled_prediction(0.5)->predict(4.0, rng), 2.0);
+  EXPECT_DOUBLE_EQ(make_scaled_prediction(2.0)->predict(4.0, rng), 8.0);
+}
+
+TEST(PexError, DistributionOnlyIgnoresActual) {
+  Rng rng(17);
+  const auto m = make_distribution_only(dsrt::sim::constant(1.5));
+  EXPECT_DOUBLE_EQ(m->predict(100.0, rng), 1.5);
+  EXPECT_DOUBLE_EQ(m->predict(0.001, rng), 1.5);
+}
+
+TEST(PexError, RejectsBadArguments) {
+  EXPECT_THROW(make_uniform_relative_error(-0.1), std::invalid_argument);
+  EXPECT_THROW(make_scaled_prediction(-1.0), std::invalid_argument);
+  EXPECT_THROW(make_distribution_only(nullptr), std::invalid_argument);
+}
+
+}  // namespace
