@@ -2,10 +2,13 @@
 // the baseline, probing Section 4.3's claim that "EQF gains are more
 // significant when there is moderate slack and load": too-tight or
 // too-loose timing makes every SSP strategy look alike.
+//
+// Declared as a rel_flex x load x strategy SweepGrid (3 axes, 42 points)
+// on the engine thread pool; the gap table is a reduction over the
+// strategy axis.
 #include <vector>
 
 #include "bench_common.hpp"
-#include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/system/baseline.hpp"
 
 int main(int argc, char** argv) {
@@ -17,29 +20,36 @@ int main(int argc, char** argv) {
                 "MD_global(UD) - MD_global(EQF) in percentage points; "
                 "positive = EQF better");
 
-  const std::vector<double> flexes = {0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
-  const std::vector<double> loads = {0.3, 0.5, 0.7};
+  const std::vector<std::string> flexes = {"0.1", "0.25", "0.5", "1.0",
+                                           "2.0", "4.0", "8.0"};
+  const std::vector<std::string> loads = {"0.3", "0.5", "0.7"};
+
+  dsrt::engine::SweepGrid grid;
+  grid.axis(dsrt::engine::SweepAxis::by_field("rel_flex", flexes))
+      .axis(dsrt::engine::SweepAxis::by_field("load", loads))
+      .axis(dsrt::engine::SweepAxis::by_field("ssp", {"UD", "EQF"}));
+
+  const auto sweep = bench::run_sweep("abl_rel_flex", grid,
+                                      dsrt::system::baseline_ssp(), rc);
+
+  // Reduce over the strategy axis: gap(flex, load) = UD - EQF. Each
+  // point carries its per-axis coordinates, so the reduction is immune to
+  // the grid's expansion order.
+  std::vector<std::vector<double>> gap(
+      flexes.size(), std::vector<double>(loads.size(), 0.0));
+  for (const auto& pr : sweep.points) {
+    const auto& ix = pr.point.indices;  // (flex, load, strategy)
+    const double sign = ix[2] == 0 ? 1.0 : -1.0;  // UD minus EQF
+    gap[ix[0]][ix[1]] += sign * pr.result.md_global.mean;
+  }
 
   std::vector<std::string> headers = {"rel_flex"};
-  for (double load : loads)
-    headers.push_back("gap@load=" + dsrt::stats::Table::cell(load, 1));
+  for (const std::string& load : loads) headers.push_back("gap@load=" + load);
   dsrt::stats::Table table(headers);
-
-  for (double flex : flexes) {
-    std::vector<std::string> row = {dsrt::stats::Table::cell(flex, 2)};
-    for (double load : loads) {
-      double md[2] = {0, 0};
-      int i = 0;
-      for (const char* name : {"UD", "EQF"}) {
-        dsrt::system::Config cfg = dsrt::system::baseline_ssp();
-        bench::apply(rc, cfg);
-        cfg.load = load;
-        cfg.rel_flex = flex;
-        cfg.ssp = dsrt::core::serial_strategy_by_name(name);
-        md[i++] = dsrt::system::run_replications(cfg, rc.reps).md_global.mean;
-      }
-      row.push_back(dsrt::stats::Table::percent(md[0] - md[1], 1));
-    }
+  for (std::size_t f = 0; f < flexes.size(); ++f) {
+    std::vector<std::string> row = {flexes[f]};
+    for (std::size_t l = 0; l < loads.size(); ++l)
+      row.push_back(dsrt::stats::Table::percent(gap[f][l], 1));
     table.add_row(std::move(row));
   }
   bench::emit(table, rc);

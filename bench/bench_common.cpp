@@ -1,23 +1,82 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+
+#include "dsrt/system/cli.hpp"
 
 namespace bench {
 
 RunControl parse_run_control(const dsrt::util::Flags& flags) {
   RunControl rc;
-  rc.horizon = flags.get("horizon", 1e6);
-  if (flags.get("quick", false)) rc.horizon = 1e5;
-  rc.reps = static_cast<std::size_t>(flags.get("reps", 2L));
-  rc.seed = static_cast<std::uint64_t>(flags.get("seed", 20250612L));
-  rc.csv = flags.get("csv", false);
+  try {
+    rc.horizon = flags.get("horizon", 1e6);
+    if (flags.get("quick", false)) rc.horizon = 1e5;
+    rc.seed = static_cast<std::uint64_t>(flags.get("seed", 20250612L));
+    rc.csv = flags.get("csv", false);
+    const dsrt::system::RunOptions opts =
+        dsrt::system::run_options_from_flags(flags);
+    rc.reps = opts.reps;
+    rc.jobs = opts.jobs;
+    rc.emit_csv = opts.emit_csv;
+    rc.emit_json = opts.emit_json;
+    rc.out_dir = opts.out_dir;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bad flags: %s\n", error.what());
+    std::exit(1);
+  }
   return rc;
 }
 
 void apply(const RunControl& rc, dsrt::system::Config& cfg) {
   cfg.horizon = rc.horizon;
   cfg.seed = rc.seed;
+}
+
+dsrt::engine::Runner runner(const RunControl& rc) {
+  dsrt::engine::RunnerOptions options;
+  options.jobs = rc.jobs;
+  return dsrt::engine::Runner(options);
+}
+
+dsrt::engine::SweepResult run_sweep(const std::string& name,
+                                    const dsrt::engine::SweepGrid& grid,
+                                    dsrt::system::Config base,
+                                    const RunControl& rc) {
+  // Fail a typo'd --out in milliseconds, not after the whole sweep.
+  try {
+    dsrt::engine::ensure_writable_dir(rc.out_dir);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), error.what());
+    std::exit(1);
+  }
+  apply(rc, base);
+  dsrt::engine::SweepResult sweep;
+  try {
+    sweep = runner(rc).run_sweep(grid, base, rc.reps);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), error.what());
+    std::exit(1);
+  }
+  // Emission failures (disk full, dir removed mid-run) must not discard
+  // the computed results: warn and let the driver print its tables.
+  try {
+    const std::string artifact =
+        dsrt::engine::write_bench_artifact(name, sweep, rc.out_dir);
+    std::printf("[%s] %zu points x %zu reps on %zu job(s): %.2fs "
+                "(%.2f runs/s) -> %s\n",
+                name.c_str(), sweep.points.size(), sweep.replications,
+                sweep.jobs, sweep.wall_seconds, sweep.runs_per_second(),
+                artifact.c_str());
+    for (const std::string& path : dsrt::engine::write_sweep_files(
+             name, sweep, rc.emit_csv, rc.emit_json, rc.out_dir))
+      std::printf("wrote %s\n", path.c_str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: emit failed: %s\n", name.c_str(),
+                 error.what());
+  }
+  return sweep;
 }
 
 void banner(const std::string& experiment, const std::string& paper_artifact,

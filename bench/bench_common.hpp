@@ -9,12 +9,24 @@
 //   --reps=<n>      independent replications per data point (default 2,
 //                   as in the paper)
 //   --seed=<s>      base seed
+//   --jobs=<n>      worker threads for the engine runner (default 1;
+//                   0 = all hardware threads). Results are identical for
+//                   every value — only wall time changes.
 //   --quick         shorthand for --horizon=100000 (fast shape check)
 //   --csv           also emit CSV after the aligned table
+//   --emit=json,csv structured outputs (sweep-based benches)
+//   --out=<dir>     where artifacts (CSV/JSON, BENCH_*.json) are written
+//
+// Sweep-based benches (run_sweep below) additionally write a
+// BENCH_<name>.json perf artifact — wall time, point count, reps/sec —
+// so successive PRs have a machine-readable perf trajectory.
 
 #include <string>
 #include <vector>
 
+#include "dsrt/engine/emit.hpp"
+#include "dsrt/engine/runner.hpp"
+#include "dsrt/engine/sweep.hpp"
 #include "dsrt/stats/report.hpp"
 #include "dsrt/system/config.hpp"
 #include "dsrt/system/experiment.hpp"
@@ -27,14 +39,34 @@ struct RunControl {
   double horizon = 1e6;
   std::size_t reps = 2;
   std::uint64_t seed = 20250612;
-  bool csv = false;
+  std::size_t jobs = 1;
+  bool csv = false;        ///< --csv: also print CSV to stdout (legacy)
+  bool emit_csv = false;   ///< --emit=csv: write <name>.csv file
+  bool emit_json = false;  ///< --emit=json: write <name>.json file
+  std::string out_dir = ".";
 };
 
-/// Parses the common flags (see header comment).
+/// Parses the common flags (see header comment). Reports bad values (e.g.
+/// an unknown --emit kind) on stderr and exits(1) rather than throwing
+/// through the bench mains.
 RunControl parse_run_control(const dsrt::util::Flags& flags);
 
 /// Applies run control to a config.
 void apply(const RunControl& rc, dsrt::system::Config& cfg);
+
+/// Engine runner configured from run control (--jobs).
+dsrt::engine::Runner runner(const RunControl& rc);
+
+/// Executes `grid` over `base` (with run control applied) on the engine
+/// thread pool. Always writes the BENCH_<name>.json perf artifact; with
+/// --emit=csv/json also writes <name>.csv / <name>.json (long-format, one
+/// record per grid point) under rc.out_dir. The caller renders the
+/// figure-shaped tables from the returned SweepResult (see
+/// engine::pivot_table).
+dsrt::engine::SweepResult run_sweep(const std::string& name,
+                                    const dsrt::engine::SweepGrid& grid,
+                                    dsrt::system::Config base,
+                                    const RunControl& rc);
 
 /// Prints the bench banner: experiment id, what the paper shows, and the
 /// configuration being swept.

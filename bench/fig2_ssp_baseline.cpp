@@ -5,10 +5,10 @@
 // Paper shape to check: at load 0.5, MD_global(UD) ~ 40% vs MD_local(UD)
 // ~ 24%; ED lies between UD and EQF; EQS ~ EQF; strategies coincide at very
 // light load; MD_local is nearly strategy-independent.
-#include <vector>
-
+//
+// Declared as a load x strategy SweepGrid, executed on the engine thread
+// pool (--jobs=N); results are identical to the former serial loops.
 #include "bench_common.hpp"
-#include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/system/baseline.hpp"
 
 int main(int argc, char** argv) {
@@ -21,33 +21,29 @@ int main(int argc, char** argv) {
                 "baseline: k=6, m=4, frac_local=0.75, EDF, no abort, "
                 "slack U[0.25,2.5], rel_flex=1");
 
-  const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5};
-  const std::vector<const char*> strategies = {"UD", "ED", "EQS", "EQF"};
+  dsrt::engine::SweepGrid grid;
+  grid.axis(dsrt::engine::SweepAxis::by_field(
+          "load", {"0.1", "0.2", "0.3", "0.4", "0.5"}))
+      .axis(dsrt::engine::SweepAxis::by_field("ssp",
+                                              {"UD", "ED", "EQS", "EQF"}));
 
-  dsrt::stats::Table local_table(
-      {"load", "UD", "ED", "EQS", "EQF"});
-  dsrt::stats::Table global_table(
-      {"load", "UD", "ED", "EQS", "EQF"});
-
-  for (double load : loads) {
-    std::vector<std::string> local_row = {dsrt::stats::Table::cell(load, 1)};
-    std::vector<std::string> global_row = {dsrt::stats::Table::cell(load, 1)};
-    for (const char* name : strategies) {
-      dsrt::system::Config cfg = dsrt::system::baseline_ssp();
-      bench::apply(rc, cfg);
-      cfg.load = load;
-      cfg.ssp = dsrt::core::serial_strategy_by_name(name);
-      const auto result = dsrt::system::run_replications(cfg, rc.reps);
-      local_row.push_back(bench::pct(result.md_local));
-      global_row.push_back(bench::pct(result.md_global));
-    }
-    local_table.add_row(std::move(local_row));
-    global_table.add_row(std::move(global_row));
-  }
+  const auto sweep =
+      bench::run_sweep("fig2_ssp_baseline", grid,
+                       dsrt::system::baseline_ssp(), rc);
 
   std::printf("Fig. 2a — MD_local (%%), by SSP strategy\n");
-  bench::emit(local_table, rc);
+  bench::emit(dsrt::engine::pivot_table(
+                  sweep,
+                  [](const dsrt::engine::PointResult& p) {
+                    return bench::pct(p.result.md_local);
+                  }),
+              rc);
   std::printf("Fig. 2b — MD_global (%%), by SSP strategy\n");
-  bench::emit(global_table, rc);
+  bench::emit(dsrt::engine::pivot_table(
+                  sweep,
+                  [](const dsrt::engine::PointResult& p) {
+                    return bench::pct(p.result.md_global);
+                  }),
+              rc);
   return 0;
 }

@@ -5,10 +5,9 @@
 // (globals face ever more conflicts with "first-class" locals) and
 // MD_local(UD) climbs mildly, while the EQF curves stay nearly flat —
 // EQF does not discriminate against global tasks.
-#include <vector>
-
+//
+// Declared as a frac_local x strategy SweepGrid on the engine thread pool.
 #include "bench_common.hpp"
-#include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/system/baseline.hpp"
 
 int main(int argc, char** argv) {
@@ -19,26 +18,27 @@ int main(int argc, char** argv) {
                 "Fig. 3: miss ratios vs frac_local for UD and EQF",
                 "baseline at load 0.5; frac_local swept 0.1..0.95");
 
-  const std::vector<double> fracs = {0.1, 0.25, 0.5, 0.75, 0.9, 0.95};
+  dsrt::engine::SweepGrid grid;
+  grid.axis(dsrt::engine::SweepAxis::by_field(
+          "frac_local", {"0.1", "0.25", "0.5", "0.75", "0.9", "0.95"}))
+      .axis(dsrt::engine::SweepAxis::by_field("ssp", {"UD", "EQF"}));
 
-  dsrt::stats::Table table({"frac_local", "MD_local(UD)", "MD_global(UD)",
-                            "MD_local(EQF)", "MD_global(EQF)"});
+  const auto sweep = bench::run_sweep("fig3_frac_local", grid,
+                                      dsrt::system::baseline_ssp(), rc);
 
-  for (double frac : fracs) {
-    std::vector<std::string> row = {dsrt::stats::Table::cell(frac, 2)};
-    for (const char* name : {"UD", "EQF"}) {
-      dsrt::system::Config cfg = dsrt::system::baseline_ssp();
-      bench::apply(rc, cfg);
-      cfg.frac_local = frac;
-      cfg.ssp = dsrt::core::serial_strategy_by_name(name);
-      const auto result = dsrt::system::run_replications(cfg, rc.reps);
-      row.push_back(bench::pct(result.md_local));
-      row.push_back(bench::pct(result.md_global));
-    }
-    table.add_row(std::move(row));
-  }
-
-  std::printf("Fig. 3 — miss ratios (%%) vs fraction of local load\n");
-  bench::emit(table, rc);
+  std::printf("Fig. 3 — MD_local (%%) vs fraction of local load\n");
+  bench::emit(dsrt::engine::pivot_table(
+                  sweep,
+                  [](const dsrt::engine::PointResult& p) {
+                    return bench::pct(p.result.md_local);
+                  }),
+              rc);
+  std::printf("Fig. 3 — MD_global (%%) vs fraction of local load\n");
+  bench::emit(dsrt::engine::pivot_table(
+                  sweep,
+                  [](const dsrt::engine::PointResult& p) {
+                    return bench::pct(p.result.md_global);
+                  }),
+              rc);
   return 0;
 }

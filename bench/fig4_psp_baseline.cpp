@@ -5,10 +5,9 @@
 // Paper shape to check: MD_global(UD) ~ 3x MD_local(UD); DIV-1 pulls the
 // class miss rates together (at a mild cost to locals); DIV-2 ~ DIV-1
 // except at very high load; GF further reduces MD_global significantly.
-#include <vector>
-
+//
+// Declared as a load x strategy SweepGrid on the engine thread pool.
 #include "bench_common.hpp"
-#include "dsrt/core/parallel_strategies.hpp"
 #include "dsrt/system/baseline.hpp"
 
 int main(int argc, char** argv) {
@@ -21,31 +20,28 @@ int main(int argc, char** argv) {
                 "baseline with parallel tasks: m=4 subtasks at distinct "
                 "nodes, slack U[1.25,5.0] on max_i ex(Ti)");
 
-  const std::vector<double> loads = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
-  const std::vector<const char*> strategies = {"UD", "DIV1", "DIV2", "GF"};
+  dsrt::engine::SweepGrid grid;
+  grid.axis(dsrt::engine::SweepAxis::by_field(
+          "load", {"0.1", "0.2", "0.3", "0.4", "0.5", "0.6"}))
+      .axis(dsrt::engine::SweepAxis::by_field("psp",
+                                              {"UD", "DIV1", "DIV2", "GF"}));
 
-  dsrt::stats::Table local_table({"load", "UD", "DIV1", "DIV2", "GF"});
-  dsrt::stats::Table global_table({"load", "UD", "DIV1", "DIV2", "GF"});
-
-  for (double load : loads) {
-    std::vector<std::string> local_row = {dsrt::stats::Table::cell(load, 1)};
-    std::vector<std::string> global_row = {dsrt::stats::Table::cell(load, 1)};
-    for (const char* name : strategies) {
-      dsrt::system::Config cfg = dsrt::system::baseline_psp();
-      bench::apply(rc, cfg);
-      cfg.load = load;
-      cfg.psp = dsrt::core::parallel_strategy_by_name(name);
-      const auto result = dsrt::system::run_replications(cfg, rc.reps);
-      local_row.push_back(bench::pct(result.md_local));
-      global_row.push_back(bench::pct(result.md_global));
-    }
-    local_table.add_row(std::move(local_row));
-    global_table.add_row(std::move(global_row));
-  }
+  const auto sweep = bench::run_sweep("fig4_psp_baseline", grid,
+                                      dsrt::system::baseline_psp(), rc);
 
   std::printf("Fig. 4 — MD_local (%%), by PSP strategy\n");
-  bench::emit(local_table, rc);
+  bench::emit(dsrt::engine::pivot_table(
+                  sweep,
+                  [](const dsrt::engine::PointResult& p) {
+                    return bench::pct(p.result.md_local);
+                  }),
+              rc);
   std::printf("Fig. 4 — MD_global (%%), by PSP strategy\n");
-  bench::emit(global_table, rc);
+  bench::emit(dsrt::engine::pivot_table(
+                  sweep,
+                  [](const dsrt::engine::PointResult& p) {
+                    return bench::pct(p.result.md_global);
+                  }),
+              rc);
   return 0;
 }

@@ -1,11 +1,19 @@
-// Generic simulation front-end: run any configuration of the model from
-// the command line, no code required.
+// Generic simulation front-end: run any configuration of the model — or a
+// whole parameter sweep — from the command line, no code required.
 //
 //   ./example_sim_cli --shape=parallel --psp=DIV1 --load=0.6 --reps=4
+//   ./example_sim_cli --sweep_load=0.1,0.3,0.5 --sweep_ssp=UD,EQF \
+//       --jobs=4 --emit=json --quick
 //   ./example_sim_cli --help
 //
-// Prints the per-class miss ratios with confidence intervals, response-time
-// quantiles, and utilizations for the requested configuration.
+// Single-configuration runs print per-class miss ratios with confidence
+// intervals, response-time quantiles, and utilizations. Sweep runs
+// (--sweep_<field>=v1,v2,... — repeatable; cartesian by default, --zip for
+// lockstep) print one row per grid point. Replications and sweep points
+// execute concurrently on the engine thread pool (--jobs=N; results are
+// identical for every N). Sweeps and --emit=json,csv requests write a
+// BENCH_sim_cli.json perf artifact plus machine-readable result files
+// under --out; plain single-config runs only print.
 #include <cstdio>
 #include <iostream>
 
@@ -14,29 +22,24 @@
 
 using namespace dsrt;
 
-int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
-  if (flags.has("help")) {
-    std::printf("%s", system::cli_usage().c_str());
-    return 0;
+namespace {
+
+/// Collects --sweep_<field>=v1,v2,... axes. std::map iteration makes the
+/// axis order (and thus the grid's row-major point order) the
+/// alphabetical order of the field names — deterministic across runs.
+engine::SweepGrid grid_from_flags(const util::Flags& flags) {
+  engine::SweepGrid grid;
+  for (const auto& [name, value] : flags.all()) {
+    if (name.rfind("sweep_", 0) != 0) continue;
+    grid.axis(
+        engine::SweepAxis::by_field(name.substr(6), util::split(value, ',')));
   }
+  if (flags.get("zip", false)) grid.mode(engine::SweepGrid::Mode::Zipped);
+  return grid;
+}
 
-  system::Config cfg;
-  try {
-    cfg = system::config_from_flags(flags);
-  } catch (const std::exception& error) {
-    std::fprintf(stderr, "bad configuration: %s\n%s", error.what(),
-                 system::cli_usage().c_str());
-    return 1;
-  }
-  const auto reps = static_cast<std::size_t>(flags.get("reps", 2L));
-
-  std::printf("config: %s\n", cfg.describe().c_str());
-  std::printf("lambda_local(total)=%.4f lambda_global=%.4f  reps=%zu\n\n",
-              cfg.lambda_local_total(), cfg.lambda_global(), reps);
-
-  const auto result = system::run_replications(cfg, reps);
-
+void print_single_point(const system::Config& cfg,
+                        const system::ExperimentResult& result) {
   stats::Table table({"metric", "local", "global"});
   auto pct = [](const stats::Estimate& e) {
     return stats::Table::percent(e.mean, 2) + " +- " +
@@ -50,33 +53,25 @@ int main(int argc, char** argv) {
                  stats::Table::with_ci(result.response_global.mean,
                                        result.response_global.half_width,
                                        3)});
-  // Tail quantiles over the pooled response histograms of all runs.
-  stats::Histogram local_hist = result.runs.front().local.response_hist;
-  stats::Histogram global_hist = result.runs.front().global.response_hist;
-  std::uint64_t finished_local = 0, finished_global = 0;
-  std::uint64_t aborted_local = 0, aborted_global = 0;
-  for (std::size_t i = 0; i < result.runs.size(); ++i) {
-    const auto& run = result.runs[i];
-    if (i > 0) {
-      local_hist.merge(run.local.response_hist);
-      global_hist.merge(run.global.response_hist);
-    }
-    finished_local += run.local.missed.trials();
-    finished_global += run.global.missed.trials();
-    aborted_local += run.local.aborted;
-    aborted_global += run.global.aborted;
+  // Tail quantiles over the pooled per-class metrics of all runs
+  // (ClassMetrics::merge pools histograms and counters exactly).
+  system::ClassMetrics local_pool, global_pool;
+  for (const auto& run : result.runs) {
+    local_pool.merge(run.local);
+    global_pool.merge(run.global);
   }
   for (const auto& [label, q] : {std::pair<const char*, double>{"p50", 0.5},
                                  {"p90", 0.9},
                                  {"p99", 0.99}}) {
     table.add_row({std::string("response ") + label,
-                   stats::Table::cell(local_hist.quantile(q), 2),
-                   stats::Table::cell(global_hist.quantile(q), 2)});
+                   stats::Table::cell(local_pool.response_hist.quantile(q), 2),
+                   stats::Table::cell(global_pool.response_hist.quantile(q),
+                                      2)});
   }
-  table.add_row({"tasks finished", std::to_string(finished_local),
-                 std::to_string(finished_global)});
-  table.add_row({"tasks aborted", std::to_string(aborted_local),
-                 std::to_string(aborted_global)});
+  table.add_row({"tasks finished", std::to_string(local_pool.missed.trials()),
+                 std::to_string(global_pool.missed.trials())});
+  table.add_row({"tasks aborted", std::to_string(local_pool.aborted),
+                 std::to_string(global_pool.aborted)});
   const auto& first = result.runs.front();
   table.print(std::cout);
 
@@ -85,5 +80,82 @@ int main(int argc, char** argv) {
     std::printf(", links %.1f%%", 100 * first.mean_link_utilization);
   std::printf("   (events: %llu)\n",
               static_cast<unsigned long long>(first.events));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::printf("%s", system::cli_usage().c_str());
+    return 0;
+  }
+
+  system::Config cfg;
+  system::RunOptions opts;
+  engine::SweepGrid grid;
+  try {
+    cfg = system::config_from_flags(flags);
+    opts = system::run_options_from_flags(flags);
+    grid = grid_from_flags(flags);
+    if (flags.get("quick", false)) cfg.horizon = 1e5;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bad configuration: %s\n%s", error.what(),
+                 system::cli_usage().c_str());
+    return 1;
+  }
+
+  // Plain single-config runs stay print-only; sweeps and --emit requests
+  // produce files, so fail a typo'd --out before simulating anything.
+  const bool writes_files =
+      opts.emit_json || opts.emit_csv || !grid.axes().empty();
+  if (writes_files) {
+    try {
+      engine::ensure_writable_dir(opts.out_dir);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return 1;
+    }
+  }
+
+  std::printf("config: %s\n", cfg.describe().c_str());
+  std::printf("lambda_local(total)=%.4f lambda_global=%.4f  reps=%zu\n",
+              cfg.lambda_local_total(), cfg.lambda_global(), opts.reps);
+
+  engine::RunnerOptions runner_options;
+  runner_options.jobs = opts.jobs;
+  const engine::Runner runner(runner_options);
+  engine::SweepResult sweep;
+  try {
+    sweep = runner.run_sweep(grid, cfg, opts.reps);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sweep failed: %s\n", error.what());
+    return 1;
+  }
+  std::printf("%zu point(s) x %zu rep(s) on %zu job(s): %.2fs "
+              "(%.2f runs/s)\n\n",
+              sweep.points.size(), sweep.replications, sweep.jobs,
+              sweep.wall_seconds, sweep.runs_per_second());
+
+  if (grid.axes().empty()) {
+    print_single_point(cfg, sweep.points.front().result);
+  } else {
+    engine::sweep_table(sweep).print(std::cout);
+  }
+
+  if (writes_files) {
+    try {
+      const std::string artifact =
+          engine::write_bench_artifact("sim_cli", sweep, opts.out_dir);
+      std::printf("\nwrote %s\n", artifact.c_str());
+      for (const std::string& path : engine::write_sweep_files(
+               "sim_cli", sweep, opts.emit_csv, opts.emit_json,
+               opts.out_dir))
+        std::printf("wrote %s\n", path.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "emit failed: %s\n", error.what());
+      return 1;
+    }
+  }
   return 0;
 }

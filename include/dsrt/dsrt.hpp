@@ -10,6 +10,9 @@
 ///   sched    - node servers, local scheduling policies, abort policies
 ///   workload - task-population generators (shapes, slack, pex error)
 ///   system   - configuration, process manager, simulation, experiments
+///   engine   - experiment orchestration: thread-pool replication/sweep
+///              runner, declarative parameter grids, seed derivation,
+///              structured result emitters (CSV / JSON / BENCH artifacts)
 
 #include "dsrt/core/assigner.hpp"
 #include "dsrt/core/parallel_strategies.hpp"
@@ -17,6 +20,11 @@
 #include "dsrt/core/strategy.hpp"
 #include "dsrt/core/task.hpp"
 #include "dsrt/core/task_spec.hpp"
+#include "dsrt/engine/emit.hpp"
+#include "dsrt/engine/runner.hpp"
+#include "dsrt/engine/seed_sequence.hpp"
+#include "dsrt/engine/sweep.hpp"
+#include "dsrt/engine/thread_pool.hpp"
 #include "dsrt/sched/abort_policy.hpp"
 #include "dsrt/sched/job.hpp"
 #include "dsrt/sched/node.hpp"

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsrt::engine {
+
+/// Fixed-size worker pool for experiment orchestration (no work stealing:
+/// one shared FIFO, workers pull under a lock). Replications and sweep
+/// points are coarse units — seconds of simulated work each — so queue
+/// contention is irrelevant and the simple design keeps the scheduling
+/// order easy to reason about.
+///
+/// Determinism contract: the pool never touches the work itself. Callers
+/// submit units that are pure functions of their index and write results
+/// into per-index slots, so any interleaving yields byte-identical output
+/// (see parallel_for_index).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 selects default_jobs(). A pool of size 1
+  /// still runs jobs on its (single) worker thread, not inline.
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers; pending jobs are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one job. Jobs must not throw (wrap with capture_into or use
+  /// parallel_for_index, which propagates the first exception).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished and the queue is empty.
+  void wait_idle();
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs `fn(i)` for every i in [0, n) on the pool and blocks until all
+/// complete. The first exception thrown by any invocation is rethrown in
+/// the caller (remaining units still run). Indices are distributed
+/// dynamically; callers must make fn(i) independent of execution order.
+void parallel_for_index(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace dsrt::engine

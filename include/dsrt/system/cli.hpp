@@ -30,6 +30,23 @@ namespace dsrt::system {
 /// offending name.
 Config config_from_flags(const util::Flags& flags);
 
+/// Run-control options shared by the CLI tools and benches: how many
+/// replications, how many worker threads, and which structured outputs to
+/// produce. Config describes *what* to simulate; RunOptions describe *how*
+/// to orchestrate and report it (consumed by the engine layer).
+struct RunOptions {
+  std::size_t reps = 2;      ///< replications per data point (paper: 2)
+  std::size_t jobs = 1;      ///< worker threads; 0 = hardware concurrency
+  bool emit_json = false;    ///< --emit=json: machine-readable result file
+  bool emit_csv = false;     ///< --emit=csv: long-format CSV result file
+  std::string out_dir = "."; ///< directory for emitted artifacts
+};
+
+/// Parses run control:
+///   --reps=2 --jobs=1 --emit=json|csv|json,csv --out=DIR
+/// Unknown --emit values throw std::invalid_argument.
+RunOptions run_options_from_flags(const util::Flags& flags);
+
 /// Returns the usage text above (for --help handling in tools).
 std::string cli_usage();
 

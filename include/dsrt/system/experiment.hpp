@@ -22,8 +22,18 @@ struct ExperimentResult {
   std::vector<RunMetrics> runs;    ///< raw per-replication metrics
 };
 
+/// Aggregates per-replication metrics (in replication order) into the
+/// confidence-interval estimates above. Deterministic in the order of
+/// `runs`, so serial and parallel orchestration agree bit-for-bit as long
+/// as both present the runs in replication-index order. Throws
+/// std::invalid_argument when `runs` is empty.
+ExperimentResult aggregate_runs(std::vector<RunMetrics> runs,
+                                double confidence = 0.95);
+
 /// Runs `replications` independent replications of `config` (seeded from
-/// config.seed) and aggregates them.
+/// config.seed) and aggregates them, one after another on the calling
+/// thread. The engine layer (dsrt/engine/runner.hpp) produces identical
+/// results concurrently.
 ExperimentResult run_replications(const Config& config,
                                   std::size_t replications,
                                   double confidence = 0.95);

@@ -28,6 +28,11 @@ struct ClassMetrics {
   void record_completed(double response_time, double lateness_value);
   /// Records a task discarded by the abort policy (always a miss).
   void record_aborted();
+  /// Pools another run's observations into this one (tallies, ratios and
+  /// histograms all use exact parallel-combination rules, so merge order
+  /// does not affect counts). Used by the engine layer to report pooled
+  /// tail statistics across replications.
+  void merge(const ClassMetrics& other);
 };
 
 /// Everything measured in one run.
@@ -42,6 +47,10 @@ struct RunMetrics {
   double observed_span = 0;     ///< measured interval (horizon - warmup)
 
   void reset();
+  /// Pools another run into this one: counters add, per-task statistics
+  /// merge exactly, and the utilization means combine weighted by each
+  /// run's observed span.
+  void merge(const RunMetrics& other);
 };
 
 }  // namespace dsrt::system

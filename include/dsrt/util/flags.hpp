@@ -26,9 +26,18 @@ class Flags {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// All parsed flags in name order (for prefix-discovery, e.g. the
+  /// engine's `--sweep_<field>=...` axes).
+  const std::map<std::string, std::string>& all() const { return values_; }
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// Splits `text` at `sep`, preserving interior empty tokens ("a,,b" ->
+/// {"a", "", "b"}); an empty input yields an empty list. The shared
+/// splitter for comma-valued flags (--emit=json,csv, --sweep_load=...).
+std::vector<std::string> split(const std::string& text, char sep);
 
 }  // namespace dsrt::util

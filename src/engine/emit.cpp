@@ -1,0 +1,228 @@
+#include "dsrt/engine/emit.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsrt::engine {
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << v;  // shortest round-trippable-enough form; JSON has no NaN/Inf
+  const std::string s = os.str();
+  return (s == "nan" || s == "inf" || s == "-inf") ? "null" : s;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string estimate_json(const stats::Estimate& e) {
+  return "{\"mean\":" + num(e.mean) + ",\"half_width\":" + num(e.half_width) +
+         "}";
+}
+
+std::string ci(const stats::Estimate& e) {
+  return stats::Table::percent(e.mean, 1) + " +- " +
+         stats::Table::percent(e.half_width, 1);
+}
+
+}  // namespace
+
+stats::Table sweep_table(const SweepResult& sweep) {
+  std::vector<std::string> headers = sweep.axis_names;
+  for (const char* h : {"MD_local(%)", "MD_global(%)", "MD_overall(%)",
+                        "resp_local", "resp_global", "util(%)"})
+    headers.push_back(h);
+  stats::Table table(std::move(headers));
+
+  for (const PointResult& pr : sweep.points) {
+    std::vector<std::string> row = pr.point.labels;
+    row.push_back(ci(pr.result.md_local));
+    row.push_back(ci(pr.result.md_global));
+    row.push_back(ci(pr.result.md_overall));
+    row.push_back(stats::Table::with_ci(pr.result.response_local.mean,
+                                        pr.result.response_local.half_width,
+                                        3));
+    row.push_back(stats::Table::with_ci(pr.result.response_global.mean,
+                                        pr.result.response_global.half_width,
+                                        3));
+    row.push_back(stats::Table::percent(pr.result.utilization.mean, 1));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void write_sweep_csv(const SweepResult& sweep, std::ostream& os) {
+  for (const std::string& name : sweep.axis_names) os << name << ',';
+  os << "md_local,md_local_hw,md_global,md_global_hw,md_overall,"
+        "md_overall_hw,resp_local,resp_local_hw,resp_global,resp_global_hw,"
+        "utilization,utilization_hw\n";
+  for (const PointResult& pr : sweep.points) {
+    for (const std::string& label : pr.point.labels) os << label << ',';
+    const auto& r = pr.result;
+    os << r.md_local.mean << ',' << r.md_local.half_width << ','
+       << r.md_global.mean << ',' << r.md_global.half_width << ','
+       << r.md_overall.mean << ',' << r.md_overall.half_width << ','
+       << r.response_local.mean << ',' << r.response_local.half_width << ','
+       << r.response_global.mean << ',' << r.response_global.half_width << ','
+       << r.utilization.mean << ',' << r.utilization.half_width << '\n';
+  }
+}
+
+stats::Table pivot_table(
+    const SweepResult& sweep,
+    const std::function<std::string(const PointResult&)>& cell) {
+  if (sweep.axis_names.size() != 2)
+    throw std::invalid_argument("pivot_table: sweep must have exactly 2 axes");
+
+  // Recover the axis value lists from the points' coordinates.
+  std::vector<std::string> row_labels, col_labels;
+  for (const PointResult& pr : sweep.points) {
+    const std::size_t i0 = pr.point.indices[0];
+    const std::size_t i1 = pr.point.indices[1];
+    if (i0 >= row_labels.size()) row_labels.resize(i0 + 1);
+    if (i1 >= col_labels.size()) col_labels.resize(i1 + 1);
+    row_labels[i0] = pr.point.labels[0];
+    col_labels[i1] = pr.point.labels[1];
+  }
+
+  // A zipped 2-axis sweep has diagonal coordinates only; pivoting it would
+  // render a mostly-empty matrix that looks like missing data.
+  if (sweep.points.size() != row_labels.size() * col_labels.size())
+    throw std::invalid_argument(
+        "pivot_table: sweep does not cover the full cartesian grid "
+        "(zipped sweep?)");
+
+  std::vector<std::string> headers = {sweep.axis_names[0]};
+  headers.insert(headers.end(), col_labels.begin(), col_labels.end());
+  stats::Table table(std::move(headers));
+
+  std::vector<std::vector<std::string>> cells(
+      row_labels.size(), std::vector<std::string>(col_labels.size()));
+  for (const PointResult& pr : sweep.points)
+    cells[pr.point.indices[0]][pr.point.indices[1]] = cell(pr);
+  for (std::size_t i = 0; i < row_labels.size(); ++i) {
+    std::vector<std::string> row = {row_labels[i]};
+    row.insert(row.end(), cells[i].begin(), cells[i].end());
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string sweep_json(const SweepResult& sweep) {
+  std::ostringstream os;
+  os << "{\"axes\":[";
+  for (std::size_t i = 0; i < sweep.axis_names.size(); ++i)
+    os << (i ? "," : "") << quoted(sweep.axis_names[i]);
+  os << "],\"replications\":" << sweep.replications
+     << ",\"jobs\":" << sweep.jobs
+     << ",\"wall_seconds\":" << num(sweep.wall_seconds) << ",\"points\":[";
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const PointResult& pr = sweep.points[i];
+    os << (i ? "," : "") << "{\"labels\":[";
+    for (std::size_t j = 0; j < pr.point.labels.size(); ++j)
+      os << (j ? "," : "") << quoted(pr.point.labels[j]);
+    os << "],\"seed\":" << pr.point.config.seed
+       << ",\"md_local\":" << estimate_json(pr.result.md_local)
+       << ",\"md_global\":" << estimate_json(pr.result.md_global)
+       << ",\"md_overall\":" << estimate_json(pr.result.md_overall)
+       << ",\"response_local\":" << estimate_json(pr.result.response_local)
+       << ",\"response_global\":" << estimate_json(pr.result.response_global)
+       << ",\"utilization\":" << estimate_json(pr.result.utilization)
+       << ",\"runs\":[";
+    for (std::size_t r = 0; r < pr.result.runs.size(); ++r) {
+      const auto& m = pr.result.runs[r];
+      os << (r ? "," : "") << "{\"md_local\":" << num(m.local.missed.value())
+         << ",\"md_global\":" << num(m.global.missed.value())
+         << ",\"finished_local\":" << m.local.missed.trials()
+         << ",\"finished_global\":" << m.global.missed.trials()
+         << ",\"events\":" << m.events << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string bench_artifact_json(const std::string& name,
+                                const SweepResult& sweep) {
+  std::ostringstream os;
+  os << "{\"name\":" << quoted(name)
+     << ",\"points\":" << sweep.points.size()
+     << ",\"replications\":" << sweep.replications
+     << ",\"total_runs\":" << sweep.total_runs
+     << ",\"jobs\":" << sweep.jobs
+     << ",\"wall_seconds\":" << num(sweep.wall_seconds)
+     << ",\"runs_per_second\":" << num(sweep.runs_per_second()) << "}\n";
+  return os.str();
+}
+
+std::string write_bench_artifact(const std::string& name,
+                                 const SweepResult& sweep,
+                                 const std::string& out_dir) {
+  const std::string path = out_dir + "/BENCH_" + name + ".json";
+  std::ofstream file(path);
+  if (!file)
+    throw std::runtime_error("write_bench_artifact: cannot open " + path);
+  file << bench_artifact_json(name, sweep);
+  if (!file.good())
+    throw std::runtime_error("write_bench_artifact: write failed for " +
+                             path);
+  return path;
+}
+
+void ensure_writable_dir(const std::string& out_dir) {
+  const std::string probe = out_dir + "/.dsrt_write_probe";
+  {
+    std::ofstream file(probe);
+    if (!file)
+      throw std::runtime_error("output directory '" + out_dir +
+                               "' is not writable");
+  }
+  std::remove(probe.c_str());
+}
+
+std::vector<std::string> write_sweep_files(const std::string& name,
+                                           const SweepResult& sweep,
+                                           bool csv, bool json,
+                                           const std::string& out_dir) {
+  std::vector<std::string> written;
+  if (csv) {
+    const std::string path = out_dir + "/" + name + ".csv";
+    std::ofstream file(path);
+    if (!file)
+      throw std::runtime_error("write_sweep_files: cannot open " + path);
+    write_sweep_csv(sweep, file);
+    if (!file.good())
+      throw std::runtime_error("write_sweep_files: write failed for " + path);
+    written.push_back(path);
+  }
+  if (json) {
+    const std::string path = out_dir + "/" + name + ".json";
+    std::ofstream file(path);
+    if (!file)
+      throw std::runtime_error("write_sweep_files: cannot open " + path);
+    file << sweep_json(sweep) << '\n';
+    if (!file.good())
+      throw std::runtime_error("write_sweep_files: write failed for " + path);
+    written.push_back(path);
+  }
+  return written;
+}
+
+}  // namespace dsrt::engine

@@ -1,0 +1,29 @@
+#include "dsrt/engine/seed_sequence.hpp"
+
+namespace dsrt::engine {
+
+namespace {
+
+/// splitmix64 finalizer (Vigna) — the same mixing family the sim::Rng uses
+/// for stream derivation, so per-point seeds are as independent as the
+/// per-stream states.
+std::uint64_t splitmix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t SeedSequence::mix(std::uint64_t base,
+                                std::uint64_t index) noexcept {
+  if (index == 0) return base;
+  return splitmix64(base + index * 0x9e3779b97f4a7c15ULL);
+}
+
+std::uint64_t SeedSequence::seed_for(std::uint64_t index) const noexcept {
+  return mix(base_, index);
+}
+
+}  // namespace dsrt::engine

@@ -1,0 +1,104 @@
+#include "dsrt/engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace dsrt::engine {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_jobs();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::default_jobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+void parallel_for_index(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  // Completion latch. `remaining` is only touched under `done_mutex`: the
+  // caller's wait can then never observe zero and unwind these stack
+  // locals while a worker still holds (or is about to take) the lock.
+  std::size_t remaining = n;
+  std::mutex done_mutex;
+  std::condition_variable done;
+  std::size_t submitted = 0;
+  std::exception_ptr submit_error;
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        std::lock_guard lock(done_mutex);
+        if (--remaining == 0) done.notify_all();
+      });
+      ++submitted;
+    }
+  } catch (...) {
+    // submit itself failed (allocation). Units never enqueued can't
+    // complete; still drain the ones that were, so their lambdas cannot
+    // touch this latch after the stack frame unwinds.
+    submit_error = std::current_exception();
+  }
+  {
+    std::unique_lock lock(done_mutex);
+    remaining -= n - submitted;
+    done.wait(lock, [&] { return remaining == 0; });
+  }
+  if (submit_error) std::rethrow_exception(submit_error);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dsrt::engine

@@ -85,6 +85,34 @@ Config config_from_flags(const util::Flags& flags) {
   return cfg;
 }
 
+RunOptions run_options_from_flags(const util::Flags& flags) {
+  RunOptions opts;
+  const long reps = flags.get("reps", static_cast<long>(opts.reps));
+  if (reps < 1)
+    throw std::invalid_argument("run_options_from_flags: --reps must be >= 1");
+  opts.reps = static_cast<std::size_t>(reps);
+  const long jobs = flags.get("jobs", static_cast<long>(opts.jobs));
+  if (jobs < 0)
+    throw std::invalid_argument(
+        "run_options_from_flags: --jobs must be >= 0 (0 = all hardware "
+        "threads)");
+  opts.jobs = static_cast<std::size_t>(jobs);
+  opts.out_dir = flags.get("out", opts.out_dir);
+  // --emit takes a comma-separated subset of {json, csv}.
+  for (const std::string& kind :
+       util::split(flags.get("emit", std::string()), ',')) {
+    if (kind == "json") {
+      opts.emit_json = true;
+    } else if (kind == "csv") {
+      opts.emit_csv = true;
+    } else {
+      throw std::invalid_argument("run_options_from_flags: unknown --emit '" +
+                                  kind + "'");
+    }
+  }
+  return opts;
+}
+
 std::string cli_usage() {
   return
       "flags (all optional; defaults are the Table-1 baseline):\n"
@@ -95,7 +123,18 @@ std::string cli_usage() {
       "  --smin=0.25 --smax=2.5 --pex_err=0 --m_min= --m_max=\n"
       "  --sp_stages=3 --sp_prob=0.5 --sp_width=3\n"
       "  --links=0 --hop=0.25 --periodic --preempt\n"
-      "  --horizon=1e6 --warmup=0 --seed=20250612 --reps=2\n";
+      "  --horizon=1e6 --warmup=0 --seed=20250612\n"
+      "  --quick              shorthand for --horizon=1e5\n"
+      "run control (engine orchestration):\n"
+      "  --reps=2             replications per data point\n"
+      "  --jobs=1             worker threads (0 = all hardware threads)\n"
+      "  --emit=json,csv      structured outputs next to the table\n"
+      "  --out=.              directory for emitted artifacts\n"
+      "  --sweep_<field>=v1,v2,...   sweep axis over a config field\n"
+      "                       (load, frac_local, rel_flex, nodes, m, ssp,\n"
+      "                        psp, policy, abort, pex_err, shape, ...);\n"
+      "                       repeatable; axes expand as a cartesian grid\n"
+      "                       (--zip: advance all axes in lockstep)\n";
 }
 
 }  // namespace dsrt::system

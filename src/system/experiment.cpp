@@ -6,18 +6,15 @@
 
 namespace dsrt::system {
 
-ExperimentResult run_replications(const Config& config,
-                                  std::size_t replications,
-                                  double confidence) {
-  if (replications == 0)
-    throw std::invalid_argument("run_replications: zero replications");
+ExperimentResult aggregate_runs(std::vector<RunMetrics> runs,
+                                double confidence) {
+  if (runs.empty())
+    throw std::invalid_argument("aggregate_runs: no replications");
   ExperimentResult result;
-  result.runs.reserve(replications);
 
   std::vector<double> md_local, md_global, md_overall;
   std::vector<double> resp_local, resp_global, util;
-  for (std::size_t r = 0; r < replications; ++r) {
-    RunMetrics m = simulate(config, r);
+  for (const RunMetrics& m : runs) {
     md_local.push_back(m.local.missed.value());
     md_global.push_back(m.global.missed.value());
     const auto trials = m.local.missed.trials() + m.global.missed.trials();
@@ -28,8 +25,8 @@ ExperimentResult run_replications(const Config& config,
     resp_local.push_back(m.local.response.mean());
     resp_global.push_back(m.global.response.mean());
     util.push_back(m.mean_utilization);
-    result.runs.push_back(std::move(m));
   }
+  result.runs = std::move(runs);
 
   result.md_local = stats::replication_estimate(md_local, confidence);
   result.md_global = stats::replication_estimate(md_global, confidence);
@@ -39,6 +36,18 @@ ExperimentResult run_replications(const Config& config,
       stats::replication_estimate(resp_global, confidence);
   result.utilization = stats::replication_estimate(util, confidence);
   return result;
+}
+
+ExperimentResult run_replications(const Config& config,
+                                  std::size_t replications,
+                                  double confidence) {
+  if (replications == 0)
+    throw std::invalid_argument("run_replications: zero replications");
+  std::vector<RunMetrics> runs;
+  runs.reserve(replications);
+  for (std::size_t r = 0; r < replications; ++r)
+    runs.push_back(simulate(config, r));
+  return aggregate_runs(std::move(runs), confidence);
 }
 
 }  // namespace dsrt::system

@@ -21,6 +21,36 @@ void ClassMetrics::record_aborted() {
   ++aborted;
 }
 
+void ClassMetrics::merge(const ClassMetrics& other) {
+  missed.merge(other.missed);
+  response.merge(other.response);
+  lateness.merge(other.lateness);
+  tardiness.merge(other.tardiness);
+  response_hist.merge(other.response_hist);
+  tardiness_hist.merge(other.tardiness_hist);
+  generated += other.generated;
+  aborted += other.aborted;
+}
+
+void RunMetrics::merge(const RunMetrics& other) {
+  local.merge(other.local);
+  global.merge(other.global);
+  subtask_wait.merge(other.subtask_wait);
+  local_wait.merge(other.local_wait);
+  const double span = observed_span + other.observed_span;
+  if (span > 0) {
+    mean_utilization = (mean_utilization * observed_span +
+                        other.mean_utilization * other.observed_span) /
+                       span;
+    mean_link_utilization =
+        (mean_link_utilization * observed_span +
+         other.mean_link_utilization * other.observed_span) /
+        span;
+  }
+  events += other.events;
+  observed_span = span;
+}
+
 void RunMetrics::reset() {
   local.reset();
   global.reset();

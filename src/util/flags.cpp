@@ -69,4 +69,19 @@ bool Flags::get(const std::string& name, bool fallback) const {
                               it->second + "'");
 }
 
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  if (text.empty()) return out;
+  std::size_t start = 0;
+  for (;;) {
+    const auto pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
 }  // namespace dsrt::util
