@@ -1,110 +1,139 @@
-// M1 — engine microbenchmarks (google-benchmark): cost of the simulation
-// substrate and of the SDA strategy computations themselves. These bound
-// how cheap deadline assignment is relative to the work it schedules —
-// the paper's premise that the process manager's own overhead is
-// negligible (Section 3.2).
-#include <benchmark/benchmark.h>
-
+// Kernel microbenchmarks: events/sec of the discrete-event hot path, from
+// the bare pending-event set up to a full fig2 replication. Self-timed (no
+// external benchmark dependency) and emitted as BENCH_kernel.json via the
+// engine's micro-bench emitter, so every PR extends a machine-readable
+// performance trajectory of the kernel.
+//
+// Benchmarks:
+//   event_queue_churn_<d>   push/pop churn of the 4-ary InlineAction heap
+//                           at steady depth d (64 / 1024)
+//   node_cycle              Node submit -> dispatch -> complete cycle
+//                           through the flat ready queue (EDF, no abort)
+//   end_to_end_fig2         whole-system events/sec at the Table-1
+//                           baseline (UD, load 0.5), non-preemptive
+//   end_to_end_fig2_preempt same with preemptive-resume servers
+//   replication_throughput  replications/sec through the engine runner
+//                           (the number that bounds sweep-grid cost)
+//
+// Flags: --quick (shrink iteration counts ~8x), --out=<dir>.
+#include <chrono>
+#include <cstdio>
+#include <string>
 #include <vector>
 
-#include "dsrt/core/assigner.hpp"
-#include "dsrt/core/parallel_strategies.hpp"
-#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/engine/emit.hpp"
+#include "dsrt/engine/runner.hpp"
+#include "dsrt/sched/abort_policy.hpp"
+#include "dsrt/sched/node.hpp"
+#include "dsrt/sched/policy.hpp"
 #include "dsrt/sim/event_queue.hpp"
 #include "dsrt/sim/rng.hpp"
 #include "dsrt/sim/simulator.hpp"
 #include "dsrt/system/baseline.hpp"
 #include "dsrt/system/simulation.hpp"
+#include "dsrt/util/flags.hpp"
 
 namespace {
 
 using namespace dsrt;
+using Clock = std::chrono::steady_clock;
 
-void BM_EventQueuePushPop(benchmark::State& state) {
-  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+engine::BenchEntry churn(std::size_t depth, std::uint64_t iters) {
   sim::Rng rng(42);
   sim::EventQueue q;
+  std::uint64_t fired = 0;
   for (std::size_t i = 0; i < depth; ++i)
-    q.push(rng.uniform01(), [] {});
+    q.push(rng.uniform01(), [&fired] { ++fired; });
   double t = 1.0;
-  for (auto _ : state) {
-    q.push(t, [] {});
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    q.push(t, [&fired] { ++fired; });
     t += 1e-9;
-    benchmark::DoNotOptimize(q.pop());
+    q.pop()();
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  const double s = seconds_since(t0);
+  if (fired != iters) std::abort();  // exactly one action fires per pop
+  return {"event_queue_churn_" + std::to_string(depth), "events",
+          static_cast<double>(iters), s};
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
 
-void BM_RngExponential(benchmark::State& state) {
-  sim::Rng rng(42);
-  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(1.0));
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
-}
-BENCHMARK(BM_RngExponential);
-
-void BM_SerialAssign(benchmark::State& state) {
-  const auto strategy = core::make_eqf();
-  core::SerialContext ctx;
-  ctx.group_arrival = 0;
-  ctx.group_deadline = 16;
-  ctx.now = 3;
-  ctx.index = 1;
-  ctx.count = 4;
-  ctx.pex_self = 1.5;
-  ctx.pex_remaining = 5.0;
-  ctx.pex_group_total = 8.0;
-  for (auto _ : state) benchmark::DoNotOptimize(strategy->assign(ctx));
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
-}
-BENCHMARK(BM_SerialAssign);
-
-void BM_TaskInstanceWalk(benchmark::State& state) {
-  // Full lifecycle of a 4-stage serial task: build, start, chain to done.
-  const core::TaskSpec spec = core::TaskSpec::serial({
-      core::TaskSpec::simple(0, 1.0),
-      core::TaskSpec::simple(1, 1.0),
-      core::TaskSpec::simple(2, 1.0),
-      core::TaskSpec::simple(3, 1.0),
-  });
-  const auto ssp = core::make_eqf();
-  const auto psp = core::make_parallel_ud();
-  std::vector<core::LeafSubmission> subs;
-  for (auto _ : state) {
-    core::TaskInstance inst(1, spec, 0.0, 10.0, ssp, psp);
-    subs.clear();
-    inst.start(0.0, subs);
-    double now = 0;
-    while (!subs.empty()) {
-      const auto sub = subs.front();
-      subs.clear();
-      now += sub.exec;
-      inst.on_leaf_complete(sub.leaf, now, subs);
-    }
-    benchmark::DoNotOptimize(inst.state());
+engine::BenchEntry node_cycle(std::uint64_t jobs) {
+  sim::Simulator simulator;
+  sched::Node node(0, simulator, sched::make_edf(), sched::make_no_abort());
+  std::uint64_t done = 0;
+  node.set_completion_handler(
+      [&done](const sched::Job&, sim::Time, sched::JobOutcome) { ++done; });
+  sim::Rng rng(7);
+  const auto t0 = Clock::now();
+  while (done < jobs) {
+    // Keep a handful of jobs queued so dispatch exercises the ready heap.
+    sched::Job j;
+    j.id = done;
+    j.exec = 0.5 + rng.uniform01();
+    j.pex = j.exec;
+    j.deadline = simulator.now() + 4.0;
+    node.submit(j);
+    simulator.run(simulator.now() + 1.0);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  const double s = seconds_since(t0);
+  return {"node_cycle", "jobs", static_cast<double>(done), s};
 }
-BENCHMARK(BM_TaskInstanceWalk);
 
-void BM_EndToEndSimulation(benchmark::State& state) {
-  // Events per second of the whole baseline system (horizon scaled down).
+engine::BenchEntry end_to_end(bool preemptive, sim::Time horizon, int reps) {
   system::Config cfg = system::baseline_ssp();
-  cfg.horizon = 20000;
+  cfg.horizon = horizon;
+  if (preemptive) cfg.preemption = sched::PreemptionMode::Preemptive;
   std::uint64_t events = 0;
-  std::uint64_t rep = 0;
-  for (auto _ : state) {
-    system::SimulationRun run(cfg, rep++);
-    const system::RunMetrics m = run.run();
-    events += m.events;
-    benchmark::DoNotOptimize(m.local.missed.value());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(events));
-  state.counters["events/s"] = benchmark::Counter(
-      static_cast<double>(events), benchmark::Counter::kIsRate);
+  const auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r)
+    events += system::simulate(cfg, static_cast<std::uint64_t>(r)).events;
+  const double s = seconds_since(t0);
+  return {preemptive ? "end_to_end_fig2_preempt" : "end_to_end_fig2",
+          "events", static_cast<double>(events), s};
 }
-BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+engine::BenchEntry replication_throughput(sim::Time horizon,
+                                          std::size_t reps) {
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = horizon;
+  const engine::Runner runner;  // jobs=0: one worker per hardware thread
+  const auto t0 = Clock::now();
+  (void)runner.run_replications(cfg, reps);
+  const double s = seconds_since(t0);
+  return {"replication_throughput", "reps", static_cast<double>(reps), s};
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const bool quick = flags.has("quick");
+  const std::string out_dir = flags.get("out", std::string("."));
+  const std::uint64_t scale = quick ? 1 : 8;
+
+  std::vector<engine::BenchEntry> entries;
+  entries.push_back(churn(64, 500000 * scale));
+  entries.push_back(churn(1024, 500000 * scale));
+  entries.push_back(node_cycle(125000 * scale));
+  entries.push_back(end_to_end(false, 37500.0 * static_cast<double>(scale),
+                               /*reps=*/3));
+  entries.push_back(end_to_end(true, 37500.0 * static_cast<double>(scale),
+                               /*reps=*/3));
+  entries.push_back(
+      replication_throughput(25000.0 * static_cast<double>(scale), 8));
+
+  std::printf("%-28s %12s %10s %14s\n", "benchmark", "items", "wall_s",
+              "rate/s");
+  for (const auto& e : entries)
+    std::printf("%-28s %12.0f %10.3f %14.0f (%s)\n", e.name.c_str(), e.items,
+                e.wall_seconds, e.rate(), e.unit.c_str());
+
+  const std::string path =
+      engine::write_microbench_artifact("kernel", entries, out_dir);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

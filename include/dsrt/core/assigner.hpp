@@ -100,6 +100,7 @@ class TaskInstance {
     bool done = false;
   };
 
+  static std::size_t count_vertices(const TaskSpec& spec);
   std::size_t build(const TaskSpec& spec, int parent,
                     std::size_t index_in_parent);
   void activate(std::size_t v, sim::Time now, sim::Time deadline,

@@ -31,6 +31,7 @@
 #include "dsrt/sched/policy.hpp"
 #include "dsrt/sim/distribution.hpp"
 #include "dsrt/sim/event_queue.hpp"
+#include "dsrt/sim/inline_action.hpp"
 #include "dsrt/sim/rng.hpp"
 #include "dsrt/sim/simulator.hpp"
 #include "dsrt/sim/time.hpp"

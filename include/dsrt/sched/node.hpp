@@ -2,9 +2,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "dsrt/sched/abort_policy.hpp"
 #include "dsrt/sched/job.hpp"
@@ -90,10 +90,19 @@ class Node {
 
   using QueueKey = std::pair<std::pair<int, double>, std::uint64_t>;
 
+  /// One waiting job with its precomputed dispatch key.
+  struct ReadyEntry {
+    QueueKey key{};
+    Job job{};
+  };
+
   void start_service(Job job, QueueKey key);
   void on_service_complete(std::uint64_t service_token);
   void dispatch_next();
   void enqueue(Job job, QueueKey key);
+  /// Removes and returns the highest-priority waiting entry. Requires a
+  /// non-empty queue.
+  ReadyEntry pop_ready();
   QueueKey key_for(const Job& job);
 
   core::NodeId id_;
@@ -103,9 +112,13 @@ class Node {
   PreemptionMode preemption_;
   CompletionHandler handler_;
 
-  // Ready queue ordered by (class rank, policy key, arrival sequence); the
-  // map payload is the job itself.
-  std::map<QueueKey, Job, QueueOrder> queue_;
+  // Ready queue: implicit binary min-heap over a flat vector, ordered by
+  // (class rank, policy key, arrival sequence). The arrival sequence makes
+  // every key unique, so the heap's pop order is a deterministic total
+  // order — identical to the former `std::map` iteration order — while
+  // enqueue/dispatch stay allocation-free in steady state (the vector is
+  // reserved up front and grows only at new high-water marks).
+  std::vector<ReadyEntry> queue_;
   std::optional<Job> in_service_;
   QueueKey in_service_key_{};
   sim::Time service_started_ = 0;

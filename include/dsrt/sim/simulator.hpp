@@ -23,10 +23,24 @@ class Simulator {
   /// Schedules `action` at absolute time `at`. Scheduling in the past is a
   /// model bug; it is clamped to `now()` so the event still fires, and
   /// `past_schedules()` records the slip for tests to assert on.
-  void at(Time at, EventQueue::Action action);
+  ///
+  /// `action` is any callable that fits an `InlineAction`; it is forwarded
+  /// straight into the event queue's slot storage, so scheduling never
+  /// allocates and never moves the callable more than once.
+  template <typename F>
+  void at(Time at, F&& action) {
+    if (at < now_) {
+      ++past_schedules_;
+      at = now_;
+    }
+    queue_.push(at, std::forward<F>(action));
+  }
 
   /// Schedules `action` after `delay` (>= 0) time units.
-  void in(Time delay, EventQueue::Action action);
+  template <typename F>
+  void in(Time delay, F&& action) {
+    at(now_ + (delay < 0 ? 0 : delay), std::forward<F>(action));
+  }
 
   /// Runs events until the queue empties, `stop()` is called, or the next
   /// event would fire strictly after `until`. The clock ends at the time of

@@ -17,7 +17,15 @@ TaskInstance::TaskInstance(TaskId id, const TaskSpec& spec, sim::Time arrival,
   if (!ssp_) throw std::invalid_argument("TaskInstance: null serial strategy");
   if (!psp_)
     throw std::invalid_argument("TaskInstance: null parallel strategy");
+  vertices_.reserve(count_vertices(spec));
   build(spec, -1, 0);
+}
+
+std::size_t TaskInstance::count_vertices(const TaskSpec& spec) {
+  std::size_t n = 1;
+  if (!spec.is_simple())
+    for (const TaskSpec& child : spec.children()) n += count_vertices(child);
+  return n;
 }
 
 std::size_t TaskInstance::build(const TaskSpec& spec, int parent,

@@ -172,6 +172,35 @@ std::string bench_artifact_json(const std::string& name,
   return os.str();
 }
 
+std::string microbench_json(const std::string& name,
+                            const std::vector<BenchEntry>& entries) {
+  std::ostringstream os;
+  os << "{\"name\":" << quoted(name) << ",\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    os << (i ? "," : "") << "{\"name\":" << quoted(e.name)
+       << ",\"unit\":" << quoted(e.unit) << ",\"items\":" << num(e.items)
+       << ",\"wall_seconds\":" << num(e.wall_seconds)
+       << ",\"rate\":" << num(e.rate()) << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::string write_microbench_artifact(const std::string& name,
+                                      const std::vector<BenchEntry>& entries,
+                                      const std::string& out_dir) {
+  const std::string path = out_dir + "/BENCH_" + name + ".json";
+  std::ofstream file(path);
+  if (!file)
+    throw std::runtime_error("write_microbench_artifact: cannot open " + path);
+  file << microbench_json(name, entries);
+  if (!file.good())
+    throw std::runtime_error("write_microbench_artifact: write failed for " +
+                             path);
+  return path;
+}
+
 std::string write_bench_artifact(const std::string& name,
                                  const SweepResult& sweep,
                                  const std::string& out_dir) {

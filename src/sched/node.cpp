@@ -25,6 +25,7 @@ Node::Node(core::NodeId id, sim::Simulator& sim, PolicyPtr policy,
       queue_signal_(sim.now(), 0) {
   if (!policy_) throw std::invalid_argument("Node: null policy");
   if (!abort_policy_) throw std::invalid_argument("Node: null abort policy");
+  queue_.reserve(64);
 }
 
 void Node::set_completion_handler(CompletionHandler handler) {
@@ -70,8 +71,43 @@ void Node::submit(Job job) {
 }
 
 void Node::enqueue(Job job, QueueKey key) {
-  queue_.emplace(key, std::move(job));
+  // Sift up with a hole: parents shift down until the insertion slot is
+  // found, so the new entry is materialized exactly once.
+  std::size_t i = queue_.size();
+  queue_.emplace_back();
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!QueueOrder{}(key, queue_[parent].key)) break;
+    queue_[i] = std::move(queue_[parent]);
+    i = parent;
+  }
+  queue_[i].key = key;
+  queue_[i].job = std::move(job);
   queue_signal_.update(sim_.now(), static_cast<double>(queue_.size()));
+}
+
+Node::ReadyEntry Node::pop_ready() {
+  ReadyEntry top = std::move(queue_.front());
+  ReadyEntry last = std::move(queue_.back());
+  queue_.pop_back();
+  const std::size_t n = queue_.size();
+  if (n > 0) {
+    // Sift down with a hole: pull the better child up until `last` (the
+    // displaced tail entry) finds its slot.
+    std::size_t i = 0;
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n &&
+          QueueOrder{}(queue_[child + 1].key, queue_[child].key))
+        ++child;
+      if (!QueueOrder{}(queue_[child].key, last.key)) break;
+      queue_[i] = std::move(queue_[child]);
+      i = child;
+    }
+    queue_[i] = std::move(last);
+  }
+  return top;
 }
 
 void Node::start_service(Job job, QueueKey key) {
@@ -97,10 +133,9 @@ void Node::on_service_complete(std::uint64_t service_token) {
 
 void Node::dispatch_next() {
   while (!in_service_ && !queue_.empty()) {
-    auto first = queue_.begin();
-    const QueueKey key = first->first;
-    Job job = std::move(first->second);
-    queue_.erase(first);
+    ReadyEntry entry = pop_ready();
+    const QueueKey key = entry.key;
+    Job job = std::move(entry.job);
     queue_signal_.update(sim_.now(), static_cast<double>(queue_.size()));
     if (abort_policy_->should_abort(job, sim_.now())) {
       ++aborted_;

@@ -4,13 +4,45 @@
 
 namespace dsrt::sim {
 
-void EventQueue::push(Time at, Action action) {
-  heap_.push(Entry{at, next_seq_++, std::move(action)});
+void EventQueue::push_entry(Time at, std::uint32_t slot) {
+  const Entry entry{at, next_seq_++, slot};
+  // Sift up with a hole: parents shift down until the insertion slot is
+  // found, and the new entry is written exactly once.
+  std::size_t i = heap_.size();
+  heap_.emplace_back();
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
 }
 
 EventQueue::Action EventQueue::pop() {
-  Action action = std::move(heap_.top().action);
-  heap_.pop();
+  const std::uint32_t slot = heap_.front().slot;
+  Action action = std::move(slots_[slot]);
+  free_.push_back(slot);
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    // Sift down with a hole: pull the earliest child up until `last`
+    // (the displaced tail entry) finds its place.
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = kArity * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + kArity < n ? first + kArity : n;
+      for (std::size_t c = first + 1; c < end; ++c)
+        if (before(heap_[c], heap_[best])) best = c;
+      if (!before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
   return action;
 }
 

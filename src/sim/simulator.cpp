@@ -1,20 +1,6 @@
 #include "dsrt/sim/simulator.hpp"
 
-#include <utility>
-
 namespace dsrt::sim {
-
-void Simulator::at(Time at, EventQueue::Action action) {
-  if (at < now_) {
-    ++past_schedules_;
-    at = now_;
-  }
-  queue_.push(at, std::move(action));
-}
-
-void Simulator::in(Time delay, EventQueue::Action action) {
-  at(now_ + (delay < 0 ? 0 : delay), std::move(action));
-}
 
 void Simulator::run(Time until) {
   stopped_ = false;

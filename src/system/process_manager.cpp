@@ -15,6 +15,11 @@ ProcessManager::ProcessManager(sim::Simulator& sim,
       ssp_(std::move(ssp)),
       psp_(std::move(psp)),
       metrics_(metrics) {
+  // Steady-state hot path: keep the per-disposal scratch buffers out of
+  // the allocator (they only grow at new high-water marks).
+  scratch_.reserve(16);
+  disposal_queue_.reserve(32);
+  instances_.reserve(256);
   for (auto& node : nodes_) {
     node->set_completion_handler(
         [this](const sched::Job& job, sim::Time now,
@@ -82,10 +87,17 @@ void ProcessManager::dispatch_submissions(
 
 void ProcessManager::on_disposed(const sched::Job& job, sim::Time now,
                                  sched::JobOutcome outcome) {
-  disposal_queue_.push_back(Disposal{job, now, outcome});
-  if (draining_disposals_) return;  // the outer drain loop will pick it up
+  if (draining_disposals_) {
+    // Re-entrant disposal (a submission below disposed synchronously):
+    // queue it for the outer drain loop.
+    disposal_queue_.push_back(Disposal{job, now, outcome});
+    return;
+  }
   draining_disposals_ = true;
-  // Index-based loop: handle_disposal may append to the queue.
+  // Common case: handle the disposal in place (no queue round-trip), then
+  // drain whatever it spawned. Index-based loop: handle_disposal may
+  // append to the queue.
+  handle_disposal(Disposal{job, now, outcome});
   for (std::size_t i = 0; i < disposal_queue_.size(); ++i) {
     const Disposal d = disposal_queue_[i];
     handle_disposal(d);

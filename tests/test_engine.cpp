@@ -340,4 +340,32 @@ TEST(Emit, WriteBenchArtifactCreatesFile) {
   EXPECT_NE(body.find("\"name\":\"engine_unit\""), std::string::npos);
 }
 
+TEST(Emit, MicrobenchArtifactListsEntriesWithRates) {
+  const std::vector<engine::BenchEntry> entries = {
+      {"event_queue_churn_64", "events", 1000000.0, 0.5},
+      {"end_to_end_fig2", "events", 800000.0, 0.1},
+  };
+  const std::string json = engine::microbench_json("kernel", entries);
+  EXPECT_NE(json.find("\"name\":\"kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"event_queue_churn_64\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"unit\":\"events\""), std::string::npos);
+  EXPECT_NE(json.find("\"rate\":2e+06"), std::string::npos);  // 1e6 / 0.5
+  EXPECT_NE(json.find("\"rate\":8e+06"), std::string::npos);  // 8e5 / 0.1
+
+  const std::string path = engine::write_microbench_artifact(
+      "kernel_unit", entries, ::testing::TempDir());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good()) << path;
+  std::string body((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(body, engine::microbench_json("kernel_unit", entries));
+  EXPECT_NE(path.find("BENCH_kernel_unit.json"), std::string::npos);
+}
+
+TEST(Emit, MicrobenchRateGuardsZeroWall) {
+  const engine::BenchEntry e{"x", "events", 100.0, 0.0};
+  EXPECT_EQ(e.rate(), 0.0);
+}
+
 }  // namespace

@@ -1,9 +1,15 @@
-// Unit tests for the pending-event set: ordering, tie-breaking, counters.
+// Unit tests for the pending-event set: ordering, tie-breaking, counters,
+// and the slot-recycling behavior of the flat 4-ary heap.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "dsrt/sim/event_queue.hpp"
+#include "dsrt/sim/rng.hpp"
 
 namespace {
 
@@ -63,6 +69,47 @@ TEST(EventQueue, CountsPushes) {
   q.pop();
   EXPECT_EQ(q.pushed(), 7u);  // pushes, not current size
   EXPECT_EQ(q.size(), 6u);
+}
+
+TEST(EventQueue, MoveOnlyActions) {
+  EventQueue q;
+  int result = 0;
+  auto owned = std::make_unique<int>(41);
+  q.push(1.0, [p = std::move(owned), &result] { result = *p + 1; });
+  q.pop()();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(EventQueue, InterleavedChurnMatchesReferenceOrder) {
+  // Random interleaving of pushes and pops must still fire in exact
+  // (time, seq) order — this exercises slot recycling and both sift paths.
+  EventQueue q;
+  dsrt::sim::Rng rng(123);
+  std::vector<std::pair<double, int>> pending;  // (time, id) reference model
+  std::vector<int> fired;
+  int next_id = 0;
+  for (int round = 0; round < 5000; ++round) {
+    if (q.empty() || rng.uniform01() < 0.55) {
+      // Quantized times make same-time ties common, so the FIFO
+      // tie-break is exercised continuously.
+      const double at = std::floor(rng.uniform01() * 8.0);
+      const int id = next_id++;
+      q.push(at, [id, &fired] { fired.push_back(id); });
+      pending.emplace_back(at, id);
+    } else {
+      q.pop()();
+      // Reference: earliest time, FIFO (= smallest id) among ties.
+      auto best = pending.begin();
+      for (auto it = pending.begin(); it != pending.end(); ++it)
+        if (it->first < best->first ||
+            (it->first == best->first && it->second < best->second))
+          best = it;
+      ASSERT_EQ(fired.back(), best->second);
+      pending.erase(best);
+    }
+  }
+  while (!q.empty()) q.pop()();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(next_id));
 }
 
 TEST(EventQueue, HandlesManyEvents) {

@@ -1,0 +1,110 @@
+// Golden-metrics regression test: pins the *exact* RunMetrics of fixed-seed
+// fig2 configurations (Table-1 baseline, serial global tasks) down to the
+// last bit. The constants were captured from the pre-rewrite kernel
+// (std::function event queue + std::map ready queue); the allocation-free
+// kernel (InlineAction slots + flat heaps) must reproduce them verbatim —
+// any drift in event order, queue tie-breaking, or accumulation order shows
+// up here as a hard failure rather than as a silent statistical shift.
+//
+// Hex-float literals keep the doubles exact; EXPECT_EQ (not EXPECT_NEAR) is
+// deliberate throughout.
+#include <gtest/gtest.h>
+
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/system/baseline.hpp"
+#include "dsrt/system/simulation.hpp"
+
+namespace {
+
+using namespace dsrt;
+
+system::Config golden_config() {
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = 150000;  // full paper horizon is 1e6; this keeps ctest fast
+  return cfg;
+}
+
+TEST(GoldenMetrics, Fig2UdLoad05Rep0) {
+  const system::RunMetrics m = system::simulate(golden_config(), 0);
+  EXPECT_EQ(m.events, 815073u);
+  EXPECT_EQ(m.local.generated, 337564u);
+  EXPECT_EQ(m.global.generated, 27990u);
+  EXPECT_EQ(m.local.aborted, 0u);
+  EXPECT_EQ(m.global.aborted, 0u);
+  EXPECT_EQ(m.local.missed.trials(), 337559u);
+  EXPECT_EQ(m.local.missed.hits(), 79158u);
+  EXPECT_EQ(m.global.missed.trials(), 27990u);
+  EXPECT_EQ(m.global.missed.hits(), 10290u);
+  EXPECT_EQ(m.local.response.count(), 337559u);
+  EXPECT_EQ(m.local.response.mean(), 0x1.d392016e4f2e3p+0);
+  EXPECT_EQ(m.local.response.variance(), 0x1.b1fde8908030dp+1);
+  EXPECT_EQ(m.local.response.min(), 0x1.5882p-18);
+  EXPECT_EQ(m.local.response.max(), 0x1.bf8a97f622p+4);
+  EXPECT_EQ(m.global.response.count(), 27990u);
+  EXPECT_EQ(m.global.response.mean(), 0x1.0805a8f5e1949p+3);
+  EXPECT_EQ(m.global.response.variance(), 0x1.5c0d132366c35p+4);
+  EXPECT_EQ(m.global.response.min(), 0x1.bf4d52aep-4);
+  EXPECT_EQ(m.global.response.max(), 0x1.33747310268p+5);
+  EXPECT_EQ(m.local.lateness.mean(), -0x1.1a81363b12004p-1);
+  EXPECT_EQ(m.global.lateness.mean(), -0x1.4205ed2de09c1p+0);
+  EXPECT_EQ(m.subtask_wait.count(), 111960u);
+  EXPECT_EQ(m.subtask_wait.mean(), 0x1.0fb36791d1149p+0);
+  EXPECT_EQ(m.local_wait.count(), 337559u);
+  EXPECT_EQ(m.local_wait.mean(), 0x1.a6a69e4197bddp-1);
+  EXPECT_EQ(m.mean_utilization, 0x1.fffe93c4b5afbp-2);
+}
+
+TEST(GoldenMetrics, Fig2UdLoad05Rep1) {
+  // Second replication: the seed mix (not the event order) changes.
+  const system::RunMetrics m = system::simulate(golden_config(), 1);
+  EXPECT_EQ(m.events, 815639u);
+  EXPECT_EQ(m.local.missed.trials(), 337097u);
+  EXPECT_EQ(m.local.missed.hits(), 79600u);
+  EXPECT_EQ(m.global.missed.trials(), 28288u);
+  EXPECT_EQ(m.global.missed.hits(), 10591u);
+  EXPECT_EQ(m.local.response.mean(), 0x1.d2590f2d173e9p+0);
+  EXPECT_EQ(m.global.response.mean(), 0x1.094826d2e88ebp+3);
+  EXPECT_EQ(m.subtask_wait.mean(), 0x1.12ca3fff95bf8p+0);
+  EXPECT_EQ(m.local_wait.mean(), 0x1.a484150ec3f8fp-1);
+  EXPECT_EQ(m.mean_utilization, 0x1.0028598daeceap-1);
+}
+
+TEST(GoldenMetrics, Fig2EqfLoad03Rep0) {
+  // Different SSP strategy and load: exercises EQF's deadline arithmetic.
+  system::Config cfg = golden_config();
+  cfg.load = 0.3;
+  cfg.ssp = core::make_eqf();
+  const system::RunMetrics m = system::simulate(cfg, 0);
+  EXPECT_EQ(m.events, 489041u);
+  EXPECT_EQ(m.local.missed.trials(), 202670u);
+  EXPECT_EQ(m.local.missed.hits(), 24143u);
+  EXPECT_EQ(m.global.missed.trials(), 16739u);
+  EXPECT_EQ(m.global.missed.hits(), 1690u);
+  EXPECT_EQ(m.local.response.mean(), 0x1.6488b081083b6p+0);
+  EXPECT_EQ(m.global.response.mean(), 0x1.60921854eca96p+2);
+  EXPECT_EQ(m.global.lateness.mean(), -0x1.ffc23ee2d0af1p+1);
+  EXPECT_EQ(m.subtask_wait.mean(), 0x1.7f99b98fa79e3p-2);
+  EXPECT_EQ(m.mean_utilization, 0x1.32f8ec913379ep-2);
+}
+
+TEST(GoldenMetrics, Fig2UdLoad05PreemptiveRep0) {
+  // Preemptive-resume relaxation: covers the preempt/stale-token paths the
+  // flat ready queue rewrite touched.
+  system::Config cfg = golden_config();
+  cfg.preemption = sched::PreemptionMode::Preemptive;
+  const system::RunMetrics m = system::simulate(cfg, 0);
+  EXPECT_EQ(m.events, 897773u);
+  EXPECT_EQ(m.local.missed.trials(), 337560u);
+  EXPECT_EQ(m.local.missed.hits(), 47108u);
+  EXPECT_EQ(m.global.missed.trials(), 27990u);
+  EXPECT_EQ(m.global.missed.hits(), 11477u);
+  EXPECT_EQ(m.local.response.mean(), 0x1.96191b00e8597p+0);
+  EXPECT_EQ(m.global.response.mean(), 0x1.1aedfd18a93b6p+3);
+  EXPECT_EQ(m.local.lateness.mean(), -0x1.9572eac80ac66p-1);
+  EXPECT_EQ(m.global.lateness.mean(), -0x1.5586982f470eep-1);
+  EXPECT_EQ(m.subtask_wait.mean(), 0x1.35840fd76057cp+0);
+  EXPECT_EQ(m.local_wait.mean(), 0x1.2bb567069124bp-1);
+  EXPECT_EQ(m.mean_utilization, 0x1.fffe93c4b5afbp-2);
+}
+
+}  // namespace

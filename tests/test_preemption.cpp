@@ -140,6 +140,85 @@ TEST(PreemptiveNode, UtilizationUnaffectedByPreemption) {
   EXPECT_NEAR(f.node.utilization(10.0), 0.6, 1e-9);
 }
 
+TEST(PreemptiveNode, PreemptionAtCompletionInstantKeepsServiceExact) {
+  // The completion event for job 1 (due t=5) is already in the event queue
+  // when job 2 preempts at t=5 with an *earlier* scheduling sequence — the
+  // preemption fires first, invalidates the pending completion via the
+  // service token, and job 1 must still receive its full remaining demand.
+  Fixture f;
+  // Schedule the arrival *before* submitting job 1 so the two t=5 events
+  // tie-break with the arrival first and the completion second (stale).
+  f.sim.at(5.0, [&] { f.node.submit(f.job(2, 1.0, 3.0)); });
+  f.node.submit(f.job(1, 5.0, 100.0));
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 2u);
+  EXPECT_EQ(f.log[0].id, 2u);
+  EXPECT_DOUBLE_EQ(f.log[0].at, 6.0);
+  EXPECT_EQ(f.log[1].id, 1u);
+  // Job 1 had exactly 0 remaining at the preemption instant; it re-enters
+  // service at t=6 and completes immediately at t=6 (not 6 + 5).
+  EXPECT_DOUBLE_EQ(f.log[1].at, 6.0);
+  EXPECT_EQ(f.node.preemptions(), 1u);
+  EXPECT_EQ(f.node.jobs_completed(), 2u);
+}
+
+TEST(PreemptiveNode, StaleCompletionEventIsIgnored) {
+  // A preemption leaves the old completion event in the queue; when it
+  // fires, the server is busy with the *newcomer*. Without the token guard
+  // the stale event would complete the wrong job early.
+  Fixture f;
+  f.node.submit(f.job(1, 5.0, 100.0));           // completion queued for t=5
+  f.sim.in(1.0, [&] { f.node.submit(f.job(2, 10.0, 3.0)); });  // preempts
+  f.sim.run(5.5);
+  // At t=5 the stale event fired while job 2 (due t=11) was in service:
+  // nothing may complete and the server must still be busy.
+  EXPECT_EQ(f.log.size(), 0u);
+  EXPECT_TRUE(f.node.busy());
+  EXPECT_EQ(f.node.jobs_completed(), 0u);
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 2u);
+  EXPECT_EQ(f.log[0].id, 2u);
+  EXPECT_DOUBLE_EQ(f.log[0].at, 11.0);  // 1 + 10
+  EXPECT_EQ(f.log[1].id, 1u);
+  EXPECT_DOUBLE_EQ(f.log[1].at, 15.0);  // resumes with 4 remaining
+}
+
+TEST(PreemptiveNode, RepeatedPreemptionAccumulatesStaleEventsSafely) {
+  // Each preemption strands one completion event; five of them must all be
+  // ignored while total service stays exact.
+  Fixture f;
+  f.node.submit(f.job(1, 12.0, 1000.0));
+  // t = 1, 3, 5, 7, 9: job 1 is back in service each time, so every
+  // arrival preempts it and strands another completion event.
+  for (int i = 1; i <= 5; ++i)
+    f.sim.in(2.0 * i - 1.0, [&f, i] {
+      f.node.submit(f.job(static_cast<JobId>(100 + i), 1.0,
+                          static_cast<double>(i)));
+    });
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 6u);
+  EXPECT_EQ(f.node.preemptions(), 5u);
+  EXPECT_EQ(f.log.back().id, 1u);
+  EXPECT_DOUBLE_EQ(f.log.back().at, 17.0);  // 12 own + 5 preempting units
+}
+
+TEST(PreemptiveNode, PreemptedJobKeepsQueuePositionAgainstLaterArrivals) {
+  // The suspended job re-enters the flat ready queue with its *original*
+  // arrival sequence: a later arrival with the same deadline must not
+  // overtake it (FIFO tie-break preserved across preemption).
+  Fixture f;
+  f.node.submit(f.job(1, 4.0, 10.0));
+  f.sim.in(1.0, [&] { f.node.submit(f.job(2, 1.0, 2.0)); });   // preempts 1
+  f.sim.in(1.5, [&] { f.node.submit(f.job(3, 1.0, 10.0)); });  // ties with 1
+  f.sim.run();
+  ASSERT_EQ(f.log.size(), 3u);
+  EXPECT_EQ(f.log[0].id, 2u);  // urgent newcomer
+  EXPECT_EQ(f.log[1].id, 1u);  // resumed before the equal-deadline arrival
+  EXPECT_DOUBLE_EQ(f.log[1].at, 5.0);  // 2 + 3 remaining
+  EXPECT_EQ(f.log[2].id, 3u);
+  EXPECT_DOUBLE_EQ(f.log[2].at, 6.0);
+}
+
 TEST(PreemptiveSystem, FullRunInvariants) {
   dsrt::system::Config cfg = dsrt::system::baseline_ssp();
   cfg.horizon = 30000;
