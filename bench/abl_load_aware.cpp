@@ -1,0 +1,142 @@
+// A12 — extension ablation: load-aware deadline assignment under rising
+// load (the paper's Section 7 open question: "strategies that use system
+// state information").
+//
+// Compares each static strategy against its load-aware counterpart as the
+// system approaches saturation:
+//   - serial shape:  EQS vs EQS-L, EQF vs EQF-L (slack divided over the
+//     *queueing-inflated* predicted execution time, fed by a LoadModel of
+//     configurable freshness: exact oracle or stale snapshots), and
+//   - parallel shape: DIV1 vs DIVA (the online DIV-x autotuner adapting
+//     the promotion factor from observed subtask lateness).
+//
+// What to look for: EQS-L/EQF-L trade global-class misses for a lower
+// *overall* miss ratio (they stop granting early stages urgency the
+// backlog will eat anyway, which mostly relieves the numerous local
+// tasks); DIVA beats static DIV1 on MD_global outright, with the gap
+// widening toward saturation.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dsrt/core/load_aware_strategies.hpp"
+#include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/system/baseline.hpp"
+
+namespace {
+
+using dsrt::system::Config;
+
+/// The parallel entries of the strategy axis must carry Section 5.2's
+/// baseline (shape, slack ranges) along with the PSP, mirroring what
+/// --shape=parallel would start from.
+void apply_parallel_baseline(Config& cfg) {
+  const Config base = dsrt::system::baseline_psp();
+  cfg.shape = base.shape;
+  cfg.local_slack = base.local_slack;
+  cfg.parallel_slack = base.parallel_slack;
+  cfg.sp_shape = base.sp_shape;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dsrt::util::Flags flags(argc, argv);
+  bench::RunControl rc = bench::parse_run_control(flags);
+  if (!flags.has("horizon") && !flags.has("quick")) rc.horizon = 2e5;
+
+  bench::banner("abl_load_aware",
+                "extension: load-aware deadline assignment (Section 7's "
+                "open question) vs the static strategies, toward saturation",
+                "serial: EQS/EQF vs EQS-L/EQF-L (exact + stale:5 load "
+                "models); parallel: DIV1 vs online-adaptive DIVA");
+
+  using dsrt::core::LoadModelSpec;
+  auto serial_choice = [](const char* ssp, const char* lm) {
+    return std::pair<std::string, std::function<void(Config&)>>{
+        std::string(ssp) + (std::string(lm) == "none"
+                                ? ""
+                                : "/" + std::string(lm)),
+        [ssp, lm](Config& cfg) {
+          cfg.ssp = dsrt::core::serial_strategy_by_name(ssp);
+          cfg.load_model = LoadModelSpec::parse(lm);
+        }};
+  };
+  auto parallel_choice = [](const char* psp) {
+    return std::pair<std::string, std::function<void(Config&)>>{
+        psp, [psp](Config& cfg) {
+          apply_parallel_baseline(cfg);
+          cfg.psp = dsrt::core::parallel_strategy_by_name(psp);
+        }};
+  };
+
+  dsrt::engine::SweepGrid grid;
+  grid.axis(dsrt::engine::SweepAxis::by_field("load",
+                                              {"0.5", "0.7", "0.85"}))
+      .axis(dsrt::engine::SweepAxis::choices(
+          "strategy", {
+                          serial_choice("EQS", "none"),
+                          serial_choice("EQS-L", "exact"),
+                          serial_choice("EQS-L", "stale:5"),
+                          serial_choice("EQF", "none"),
+                          serial_choice("EQF-L", "exact"),
+                          parallel_choice("DIV1"),
+                          parallel_choice("DIVA"),
+                      }));
+
+  const auto sweep = bench::run_sweep("load_aware", grid,
+                                      dsrt::system::baseline_ssp(), rc);
+
+  std::printf("MD_global (%%), by strategy (serial family left, parallel "
+              "family right)\n");
+  bench::emit(dsrt::engine::pivot_table(
+                  sweep,
+                  [](const dsrt::engine::PointResult& p) {
+                    return bench::pct(p.result.md_global);
+                  }),
+              rc);
+  std::printf("MD_overall (%%), both task classes pooled\n");
+  bench::emit(dsrt::engine::pivot_table(
+                  sweep,
+                  [](const dsrt::engine::PointResult& p) {
+                    return bench::pct(p.result.md_overall);
+                  }),
+              rc);
+
+  // Saturation verdict: each load-aware strategy vs its static twin at the
+  // highest swept load, on the missed-deadline ratio the family targets.
+  const auto at_saturation = [&](const std::string& label,
+                                 bool overall) -> double {
+    double value = -1;
+    for (const auto& pr : sweep.points) {
+      if (pr.point.labels.front() == "0.85" &&
+          pr.point.labels.back() == label)
+        value = overall ? pr.result.md_overall.mean
+                        : pr.result.md_global.mean;
+    }
+    return value;
+  };
+  struct Pair {
+    const char* aware;
+    const char* baseline;
+    bool overall;  ///< which miss ratio the family is judged on
+  };
+  const std::vector<Pair> pairs = {
+      {"EQS-L/exact", "EQS", true},
+      {"EQS-L/stale:5", "EQS", true},
+      {"EQF-L/exact", "EQF", true},
+      {"DIVA", "DIV1", false},
+  };
+  std::printf("\nsaturation verdict (load 0.85):\n");
+  for (const auto& pair : pairs) {
+    const double aware = at_saturation(pair.aware, pair.overall);
+    const double stat = at_saturation(pair.baseline, pair.overall);
+    std::printf("  %-14s vs %-5s on %-10s %6.2f%% vs %6.2f%%  %s\n",
+                pair.aware, pair.baseline,
+                pair.overall ? "MD_overall" : "MD_global", 100 * aware,
+                100 * stat, aware < stat ? "IMPROVES" : "no gain");
+  }
+  return 0;
+}

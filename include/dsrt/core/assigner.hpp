@@ -42,11 +42,14 @@ enum class InstanceState : std::uint8_t { Running, Completed, Aborted };
 /// already-queued subtasks are absorbed without emitting further work.
 class TaskInstance {
  public:
-  /// `deadline` is the end-to-end deadline dl(T); strategies must outlive
-  /// the instance.
+  /// `deadline` is the end-to-end deadline dl(T); strategies — and
+  /// `load_model`, when given — must outlive the instance. `load_model`
+  /// (nullable) is surfaced to the strategies through the contexts so
+  /// load-aware strategies can consult per-node system state; static
+  /// strategies ignore it.
   TaskInstance(TaskId id, const TaskSpec& spec, sim::Time arrival,
                sim::Time deadline, SerialStrategyPtr ssp,
-               ParallelStrategyPtr psp);
+               ParallelStrategyPtr psp, const LoadModel* load_model = nullptr);
 
   TaskId id() const { return id_; }
   sim::Time arrival() const { return arrival_; }
@@ -117,6 +120,7 @@ class TaskInstance {
   sim::Time deadline_;
   SerialStrategyPtr ssp_;
   ParallelStrategyPtr psp_;
+  const LoadModel* load_model_ = nullptr;  ///< not owned; may be null
   std::vector<Vertex> vertices_;
   InstanceState state_ = InstanceState::Running;
   std::size_t outstanding_ = 0;

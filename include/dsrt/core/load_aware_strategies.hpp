@@ -1,0 +1,92 @@
+#pragma once
+
+#include "dsrt/core/strategy.hpp"
+
+namespace dsrt::core {
+
+/// EQS-L — load-aware Equal Slack (extension; the paper's Section 7 leaves
+/// "strategies that use system state information" open).
+///
+/// The queued predicted work q at the subtask's node is charged to the
+/// current stage before the remaining slack is divided: the stage cannot
+/// start before the backlog drains, so pretending that time is shareable
+/// slack starves later stages. With ar(Ti) = now:
+///   dl(Ti) = now + pex(Ti) + q
+///          + [dl(T) - now - q - sum_{j>=i} pex(Tj)] / (m - i + 1),
+/// clamped to dl(T). With q = 0 (idle system or no load model) this is
+/// bit-for-bit EQS wherever EQS itself stays inside the group window —
+/// the differential tests pin that regime. Past the window (a stage
+/// submitted with less remaining slack than pex) EQS can assign beyond
+/// dl(T); the clamp is the *intended* difference there, keeping
+/// dl(Ti) <= dl(T) unconditionally (the fuzz tier's bound).
+class EqualSlackLoadAware final : public SerialStrategy {
+ public:
+  sim::Time assign(const SerialContext& ctx) const override;
+  std::string_view name() const override { return "EQS-L"; }
+};
+
+/// EQF-L — load-aware Equal Flexibility: slack is divided in proportion to
+/// the *queueing-inflated* predicted execution time pex(Ti) + q:
+///   dl(Ti) = now + (pex(Ti) + q)
+///          + [dl(T) - now - q - sum_{j>=i} pex(Tj)]
+///            * (pex(Ti) + q) / (sum_{j>=i} pex(Tj) + q),
+/// clamped to dl(T); equivalently dl(Ti) = now + (dl(T) - now) *
+/// (pex(Ti)+q)/(pex_rem+q), so the window share grows smoothly with the
+/// backlog and never exceeds the group window. Falls back to EQS-L's equal
+/// division when the inflated remaining pex is zero. q = 0 reproduces EQF
+/// exactly.
+class EqualFlexibilityLoadAware final : public SerialStrategy {
+ public:
+  sim::Time assign(const SerialContext& ctx) const override;
+  std::string_view name() const override { return "EQF-L"; }
+};
+
+/// DIVA — online DIV-x autotuner (PSP). Applies the paper's DIV-x formula
+///   dl(Ti) = ar(T) + [dl(T) - ar(T)] / (n * x)
+/// with an x that adapts to observed subtask lateness: every `batch`
+/// disposals the miss ratio of the batch is compared with `target_miss`,
+/// and x moves multiplicatively toward more promotion (earlier virtual
+/// deadlines) when subtasks miss too often, and back toward 1 when the
+/// system is comfortably meeting deadlines (excess promotion penalizes
+/// local tasks — Fig. 4's trade-off). x stays in [1, x_max]: x >= 1 keeps
+/// every virtual deadline inside the group window.
+///
+/// State is per run: the engine's concurrent runs each receive a fresh
+/// clone (clone_for_run), and adaptation is driven purely by simulated-time
+/// disposal order, so results are independent of --jobs.
+class AdaptiveDivX final : public ParallelStrategy, public SubtaskFeedback {
+ public:
+  struct Options {
+    double x0 = 1.0;           ///< initial promotion factor (>= 1)
+    double x_max = 16.0;       ///< adaptation ceiling
+    double gain = 0.5;         ///< multiplicative step per batch
+    double target_miss = 0.05; ///< acceptable subtask miss ratio
+    std::size_t batch = 64;    ///< disposals per adaptation step
+    bool adapt = true;         ///< false: behave exactly like DivX(x0)
+  };
+
+  explicit AdaptiveDivX(Options options);
+
+  ParallelAssignment assign(const ParallelContext& ctx) const override;
+  std::string_view name() const override { return name_; }
+  ParallelStrategyPtr clone_for_run() const override;
+  void on_subtask_disposed(sim::Time lateness, bool completed) const override;
+
+  double x() const { return x_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::string name_;
+  // Per-run adaptation state (see SubtaskFeedback for the mutability
+  // rationale).
+  mutable double x_ = 1.0;
+  mutable std::size_t observed_ = 0;
+  mutable std::size_t missed_ = 0;
+};
+
+SerialStrategyPtr make_eqs_load_aware();
+SerialStrategyPtr make_eqf_load_aware();
+ParallelStrategyPtr make_adaptive_div_x(AdaptiveDivX::Options options = {});
+
+}  // namespace dsrt::core

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsrt/core/task.hpp"
+#include "dsrt/sim/time.hpp"
+
+namespace dsrt::core {
+
+/// Snapshot of one node's load as seen by a deadline-assignment strategy.
+/// All quantities are in predicted-execution units / fractions, so a
+/// strategy consuming them never touches real execution times (the paper's
+/// information model: schedulers see pex, not ex).
+struct NodeLoad {
+  /// Predicted work currently at the node: sum of pex over the waiting
+  /// queue plus the job in service. The natural estimate of the queueing
+  /// delay a newly submitted subtask would face.
+  double queued_pex = 0;
+  /// Exponentially weighted busy fraction (simulated-time decay).
+  double utilization = 0;
+  /// Jobs waiting (not counting the one in service).
+  std::uint32_t queue_length = 0;
+};
+
+/// Per-node load accounting slot, written by the owning `sched::Node` at
+/// submit/dispatch/dispose instants and read through a `LoadModel`. Kept in
+/// `core` so strategies can consume load without depending on `sched`.
+///
+/// The utilization EWMA decays in *simulated* time with constant `tau`:
+/// between updates the estimate relaxes toward the held busy/idle state by
+/// 1 - exp(-dt/tau). Reads are pure (decay is computed on the fly), so
+/// sampling the account never perturbs determinism.
+class LoadAccount {
+ public:
+  /// Sets the EWMA time constant and observation start. Call once before
+  /// any update. `tau` must be > 0.
+  void configure(double tau, sim::Time now);
+
+  /// A job arrived at the node (enters queue or service).
+  void add_backlog(double pex) { backlog_ += pex; }
+  /// A job left the node (completed or aborted).
+  void remove_backlog(double pex) {
+    backlog_ -= pex;
+    if (backlog_ < 0) backlog_ = 0;  // guard pex rounding drift
+  }
+  /// Mirrors the node's waiting-queue length.
+  void set_queue_length(std::size_t n) {
+    queue_length_ = static_cast<std::uint32_t>(n);
+  }
+  /// Folds the held busy state into the EWMA up to `now`, then holds
+  /// `busy` from `now` on.
+  void set_busy(sim::Time now, bool busy);
+
+  /// Current load with the EWMA decayed to `now`. Pure.
+  NodeLoad read(sim::Time now) const;
+
+ private:
+  double ewma_at(sim::Time now) const;
+
+  double backlog_ = 0;
+  std::uint32_t queue_length_ = 0;
+  double tau_ = 1;
+  double util_ewma_ = 0;
+  bool busy_ = false;
+  sim::Time last_update_ = 0;
+};
+
+/// System-state view offered to SSP/PSP strategies (the paper's Section 7
+/// "strategies that use system state information"). Implementations differ
+/// in *freshness*: exact (oracle), sampled (periodic snapshots), stale
+/// (snapshots served one period late — propagation delay). All freshness is
+/// derived from simulated time, never wall clock, so runs stay
+/// deterministic and `--jobs=1` equals `--jobs=N`.
+class LoadModel {
+ public:
+  virtual ~LoadModel() = default;
+  /// Load of `node` as this model sees it at simulated time `now`.
+  virtual NodeLoad load(NodeId node, sim::Time now) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+using LoadModelPtr = std::shared_ptr<const LoadModel>;
+
+/// Zero-load oracle: every node always reports an empty queue. Load-aware
+/// strategies driven by this model must reproduce their static counterparts
+/// exactly (the differential tests pin this).
+class IdleLoadModel final : public LoadModel {
+ public:
+  NodeLoad load(NodeId, sim::Time) const override { return {}; }
+  std::string_view name() const override { return "idle"; }
+};
+
+/// Oracle freshness: reads the live accounts.
+class ExactLoadModel final : public LoadModel {
+ public:
+  explicit ExactLoadModel(const std::vector<LoadAccount>& accounts)
+      : accounts_(accounts) {}
+  NodeLoad load(NodeId node, sim::Time now) const override;
+  std::string_view name() const override { return "exact"; }
+
+ private:
+  const std::vector<LoadAccount>& accounts_;
+};
+
+/// Periodic-snapshot freshness. `refresh(now)` copies the live accounts
+/// into the current snapshot (the simulation schedules it every `period`
+/// simulated time units); reads serve either the current snapshot
+/// (`Serve::Latest` — the "sampled" model) or the previous one
+/// (`Serve::Previous` — the "stale"/propagation-delay model, in which a
+/// read at time t sees state that is between one and two periods old).
+/// Before the first refresh both snapshots are zero (cold start).
+class SnapshotLoadModel final : public LoadModel {
+ public:
+  enum class Serve : std::uint8_t { Latest, Previous };
+
+  SnapshotLoadModel(const std::vector<LoadAccount>& accounts,
+                    sim::Time period, Serve serve);
+
+  /// Copies the live accounts into the served snapshots. Call at
+  /// monotonically non-decreasing simulated times.
+  void refresh(sim::Time now);
+
+  sim::Time period() const { return period_; }
+  NodeLoad load(NodeId node, sim::Time now) const override;
+  std::string_view name() const override {
+    return serve_ == Serve::Latest ? "sampled" : "stale";
+  }
+
+ private:
+  const std::vector<LoadAccount>& accounts_;
+  sim::Time period_;
+  Serve serve_;
+  std::vector<NodeLoad> current_;
+  std::vector<NodeLoad> previous_;
+};
+
+/// Which freshness a run should wire up.
+enum class LoadModelKind : std::uint8_t { None, Exact, Sampled, Stale };
+
+/// Declarative description of a load model — `system::Config` carries this
+/// (not a live `LoadModel`) because the sampled/stale variants hold per-run
+/// snapshot state that must not be shared across concurrent engine runs.
+struct LoadModelSpec {
+  LoadModelKind kind = LoadModelKind::None;
+  /// Snapshot period (Sampled) / propagation delay (Stale), simulated time.
+  double period = 5.0;
+  /// Utilization EWMA time constant of the per-node accounts.
+  double ewma_tau = 20.0;
+
+  /// Parses "none" | "exact" | "sampled[:period]" | "stale[:delay]".
+  /// Throws std::invalid_argument on unknown kinds or bad numbers.
+  static LoadModelSpec parse(std::string_view text);
+
+  /// Inverse of parse (e.g. "sampled:5").
+  std::string describe() const;
+
+  /// Throws std::invalid_argument unless ewma_tau is positive (checked for
+  /// every kind, so a bad --lm_tau never lies dormant) and, for the
+  /// snapshot kinds, period is positive.
+  void validate() const;
+};
+
+}  // namespace dsrt::core

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <string_view>
+#include <vector>
+
 #include "dsrt/core/strategy.hpp"
 
 namespace dsrt::core {
@@ -62,9 +65,16 @@ ParallelStrategyPtr make_div_x(double x);
 ParallelStrategyPtr make_gf();
 ParallelStrategyPtr make_parallel_eqf();
 
-/// Looks up a parallel strategy by paper name: "UD", "GF", "DIV1", "DIV2",
-/// "DIV<float>", or the extension "EQF-P".
-/// Throws std::invalid_argument for unknown names.
+/// Looks up a parallel strategy by paper name: "UD", "GF", "DIV<float>"
+/// (e.g. "DIV1", "DIV2"), or the extensions "EQF-P" and "DIVA[<float>]"
+/// (the online DIV-x autotuner, optional initial x >= 1, e.g. "DIVA2").
+/// Throws std::invalid_argument for unknown names; the message lists the
+/// registered vocabulary (see parallel_strategy_names).
 ParallelStrategyPtr parallel_strategy_by_name(std::string_view name);
+
+/// The name vocabulary parallel_strategy_by_name accepts, in registry
+/// order; parametric families appear as patterns ("DIV<x>", "DIVA[<x>]").
+/// The CLI help text is generated from this.
+std::vector<std::string_view> parallel_strategy_names();
 
 }  // namespace dsrt::core

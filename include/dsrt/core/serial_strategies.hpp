@@ -1,5 +1,8 @@
 #pragma once
 
+#include <string_view>
+#include <vector>
+
 #include "dsrt/core/strategy.hpp"
 
 namespace dsrt::core {
@@ -99,8 +102,14 @@ SerialStrategyPtr make_eqs_static();
 SerialStrategyPtr make_eqf_static();
 
 /// Looks up a serial strategy by its paper name ("UD", "ED", "EQS", "EQF")
-/// or extension name ("EQS-S", "EQF-S").
-/// Throws std::invalid_argument for unknown names.
+/// or extension name ("EQS-S", "EQF-S", "EQS-L", "EQF-L").
+/// Throws std::invalid_argument for unknown names; the message lists every
+/// registered name, so the CLI error (and --help, via
+/// serial_strategy_names) can never drift from the registry.
 SerialStrategyPtr serial_strategy_by_name(std::string_view name);
+
+/// Every name serial_strategy_by_name accepts, in registry order. The CLI
+/// help text and sweep-axis vocabulary are generated from this.
+std::vector<std::string_view> serial_strategy_names();
 
 }  // namespace dsrt::core

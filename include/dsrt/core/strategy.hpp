@@ -1,17 +1,25 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string_view>
 
+#include "dsrt/core/task.hpp"
 #include "dsrt/sim/time.hpp"
 
 namespace dsrt::core {
+
+class LoadModel;
 
 /// Scheduling class of a job at a node. `Elevated` jobs always beat
 /// `Normal` jobs in dispatch order (within a class the node's policy order
 /// applies) — the mechanism behind the paper's Globals First (GF) strategy.
 enum class PriorityClass : std::uint8_t { Normal, Elevated };
+
+/// "This subtask is complex / has no single execution node" sentinel for
+/// the `node` field of the strategy contexts.
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 
 /// Everything an SSP strategy may consult when subtask `index` of a serial
 /// group is submitted (Section 4). Times are absolute; predicted execution
@@ -26,15 +34,31 @@ struct SerialContext {
   double pex_self = 0;           ///< pex(Ti).
   double pex_remaining = 0;      ///< sum_{j >= i} pex(Tj), including self.
   double pex_group_total = 0;    ///< sum over the whole group (for variants).
+  // --- System state (Section 7 "future research"; extension) -------------
+  /// Per-node load view; nullptr = no state information available. Static
+  /// strategies ignore it, so the paper's strategies are unaffected.
+  const LoadModel* load = nullptr;
+  /// Execution node of Ti when it is a simple subtask; kNoNode for complex
+  /// subtasks (which have no single node — load-aware strategies fall back
+  /// to their static formula there and refine at the next recursion level).
+  NodeId node = kNoNode;
 };
 
 /// Serial subtask deadline-assignment strategy (SSP, Section 4). Returns
 /// the virtual deadline dl(Ti) for the subtask described by `ctx`.
+class SerialStrategy;
+using SerialStrategyPtr = std::shared_ptr<const SerialStrategy>;
+
 class SerialStrategy {
  public:
   virtual ~SerialStrategy() = default;
   virtual sim::Time assign(const SerialContext& ctx) const = 0;
   virtual std::string_view name() const = 0;
+  /// Strategies carrying per-run mutable state return a fresh instance so
+  /// every simulation run adapts independently (shared instances across the
+  /// engine's concurrent runs would race and break `--jobs` determinism).
+  /// Stateless strategies — the default — return nullptr and may be shared.
+  virtual SerialStrategyPtr clone_for_run() const { return nullptr; }
 };
 
 /// What a PSP strategy may consult when a parallel group's subtasks are
@@ -48,6 +72,9 @@ struct ParallelContext {
   std::size_t count = 1;         ///< n: number of parallel subtasks.
   double pex_self = 0;           ///< pex(Ti).
   double pex_max = 0;            ///< max_j pex(Tj) over the group.
+  // --- System state (extension; see SerialContext) -----------------------
+  const LoadModel* load = nullptr;
+  NodeId node = kNoNode;
 };
 
 /// A PSP strategy may move the virtual deadline and/or raise the scheduling
@@ -58,14 +85,32 @@ struct ParallelAssignment {
 };
 
 /// Parallel subtask deadline-assignment strategy (PSP, Section 5).
+class ParallelStrategy;
+using ParallelStrategyPtr = std::shared_ptr<const ParallelStrategy>;
+
 class ParallelStrategy {
  public:
   virtual ~ParallelStrategy() = default;
   virtual ParallelAssignment assign(const ParallelContext& ctx) const = 0;
   virtual std::string_view name() const = 0;
+  /// See SerialStrategy::clone_for_run.
+  virtual ParallelStrategyPtr clone_for_run() const { return nullptr; }
 };
 
-using SerialStrategyPtr = std::shared_ptr<const SerialStrategy>;
-using ParallelStrategyPtr = std::shared_ptr<const ParallelStrategy>;
+/// Optional feedback interface: a strategy that also implements this
+/// receives the disposal of every global subtask from the process manager
+/// (lateness relative to the subtask's *virtual* deadline) — the signal the
+/// online DIV-x autotuner adapts on. The methods are const with mutable
+/// internals because strategy handles are shared as pointers-to-const; the
+/// state is per-run (clone_for_run) and each run is single-threaded, so the
+/// mutation is race-free and deterministic.
+class SubtaskFeedback {
+ public:
+  virtual ~SubtaskFeedback() = default;
+  /// `lateness` = disposal time - virtual deadline (> 0 means late);
+  /// `completed` is false when the subtask was aborted.
+  virtual void on_subtask_disposed(sim::Time lateness,
+                                   bool completed) const = 0;
+};
 
 }  // namespace dsrt::core

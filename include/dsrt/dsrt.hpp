@@ -15,6 +15,8 @@
 ///              structured result emitters (CSV / JSON / BENCH artifacts)
 
 #include "dsrt/core/assigner.hpp"
+#include "dsrt/core/load_aware_strategies.hpp"
+#include "dsrt/core/load_model.hpp"
 #include "dsrt/core/parallel_strategies.hpp"
 #include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/core/strategy.hpp"

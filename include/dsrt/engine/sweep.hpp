@@ -35,7 +35,8 @@ struct SweepAxis {
 
   /// Axis over a well-known Config field, by name — the vocabulary of the
   /// CLI: load, frac_local, rel_flex, nodes, m, horizon, warmup, pex_err,
-  /// ssp, psp, policy, abort, shape. Values arrive as strings (numeric
+  /// ssp, psp, policy, abort, shape, load_model. Values arrive as strings
+  /// (numeric
   /// fields are parsed strictly; nodes/m must be non-negative integers).
   /// A `shape` value applies that shape's section baseline (slack
   /// distributions, sp_shape) along with the enum, matching what

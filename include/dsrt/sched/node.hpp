@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "dsrt/core/load_model.hpp"
 #include "dsrt/sched/abort_policy.hpp"
 #include "dsrt/sched/job.hpp"
 #include "dsrt/sched/policy.hpp"
@@ -76,6 +77,13 @@ class Node {
   /// warm-up truncation). Counters are not reset.
   void reset_observation(sim::Time now);
 
+  /// Attaches the node's load-accounting slot (nullptr detaches). The
+  /// account must outlive the node (the simulation owns a flat board sized
+  /// before attachment). When detached — the default — the scheduling hot
+  /// path pays exactly one null check per touch point, and behavior is
+  /// bit-for-bit identical to a build without load accounting.
+  void attach_load_account(core::LoadAccount* account) { load_ = account; }
+
  private:
   struct QueueOrder {
     bool operator()(const std::pair<std::pair<int, double>, std::uint64_t>& a,
@@ -124,6 +132,8 @@ class Node {
   sim::Time service_started_ = 0;
   std::uint64_t service_token_ = 0;  // guards stale completion events
   std::uint64_t arrival_seq_ = 0;
+
+  core::LoadAccount* load_ = nullptr;  ///< optional; not owned
 
   stats::TimeWeighted busy_signal_;
   stats::TimeWeighted queue_signal_;

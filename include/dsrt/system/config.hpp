@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "dsrt/core/load_model.hpp"
 #include "dsrt/core/parallel_strategies.hpp"
 #include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/core/strategy.hpp"
@@ -35,6 +36,12 @@ struct Config {
   // --- SDA strategies under test ----------------------------------------
   core::SerialStrategyPtr ssp = core::make_ud();
   core::ParallelStrategyPtr psp = core::make_parallel_ud();
+  /// System-state view for load-aware strategies (EQS-L, EQF-L, ...). The
+  /// default None wires no accounting at all — the paper's static
+  /// strategies run bit-for-bit as before. Sampled/Stale snapshot on a
+  /// simulated-time schedule, so determinism (and --jobs invariance) holds
+  /// for every kind.
+  core::LoadModelSpec load_model;
 
   // --- Workload (Table 1) ------------------------------------------------
   double load = 0.5;        ///< normalized load in [0, 1)
@@ -72,9 +79,10 @@ struct Config {
   /// higher local task loads than others", Section 4.3).
   std::vector<double> local_weights;
   /// Section 3.2 network modeling: number of dedicated link nodes (ids
-  /// nodes..nodes+link_nodes-1). When > 0 (Serial shape only), every
-  /// consecutive pair of stages is connected by a transmission subtask
-  /// with `comm_exec` service on a uniformly chosen link. The normalized
+  /// nodes..nodes+link_nodes-1). When > 0 (Serial and SerialParallel
+  /// shapes), every consecutive pair of stages is connected by a
+  /// transmission subtask with `comm_exec` service on a uniformly chosen
+  /// link. The normalized
   /// `load` keeps its Table-1 meaning over the k *compute* nodes; link
   /// occupancy is reported separately (RunMetrics::mean_link_utilization).
   std::size_t link_nodes = 0;

@@ -24,10 +24,15 @@ namespace dsrt::system {
 class ProcessManager {
  public:
   /// Registers itself as the completion handler of every node.
+  /// `load_model` (nullable, not owned, must outlive the manager) is handed
+  /// to every task instance so load-aware strategies can consult system
+  /// state; when the PSP also implements core::SubtaskFeedback (the online
+  /// DIV-x autotuner) it receives every global subtask disposal.
   ProcessManager(sim::Simulator& sim,
                  std::vector<std::unique_ptr<sched::Node>>& nodes,
                  core::SerialStrategyPtr ssp, core::ParallelStrategyPtr psp,
-                 RunMetrics& metrics);
+                 RunMetrics& metrics,
+                 const core::LoadModel* load_model = nullptr);
 
   ProcessManager(const ProcessManager&) = delete;
   ProcessManager& operator=(const ProcessManager&) = delete;
@@ -73,6 +78,8 @@ class ProcessManager {
   core::SerialStrategyPtr ssp_;
   core::ParallelStrategyPtr psp_;
   RunMetrics& metrics_;
+  const core::LoadModel* load_model_ = nullptr;     ///< not owned
+  const core::SubtaskFeedback* feedback_ = nullptr;  ///< psp_, if it listens
   Observer* observer_ = nullptr;
 
   std::unordered_map<core::TaskId, core::TaskInstance> instances_;

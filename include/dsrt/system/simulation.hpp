@@ -40,11 +40,22 @@ class SimulationRun {
   /// Attaches a lifecycle observer for this run (see system::Observer).
   void set_observer(Observer* observer) { pm_->set_observer(observer); }
 
+  /// The load model wired from cfg.load_model (nullptr when kind = None).
+  const core::LoadModel* load_model() const { return load_model_.get(); }
+
  private:
+  void schedule_snapshot_refresh();
+
   Config cfg_;
   sim::Simulator sim_;
   RunMetrics metrics_;
   std::vector<std::unique_ptr<sched::Node>> nodes_;
+  /// One accounting slot per node (compute + link); sized once before the
+  /// nodes attach pointers into it, then never reallocated.
+  std::vector<core::LoadAccount> load_board_;
+  std::shared_ptr<core::LoadModel> load_model_;
+  core::SnapshotLoadModel* snapshot_model_ = nullptr;  ///< non-null iff
+                                                       ///< sampled/stale
   std::unique_ptr<ProcessManager> pm_;
   std::vector<std::unique_ptr<workload::LocalTaskSource>> local_sources_;
   std::unique_ptr<workload::GlobalTaskSource> global_source_;

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dsrt::util {
@@ -39,5 +41,12 @@ class Flags {
 /// {"a", "", "b"}); an empty input yields an empty list. The shared
 /// splitter for comma-valued flags (--emit=json,csv, --sweep_load=...).
 std::vector<std::string> split(const std::string& text, char sep);
+
+/// Strict full-consume double parse: the whole token must be numeric (no
+/// trailing junk, no empty input); nullopt otherwise. The one parser
+/// behind every "--flag=<number>"-style vocabulary (sweep axes, DIV<x>
+/// strategy names, load-model periods), so strictness cannot drift
+/// between them.
+std::optional<double> parse_double(std::string_view text);
 
 }  // namespace dsrt::util

@@ -62,6 +62,17 @@ core::TaskSpec make_serial_parallel_task(const SerialParallelShape& shape,
                                          const PexErrorModel& pex_error,
                                          sim::Rng& rng);
 
+/// Section 6 shape with Section 3.2 network modeling: a transmission
+/// subtask (on a uniformly chosen link node, ids nodes..nodes+link_nodes-1,
+/// service from `comm_dist`) is inserted between consecutive stages —
+/// results of a stage must reach the next stage's site(s) before it can
+/// start. Requires link_nodes >= 1.
+core::TaskSpec make_serial_parallel_task_with_comm(
+    const SerialParallelShape& shape, std::size_t nodes,
+    std::size_t link_nodes, const sim::Distribution& exec_dist,
+    const sim::Distribution& comm_dist, const PexErrorModel& pex_error,
+    sim::Rng& rng);
+
 /// Section 3.2's treatment of the network: "even the communication network
 /// is considered a resource and is subsumed as one or more processing
 /// nodes". Builds T = [T1 C1 T2 C2 ... Tm]: compute subtasks on the k

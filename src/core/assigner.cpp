@@ -8,12 +8,14 @@ namespace dsrt::core {
 
 TaskInstance::TaskInstance(TaskId id, const TaskSpec& spec, sim::Time arrival,
                            sim::Time deadline, SerialStrategyPtr ssp,
-                           ParallelStrategyPtr psp)
+                           ParallelStrategyPtr psp,
+                           const LoadModel* load_model)
     : id_(id),
       arrival_(arrival),
       deadline_(deadline),
       ssp_(std::move(ssp)),
-      psp_(std::move(psp)) {
+      psp_(std::move(psp)),
+      load_model_(load_model) {
   if (!ssp_) throw std::invalid_argument("TaskInstance: null serial strategy");
   if (!psp_)
     throw std::invalid_argument("TaskInstance: null parallel strategy");
@@ -109,6 +111,9 @@ void TaskInstance::activate(std::size_t v, sim::Time now, sim::Time deadline,
         ctx.count = vx.children.size();
         ctx.pex_self = vertices_[c].pred_duration;
         ctx.pex_max = pex_max;
+        ctx.load = load_model_;
+        ctx.node = vertices_[c].kind == SpecKind::Simple ? vertices_[c].node
+                                                         : kNoNode;
         const ParallelAssignment pa = psp_->assign(ctx);
         const PriorityClass child_priority =
             (priority == PriorityClass::Elevated ||
@@ -136,6 +141,9 @@ void TaskInstance::activate_serial_child(std::size_t group, sim::Time now,
   ctx.pex_self = vertices_[child].pred_duration;
   ctx.pex_remaining = gx.pex_suffix[i];
   ctx.pex_group_total = gx.pex_suffix[0];
+  ctx.load = load_model_;
+  ctx.node = vertices_[child].kind == SpecKind::Simple ? vertices_[child].node
+                                                       : kNoNode;
   const sim::Time dl = ssp_->assign(ctx);
   activate(child, now, dl, gx.priority, out);
 }

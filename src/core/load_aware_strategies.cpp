@@ -1,0 +1,117 @@
+#include "dsrt/core/load_aware_strategies.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "dsrt/core/load_model.hpp"
+
+namespace dsrt::core {
+
+namespace {
+
+/// Queued predicted work at the subtask's node, or 0 when no state
+/// information is available (no load model, or a complex subtask with no
+/// single node). Returning exactly 0.0 in the fallback is what makes the
+/// load-aware formulas reduce bit-for-bit to their static counterparts.
+double queued_ahead(const SerialContext& ctx) {
+  if (!ctx.load || ctx.node == kNoNode) return 0.0;
+  const double q = ctx.load->load(ctx.node, ctx.now).queued_pex;
+  return q > 0 ? q : 0.0;
+}
+
+}  // namespace
+
+sim::Time EqualSlackLoadAware::assign(const SerialContext& ctx) const {
+  const double q = queued_ahead(ctx);
+  const double remaining_slack =
+      ctx.group_deadline - ctx.now - ctx.pex_remaining - q;
+  const auto stages_left = static_cast<double>(ctx.count - ctx.index);
+  const sim::Time dl =
+      ctx.now + ctx.pex_self + q + remaining_slack / stages_left;
+  return std::min(dl, ctx.group_deadline);
+}
+
+sim::Time EqualFlexibilityLoadAware::assign(const SerialContext& ctx) const {
+  const double q = queued_ahead(ctx);
+  const double pex_eff = ctx.pex_self + q;
+  const double pex_rem = ctx.pex_remaining + q;
+  const double remaining_slack =
+      ctx.group_deadline - ctx.now - ctx.pex_remaining - q;
+  if (pex_rem <= 0) {
+    // No basis for proportional division (mirrors EQF's EQS fallback).
+    const auto stages_left = static_cast<double>(ctx.count - ctx.index);
+    const sim::Time dl =
+        ctx.now + ctx.pex_self + q + remaining_slack / stages_left;
+    return std::min(dl, ctx.group_deadline);
+  }
+  const double share = pex_eff / pex_rem;
+  const sim::Time dl = ctx.now + pex_eff + remaining_slack * share;
+  return std::min(dl, ctx.group_deadline);
+}
+
+AdaptiveDivX::AdaptiveDivX(Options options)
+    : options_(options), x_(options.x0) {
+  if (options.x0 < 1.0)
+    throw std::invalid_argument("AdaptiveDivX: x0 < 1");
+  if (options.x_max < options.x0)
+    throw std::invalid_argument("AdaptiveDivX: x_max < x0");
+  if (options.gain <= 0)
+    throw std::invalid_argument("AdaptiveDivX: gain <= 0");
+  if (options.target_miss < 0 || options.target_miss > 1)
+    throw std::invalid_argument("AdaptiveDivX: target_miss outside [0,1]");
+  if (options.batch == 0)
+    throw std::invalid_argument("AdaptiveDivX: batch == 0");
+  std::ostringstream os;
+  os << "DIVA";
+  if (options.x0 != 1.0) os << options.x0;
+  name_ = os.str();
+}
+
+ParallelAssignment AdaptiveDivX::assign(const ParallelContext& ctx) const {
+  // DivX's expression, with the adapted x. With x >= 1 and a still-open
+  // group window the result is inside it, so the clamp is inert there
+  // (keeping DIVA bit-identical to DivX); it only bites when a nested
+  // group is activated after its window already closed.
+  const double allowance = ctx.group_deadline - ctx.group_arrival;
+  const double divisor = static_cast<double>(ctx.count) * x_;
+  const sim::Time dl =
+      std::min(ctx.group_arrival + allowance / divisor, ctx.group_deadline);
+  return {dl, PriorityClass::Normal};
+}
+
+ParallelStrategyPtr AdaptiveDivX::clone_for_run() const {
+  return std::make_shared<AdaptiveDivX>(options_);
+}
+
+void AdaptiveDivX::on_subtask_disposed(sim::Time lateness,
+                                       bool completed) const {
+  if (!options_.adapt) return;
+  ++observed_;
+  if (!completed || lateness > 0) ++missed_;
+  if (observed_ < options_.batch) return;
+  const double ratio =
+      static_cast<double>(missed_) / static_cast<double>(options_.batch);
+  // Multiplicative increase (more promotion) while subtasks miss beyond the
+  // target; decay back toward x = 1 when comfortably on time.
+  if (ratio > options_.target_miss) {
+    x_ = std::min(options_.x_max, x_ * (1.0 + options_.gain));
+  } else {
+    x_ = std::max(1.0, x_ / (1.0 + options_.gain));
+  }
+  observed_ = 0;
+  missed_ = 0;
+}
+
+SerialStrategyPtr make_eqs_load_aware() {
+  return std::make_shared<EqualSlackLoadAware>();
+}
+SerialStrategyPtr make_eqf_load_aware() {
+  return std::make_shared<EqualFlexibilityLoadAware>();
+}
+ParallelStrategyPtr make_adaptive_div_x(AdaptiveDivX::Options options) {
+  return std::make_shared<AdaptiveDivX>(options);
+}
+
+}  // namespace dsrt::core

@@ -1,0 +1,122 @@
+#include "dsrt/core/load_model.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "dsrt/util/flags.hpp"
+
+namespace dsrt::core {
+
+void LoadAccount::configure(double tau, sim::Time now) {
+  if (tau <= 0) throw std::invalid_argument("LoadAccount: tau <= 0");
+  tau_ = tau;
+  last_update_ = now;
+}
+
+double LoadAccount::ewma_at(sim::Time now) const {
+  const double dt = now - last_update_;
+  if (dt <= 0) return util_ewma_;
+  const double a = 1.0 - std::exp(-dt / tau_);
+  return util_ewma_ + a * ((busy_ ? 1.0 : 0.0) - util_ewma_);
+}
+
+void LoadAccount::set_busy(sim::Time now, bool busy) {
+  util_ewma_ = ewma_at(now);
+  last_update_ = now;
+  busy_ = busy;
+}
+
+NodeLoad LoadAccount::read(sim::Time now) const {
+  NodeLoad load;
+  load.queued_pex = backlog_;
+  load.utilization = ewma_at(now);
+  load.queue_length = queue_length_;
+  return load;
+}
+
+NodeLoad ExactLoadModel::load(NodeId node, sim::Time now) const {
+  if (node >= accounts_.size()) return {};
+  return accounts_[node].read(now);
+}
+
+SnapshotLoadModel::SnapshotLoadModel(const std::vector<LoadAccount>& accounts,
+                                     sim::Time period, Serve serve)
+    : accounts_(accounts),
+      period_(period),
+      serve_(serve),
+      current_(accounts.size()),
+      previous_(accounts.size()) {
+  if (period <= 0)
+    throw std::invalid_argument("SnapshotLoadModel: period <= 0");
+}
+
+void SnapshotLoadModel::refresh(sim::Time now) {
+  previous_.swap(current_);
+  for (std::size_t i = 0; i < accounts_.size(); ++i)
+    current_[i] = accounts_[i].read(now);
+}
+
+NodeLoad SnapshotLoadModel::load(NodeId node, sim::Time) const {
+  const auto& served = serve_ == Serve::Latest ? current_ : previous_;
+  if (node >= served.size()) return {};
+  return served[node];
+}
+
+LoadModelSpec LoadModelSpec::parse(std::string_view text) {
+  LoadModelSpec spec;
+  std::string_view kind = text;
+  std::string_view param;
+  if (const auto colon = text.find(':'); colon != std::string_view::npos) {
+    kind = text.substr(0, colon);
+    param = text.substr(colon + 1);
+  }
+  if (kind == "none") {
+    spec.kind = LoadModelKind::None;
+  } else if (kind == "exact") {
+    spec.kind = LoadModelKind::Exact;
+  } else if (kind == "sampled") {
+    spec.kind = LoadModelKind::Sampled;
+  } else if (kind == "stale") {
+    spec.kind = LoadModelKind::Stale;
+  } else {
+    throw std::invalid_argument("LoadModelSpec: unknown load model '" +
+                                std::string(text) +
+                                "' (want none|exact|sampled[:p]|stale[:d])");
+  }
+  if (!param.empty()) {
+    if (spec.kind == LoadModelKind::None || spec.kind == LoadModelKind::Exact)
+      throw std::invalid_argument(
+          "LoadModelSpec: '" + std::string(kind) + "' takes no parameter");
+    const auto period = util::parse_double(param);
+    if (!period)
+      throw std::invalid_argument("LoadModelSpec: bad period '" +
+                                  std::string(param) + "'");
+    spec.period = *period;
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string LoadModelSpec::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case LoadModelKind::None: return "none";
+    case LoadModelKind::Exact: return "exact";
+    case LoadModelKind::Sampled: os << "sampled:" << period; break;
+    case LoadModelKind::Stale: os << "stale:" << period; break;
+  }
+  return os.str();
+}
+
+void LoadModelSpec::validate() const {
+  // tau is checked even with kind None so a bad --lm_tau fails fast
+  // instead of lying dormant until a load model is switched on.
+  if (!(ewma_tau > 0))
+    throw std::invalid_argument("LoadModelSpec: ewma_tau <= 0");
+  if (kind == LoadModelKind::None) return;
+  if (!(period > 0))
+    throw std::invalid_argument("LoadModelSpec: period <= 0");
+}
+
+}  // namespace dsrt::core

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "dsrt/core/load_aware_strategies.hpp"
+#include "dsrt/util/flags.hpp"
+
 namespace dsrt::core {
 
 ParallelAssignment ParallelUltimate::assign(const ParallelContext& ctx) const {
@@ -45,20 +48,63 @@ ParallelStrategyPtr make_parallel_eqf() {
   return std::make_shared<ParallelEqualFlexibility>();
 }
 
+namespace {
+
+/// Fixed (parameterless) PSP registry entries. The parametric DIV<x> /
+/// DIVA<x> families are matched by prefix below; their display patterns
+/// live in kParallelPatterns so help text and error messages stay in sync
+/// with what the parser actually accepts.
+struct ParallelRegistryEntry {
+  std::string_view name;
+  ParallelStrategyPtr (*make)();
+};
+
+ParallelStrategyPtr make_diva_default() { return make_adaptive_div_x(); }
+
+constexpr ParallelRegistryEntry kParallelRegistry[] = {
+    {"UD", make_parallel_ud},
+    {"GF", make_gf},
+    {"EQF-P", make_parallel_eqf},
+    {"DIVA", make_diva_default},
+};
+
+constexpr std::string_view kParallelPatterns[] = {"DIV<x>", "DIVA<x>"};
+
+double parse_strategy_param(std::string_view name, std::string_view text) {
+  const auto v = util::parse_double(text);
+  if (!v)
+    throw std::invalid_argument("bad parallel strategy parameter: " +
+                                std::string(name));
+  return *v;
+}
+
+}  // namespace
+
 ParallelStrategyPtr parallel_strategy_by_name(std::string_view name) {
-  if (name == "UD") return make_parallel_ud();
-  if (name == "GF") return make_gf();
-  if (name == "EQF-P") return make_parallel_eqf();
-  if (name.rfind("DIV", 0) == 0) {
-    const std::string x_text(name.substr(3));
-    try {
-      return make_div_x(std::stod(x_text));
-    } catch (const std::exception&) {
-      throw std::invalid_argument("bad DIV-x strategy: " + std::string(name));
-    }
+  for (const auto& entry : kParallelRegistry)
+    if (name == entry.name) return entry.make();
+  // Parametric families. DIVA before DIV: both share the prefix.
+  if (name.rfind("DIVA", 0) == 0) {
+    AdaptiveDivX::Options options;
+    options.x0 = parse_strategy_param(name, name.substr(4));
+    return make_adaptive_div_x(options);
   }
-  throw std::invalid_argument("unknown parallel strategy: " +
-                              std::string(name));
+  if (name.rfind("DIV", 0) == 0)
+    return make_div_x(parse_strategy_param(name, name.substr(3)));
+  std::string message = "unknown parallel strategy: " + std::string(name) +
+                        " (known:";
+  for (const auto& entry : kParallelRegistry)
+    message += " " + std::string(entry.name);
+  for (const auto& pattern : kParallelPatterns)
+    message += " " + std::string(pattern);
+  throw std::invalid_argument(message + ")");
+}
+
+std::vector<std::string_view> parallel_strategy_names() {
+  std::vector<std::string_view> names;
+  for (const auto& entry : kParallelRegistry) names.push_back(entry.name);
+  for (const auto& pattern : kParallelPatterns) names.push_back(pattern);
+  return names;
 }
 
 }  // namespace dsrt::core

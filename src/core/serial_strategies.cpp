@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "dsrt/core/load_aware_strategies.hpp"
+
 namespace dsrt::core {
 
 sim::Time UltimateDeadline::assign(const SerialContext& ctx) const {
@@ -106,14 +108,43 @@ SerialStrategyPtr make_eqf_static() {
   return std::make_shared<EqualFlexibilityStatic>();
 }
 
+namespace {
+
+/// Single source of truth for name-addressable SSP strategies: lookup,
+/// error messages, and the CLI help vocabulary all read this table, so a
+/// newly registered strategy cannot drift out of --help.
+struct SerialRegistryEntry {
+  std::string_view name;
+  SerialStrategyPtr (*make)();
+};
+
+constexpr SerialRegistryEntry kSerialRegistry[] = {
+    {"UD", make_ud},
+    {"ED", make_ed},
+    {"EQS", make_eqs},
+    {"EQF", make_eqf},
+    {"EQS-S", make_eqs_static},
+    {"EQF-S", make_eqf_static},
+    {"EQS-L", make_eqs_load_aware},
+    {"EQF-L", make_eqf_load_aware},
+};
+
+}  // namespace
+
 SerialStrategyPtr serial_strategy_by_name(std::string_view name) {
-  if (name == "UD") return make_ud();
-  if (name == "ED") return make_ed();
-  if (name == "EQS") return make_eqs();
-  if (name == "EQF") return make_eqf();
-  if (name == "EQS-S") return make_eqs_static();
-  if (name == "EQF-S") return make_eqf_static();
-  throw std::invalid_argument("unknown serial strategy: " + std::string(name));
+  for (const auto& entry : kSerialRegistry)
+    if (name == entry.name) return entry.make();
+  std::string message = "unknown serial strategy: " + std::string(name) +
+                        " (known:";
+  for (const auto& entry : kSerialRegistry)
+    message += " " + std::string(entry.name);
+  throw std::invalid_argument(message + ")");
+}
+
+std::vector<std::string_view> serial_strategy_names() {
+  std::vector<std::string_view> names;
+  for (const auto& entry : kSerialRegistry) names.push_back(entry.name);
+  return names;
 }
 
 }  // namespace dsrt::core

@@ -8,6 +8,7 @@
 #include "dsrt/sched/policy.hpp"
 #include "dsrt/stats/report.hpp"
 #include "dsrt/system/baseline.hpp"
+#include "dsrt/util/flags.hpp"
 #include "dsrt/workload/pex_error.hpp"
 
 namespace dsrt::engine {
@@ -15,15 +16,11 @@ namespace dsrt::engine {
 namespace {
 
 double parse_double(const std::string& field, const std::string& text) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return v;
-  } catch (const std::exception&) {
+  const auto v = util::parse_double(text);
+  if (!v)
     throw std::invalid_argument("SweepAxis::by_field: bad value '" + text +
                                 "' for field '" + field + "'");
-  }
+  return *v;
 }
 
 /// Strict non-negative integer parse, so a label like "4.7" can never end
@@ -108,6 +105,11 @@ SweepAxis SweepAxis::by_field(const std::string& field,
     } else if (field == "psp") {
       const auto s = core::parallel_strategy_by_name(value);
       fn = [s](system::Config& c) { c.psp = s; };
+    } else if (field == "load_model") {
+      // Specs (not live models) sweep safely: each run builds its own
+      // accounts/snapshots, so points never share mutable state.
+      const auto spec = core::LoadModelSpec::parse(value);
+      fn = [spec](system::Config& c) { c.load_model = spec; };
     } else if (field == "policy") {
       const auto p = sched::policy_by_name(value);
       fn = [p](system::Config& c) { c.policy = p; };

@@ -40,12 +40,14 @@ void Node::submit(Job job) {
   ++submitted_;
   job.release = sim_.now();
   if (job.remaining <= 0) job.remaining = job.exec;
+  if (load_) load_->add_backlog(job.pex);
   QueueKey key = key_for(job);
   if (!in_service_) {
     // Submitting to an idle server is a dispatch instant, so the abort
     // policy screens here as well.
     if (abort_policy_->should_abort(job, sim_.now())) {
       ++aborted_;
+      if (load_) load_->remove_backlog(job.pex);
       if (handler_) handler_(job, sim_.now(), JobOutcome::Aborted);
       dispatch_next();  // an aborted arrival may still free a queued job
       return;
@@ -84,6 +86,7 @@ void Node::enqueue(Job job, QueueKey key) {
   queue_[i].key = key;
   queue_[i].job = std::move(job);
   queue_signal_.update(sim_.now(), static_cast<double>(queue_.size()));
+  if (load_) load_->set_queue_length(queue_.size());
 }
 
 Node::ReadyEntry Node::pop_ready() {
@@ -115,6 +118,7 @@ void Node::start_service(Job job, QueueKey key) {
   in_service_key_ = key;
   service_started_ = sim_.now();
   busy_signal_.update(sim_.now(), 1);
+  if (load_) load_->set_busy(sim_.now(), true);
   const std::uint64_t token = ++service_token_;
   sim_.in(in_service_->remaining,
           [this, token] { on_service_complete(token); });
@@ -127,6 +131,10 @@ void Node::on_service_complete(std::uint64_t service_token) {
   busy_signal_.update(sim_.now(), 0);
   done.remaining = 0;
   ++completed_;
+  if (load_) {
+    load_->remove_backlog(done.pex);
+    load_->set_busy(sim_.now(), false);
+  }
   if (handler_) handler_(done, sim_.now(), JobOutcome::Completed);
   dispatch_next();
 }
@@ -137,14 +145,19 @@ void Node::dispatch_next() {
     const QueueKey key = entry.key;
     Job job = std::move(entry.job);
     queue_signal_.update(sim_.now(), static_cast<double>(queue_.size()));
+    if (load_) load_->set_queue_length(queue_.size());
     if (abort_policy_->should_abort(job, sim_.now())) {
       ++aborted_;
+      if (load_) load_->remove_backlog(job.pex);
       if (handler_) handler_(job, sim_.now(), JobOutcome::Aborted);
       continue;  // keep draining until a servable job is found
     }
     start_service(std::move(job), key);
   }
-  if (!in_service_) busy_signal_.update(sim_.now(), 0);
+  if (!in_service_) {
+    busy_signal_.update(sim_.now(), 0);
+    if (load_) load_->set_busy(sim_.now(), false);
+  }
 }
 
 void Node::reset_observation(sim::Time now) {

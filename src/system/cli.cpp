@@ -33,6 +33,13 @@ Config config_from_flags(const util::Flags& flags) {
   if (flags.has("psp"))
     cfg.psp =
         core::parallel_strategy_by_name(flags.get("psp", std::string()));
+  if (flags.has("load_model"))
+    cfg.load_model =
+        core::LoadModelSpec::parse(flags.get("load_model", std::string()));
+  if (flags.has("lm_tau")) {
+    cfg.load_model.ewma_tau = flags.get("lm_tau", cfg.load_model.ewma_tau);
+    cfg.load_model.validate();
+  }
   if (flags.has("policy"))
     cfg.policy = sched::policy_by_name(flags.get("policy", std::string()));
   if (flags.has("abort"))
@@ -113,12 +120,32 @@ RunOptions run_options_from_flags(const util::Flags& flags) {
   return opts;
 }
 
+namespace {
+
+/// "A|B|C" from a registry's name list, so --help can never drift from
+/// what the by-name lookups actually accept.
+std::string joined_names(const std::vector<std::string_view>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) out += '|';
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string cli_usage() {
   return
       "flags (all optional; defaults are the Table-1 baseline):\n"
       "  --shape=serial|parallel|serial-parallel\n"
       "  --load=0.5 --frac_local=0.75 --nodes=6 --m=4 --rel_flex=1.0\n"
-      "  --ssp=UD|ED|EQS|EQF|EQS-S|EQF-S --psp=UD|DIV<x>|GF\n"
+      "  --ssp=" + joined_names(core::serial_strategy_names()) + "\n"
+      "  --psp=" + joined_names(core::parallel_strategy_names()) + "\n"
+      "  --load_model=none|exact|sampled:<period>|stale:<delay>\n"
+      "                       system-state view for the load-aware\n"
+      "                       strategies (EQS-L, EQF-L); --lm_tau=20 sets\n"
+      "                       the utilization-EWMA time constant\n"
       "  --policy=EDF|MLF|FCFS|SJF --abort=NoAbort|AbortTardy|AbortHopeless\n"
       "  --smin=0.25 --smax=2.5 --pex_err=0 --m_min= --m_max=\n"
       "  --sp_stages=3 --sp_prob=0.5 --sp_width=3\n"
@@ -132,7 +159,8 @@ std::string cli_usage() {
       "  --out=.              directory for emitted artifacts\n"
       "  --sweep_<field>=v1,v2,...   sweep axis over a config field\n"
       "                       (load, frac_local, rel_flex, nodes, m, ssp,\n"
-      "                        psp, policy, abort, pex_err, shape, ...);\n"
+      "                        psp, policy, abort, pex_err, shape,\n"
+      "                        load_model, ...);\n"
       "                       repeatable; axes expand as a cartesian grid\n"
       "                       (--zip: advance all axes in lockstep)\n";
 }

@@ -35,8 +35,13 @@ double Config::expected_critical_path() const {
       return subtask_exec->mean() * workload::harmonic(std::max<std::size_t>(
                                         1, m_int));
     }
-    case GlobalShape::SerialParallel:
-      return sp_shape.expected_critical_path(subtask_exec->mean());
+    case GlobalShape::SerialParallel: {
+      double path = sp_shape.expected_critical_path(subtask_exec->mean());
+      if (link_nodes > 0 && comm_exec)
+        path += (static_cast<double>(sp_shape.stages) - 1.0) *
+                comm_exec->mean();
+      return path;
+    }
   }
   return 0;  // unreachable
 }
@@ -96,10 +101,12 @@ void Config::validate() const {
   if (link_nodes > 0) {
     if (!comm_exec)
       throw std::invalid_argument("Config: link_nodes needs comm_exec");
-    if (shape != GlobalShape::Serial)
+    if (shape == GlobalShape::Parallel)
       throw std::invalid_argument(
-          "Config: link nodes support serial tasks only");
+          "Config: link nodes need serial stages (serial or "
+          "serial-parallel shape)");
   }
+  load_model.validate();
   if (horizon <= 0) throw std::invalid_argument("Config: horizon <= 0");
   if (warmup < 0 || warmup >= horizon)
     throw std::invalid_argument("Config: warmup outside [0, horizon)");
@@ -117,6 +124,8 @@ std::string Config::describe() const {
   os << " ssp=" << ssp->name() << " psp=" << psp->name()
      << " policy=" << policy->name() << " abort=" << abort_policy->name()
      << " rel_flex=" << rel_flex << " horizon=" << horizon;
+  if (load_model.kind != core::LoadModelKind::None)
+    os << " load_model=" << load_model.describe();
   return os.str();
 }
 

@@ -9,12 +9,15 @@ ProcessManager::ProcessManager(sim::Simulator& sim,
                                std::vector<std::unique_ptr<sched::Node>>& nodes,
                                core::SerialStrategyPtr ssp,
                                core::ParallelStrategyPtr psp,
-                               RunMetrics& metrics)
+                               RunMetrics& metrics,
+                               const core::LoadModel* load_model)
     : sim_(sim),
       nodes_(nodes),
       ssp_(std::move(ssp)),
       psp_(std::move(psp)),
-      metrics_(metrics) {
+      metrics_(metrics),
+      load_model_(load_model),
+      feedback_(dynamic_cast<const core::SubtaskFeedback*>(psp_.get())) {
   // Steady-state hot path: keep the per-disposal scratch buffers out of
   // the allocator (they only grow at new high-water marks).
   scratch_.reserve(16);
@@ -51,7 +54,7 @@ void ProcessManager::submit_global(const core::TaskSpec& spec,
   ++metrics_.global.generated;
   const core::TaskId id = next_task_id_++;
   auto [it, inserted] = instances_.try_emplace(
-      id, id, spec, sim_.now(), deadline, ssp_, psp_);
+      id, id, spec, sim_.now(), deadline, ssp_, psp_, load_model_);
   (void)inserted;
   if (observer_) observer_->on_global_arrival(id, spec, sim_.now(), deadline);
   scratch_.clear();
@@ -121,6 +124,12 @@ void ProcessManager::handle_disposal(const Disposal& d) {
     }
     return;
   }
+
+  // Online feedback for adaptive strategies: subtask lateness relative to
+  // the *virtual* deadline, in simulated disposal order (deterministic).
+  if (feedback_)
+    feedback_->on_subtask_disposed(now - job.deadline,
+                                   outcome == sched::JobOutcome::Completed);
 
   const auto it = instances_.find(job.task);
   if (it == instances_.end())

@@ -24,6 +24,12 @@ SimulationRun::SimulationRun(const Config& config, std::uint64_t replication)
   cfg_.validate();
   const std::uint64_t seed = replication_seed(cfg_.seed, replication);
 
+  // Strategies with per-run mutable state (the online DIV-x autotuner) get
+  // a fresh instance, so concurrent engine runs sharing one Config adapt
+  // independently and --jobs=1 equals --jobs=N bit for bit.
+  if (auto cloned = cfg_.ssp->clone_for_run()) cfg_.ssp = std::move(cloned);
+  if (auto cloned = cfg_.psp->clone_for_run()) cfg_.psp = std::move(cloned);
+
   // Compute nodes 0..k-1 followed by any link nodes (Section 3.2 treats
   // the network as extra processing nodes with the same scheduler kind).
   const std::size_t total_nodes = cfg_.nodes + cfg_.link_nodes;
@@ -33,8 +39,38 @@ SimulationRun::SimulationRun(const Config& config, std::uint64_t replication)
         static_cast<core::NodeId>(i), sim_, cfg_.policy, cfg_.abort_policy,
         cfg_.preemption));
   }
+
+  // Load accounting + model (extension; Config::load_model). The board is
+  // sized once, then the nodes keep raw pointers into it. With kind None
+  // nothing is wired and the hot path is untouched.
+  if (cfg_.load_model.kind != core::LoadModelKind::None) {
+    load_board_.resize(total_nodes);
+    for (std::size_t i = 0; i < total_nodes; ++i) {
+      load_board_[i].configure(cfg_.load_model.ewma_tau, sim_.now());
+      nodes_[i]->attach_load_account(&load_board_[i]);
+    }
+    switch (cfg_.load_model.kind) {
+      case core::LoadModelKind::Exact:
+        load_model_ = std::make_shared<core::ExactLoadModel>(load_board_);
+        break;
+      case core::LoadModelKind::Sampled:
+      case core::LoadModelKind::Stale: {
+        auto snapshot = std::make_shared<core::SnapshotLoadModel>(
+            load_board_, cfg_.load_model.period,
+            cfg_.load_model.kind == core::LoadModelKind::Sampled
+                ? core::SnapshotLoadModel::Serve::Latest
+                : core::SnapshotLoadModel::Serve::Previous);
+        snapshot_model_ = snapshot.get();
+        load_model_ = std::move(snapshot);
+        break;
+      }
+      case core::LoadModelKind::None:
+        break;  // unreachable
+    }
+  }
+
   pm_ = std::make_unique<ProcessManager>(sim_, nodes_, cfg_.ssp, cfg_.psp,
-                                         metrics_);
+                                         metrics_, load_model_.get());
 
   // Local-task streams: homogeneous by default, or weighted per node
   // (Section 4.3's "some nodes had higher local task loads than others").
@@ -82,9 +118,22 @@ SimulationRun::SimulationRun(const Config& config, std::uint64_t replication)
       });
 }
 
+void SimulationRun::schedule_snapshot_refresh() {
+  const sim::Time at = sim_.now() + snapshot_model_->period();
+  if (at > cfg_.horizon) return;
+  sim_.at(at, [this] {
+    snapshot_model_->refresh(sim_.now());
+    schedule_snapshot_refresh();
+  });
+}
+
 RunMetrics SimulationRun::run() {
   if (ran_) throw std::logic_error("SimulationRun::run called twice");
   ran_ = true;
+
+  // Snapshot chain for the sampled/stale load models: refreshes every
+  // `period` of *simulated* time — freshness never depends on wall clock.
+  if (snapshot_model_) schedule_snapshot_refresh();
 
   for (auto& source : local_sources_) source->start();
   global_source_->start();

@@ -84,4 +84,16 @@ std::vector<std::string> split(const std::string& text, char sep) {
   }
 }
 
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(text), &used);
+    if (used != text.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace dsrt::util

@@ -74,9 +74,10 @@ GlobalTaskSource::GlobalTaskSource(sim::Simulator& sim,
   if (params_.link_nodes > 0) {
     if (!params_.comm_exec)
       throw std::invalid_argument("GlobalTaskSource: links need comm_exec");
-    if (params_.shape != GlobalShape::Serial)
+    if (params_.shape == GlobalShape::Parallel)
       throw std::invalid_argument(
-          "GlobalTaskSource: link nodes support serial tasks only");
+          "GlobalTaskSource: link nodes need serial stages (serial or "
+          "serial-parallel shape)");
   }
 }
 
@@ -129,6 +130,11 @@ core::TaskSpec GlobalTaskSource::make_task() {
       return make_parallel_task(draw_subtask_count(), params_.nodes,
                                 *params_.exec, *params_.pex_error, rng_);
     case GlobalShape::SerialParallel:
+      if (params_.link_nodes > 0) {
+        return make_serial_parallel_task_with_comm(
+            params_.sp_shape, params_.nodes, params_.link_nodes,
+            *params_.exec, *params_.comm_exec, *params_.pex_error, rng_);
+      }
       return make_serial_parallel_task(params_.sp_shape, params_.nodes,
                                        *params_.exec, *params_.pex_error,
                                        rng_);

@@ -73,31 +73,66 @@ double SerialParallelShape::expected_critical_path(double mean_exec) const {
          (parallel_prob * harmonic(parallel_width) + (1.0 - parallel_prob));
 }
 
-core::TaskSpec make_serial_parallel_task(const SerialParallelShape& shape,
-                                         std::size_t nodes,
-                                         const sim::Distribution& exec_dist,
-                                         const PexErrorModel& pex_error,
-                                         sim::Rng& rng) {
+namespace {
+
+/// One stage of the Section 6 shape: parallel group or single subtask.
+core::TaskSpec make_sp_stage(const SerialParallelShape& shape,
+                             std::size_t nodes,
+                             const sim::Distribution& exec_dist,
+                             const PexErrorModel& pex_error, sim::Rng& rng) {
+  if (rng.uniform01() < shape.parallel_prob) {
+    const auto sites = sample_distinct_nodes(nodes, shape.parallel_width, rng);
+    std::vector<core::TaskSpec> group;
+    group.reserve(sites.size());
+    for (const auto node : sites)
+      group.push_back(make_leaf(node, exec_dist, pex_error, rng));
+    return core::TaskSpec::parallel(std::move(group));
+  }
+  const auto node = static_cast<core::NodeId>(rng.below(nodes));
+  return make_leaf(node, exec_dist, pex_error, rng);
+}
+
+void check_sp_shape(const SerialParallelShape& shape, std::size_t nodes) {
   if (shape.stages == 0)
     throw std::invalid_argument("make_serial_parallel_task: no stages");
   if (shape.parallel_width == 0 || shape.parallel_width > nodes)
     throw std::invalid_argument(
         "make_serial_parallel_task: bad parallel width");
+}
+
+}  // namespace
+
+core::TaskSpec make_serial_parallel_task(const SerialParallelShape& shape,
+                                         std::size_t nodes,
+                                         const sim::Distribution& exec_dist,
+                                         const PexErrorModel& pex_error,
+                                         sim::Rng& rng) {
+  check_sp_shape(shape, nodes);
   std::vector<core::TaskSpec> stages;
   stages.reserve(shape.stages);
+  for (std::size_t s = 0; s < shape.stages; ++s)
+    stages.push_back(make_sp_stage(shape, nodes, exec_dist, pex_error, rng));
+  return core::TaskSpec::serial(std::move(stages));
+}
+
+core::TaskSpec make_serial_parallel_task_with_comm(
+    const SerialParallelShape& shape, std::size_t nodes,
+    std::size_t link_nodes, const sim::Distribution& exec_dist,
+    const sim::Distribution& comm_dist, const PexErrorModel& pex_error,
+    sim::Rng& rng) {
+  check_sp_shape(shape, nodes);
+  if (link_nodes == 0)
+    throw std::invalid_argument(
+        "make_serial_parallel_task_with_comm: no link nodes");
+  std::vector<core::TaskSpec> stages;
+  stages.reserve(2 * shape.stages - 1);
   for (std::size_t s = 0; s < shape.stages; ++s) {
-    if (rng.uniform01() < shape.parallel_prob) {
-      const auto sites =
-          sample_distinct_nodes(nodes, shape.parallel_width, rng);
-      std::vector<core::TaskSpec> group;
-      group.reserve(sites.size());
-      for (const auto node : sites)
-        group.push_back(make_leaf(node, exec_dist, pex_error, rng));
-      stages.push_back(core::TaskSpec::parallel(std::move(group)));
-    } else {
-      const auto node = static_cast<core::NodeId>(rng.below(nodes));
-      stages.push_back(make_leaf(node, exec_dist, pex_error, rng));
+    if (s > 0) {
+      const auto link = static_cast<core::NodeId>(
+          nodes + static_cast<std::size_t>(rng.below(link_nodes)));
+      stages.push_back(make_leaf(link, comm_dist, pex_error, rng));
     }
+    stages.push_back(make_sp_stage(shape, nodes, exec_dist, pex_error, rng));
   }
   return core::TaskSpec::serial(std::move(stages));
 }

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "dsrt/core/assigner.hpp"
+#include "dsrt/core/load_aware_strategies.hpp"
+#include "dsrt/core/load_model.hpp"
 #include "dsrt/core/parallel_strategies.hpp"
 #include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/sim/rng.hpp"
@@ -19,6 +21,32 @@ namespace {
 
 using namespace dsrt::core;
 using dsrt::sim::Rng;
+
+/// Test double: a frozen per-node load state (no accounts, no decay).
+class FixedLoadModel final : public LoadModel {
+ public:
+  explicit FixedLoadModel(std::vector<NodeLoad> loads)
+      : loads_(std::move(loads)) {}
+  NodeLoad load(NodeId node, dsrt::sim::Time) const override {
+    return node < loads_.size() ? loads_[node] : NodeLoad{};
+  }
+  std::string_view name() const override { return "fixed"; }
+
+ private:
+  std::vector<NodeLoad> loads_;
+};
+
+/// Random load state over `nodes` nodes; heavy tails on purpose (backlogs
+/// far above any group window) so the clamp paths get exercised.
+FixedLoadModel random_load_model(Rng& rng, std::size_t nodes) {
+  std::vector<NodeLoad> loads(nodes);
+  for (auto& load : loads) {
+    load.queued_pex = rng.uniform01() < 0.2 ? 0.0 : rng.exponential(5.0);
+    load.utilization = rng.uniform01();
+    load.queue_length = static_cast<std::uint32_t>(rng.below(16));
+  }
+  return FixedLoadModel(std::move(loads));
+}
 
 /// Random serial-parallel tree with at most `max_depth` levels.
 TaskSpec random_tree(Rng& rng, int max_depth) {
@@ -42,9 +70,9 @@ struct StrategyPair {
 
 StrategyPair random_strategies(Rng& rng) {
   static const std::vector<const char*> serial_names = {
-      "UD", "ED", "EQS", "EQF", "EQS-S", "EQF-S"};
+      "UD", "ED", "EQS", "EQF", "EQS-S", "EQF-S", "EQS-L", "EQF-L"};
   static const std::vector<const char*> parallel_names = {
-      "UD", "DIV1", "DIV2", "DIV0.5", "GF", "EQF-P"};
+      "UD", "DIV1", "DIV2", "DIV0.5", "GF", "EQF-P", "DIVA", "DIVA2"};
   return {serial_strategy_by_name(
               serial_names[rng.below(serial_names.size())]),
           parallel_strategy_by_name(
@@ -168,6 +196,98 @@ TEST(TaskInstanceFuzz, GenerousDeadlineOnScheduleNeverViolated) {
       }
       EXPECT_TRUE(done);
       EXPECT_LE(finish, spec.critical_path_exec() + 1.0 + 1e-9) << name;
+    }
+  }
+}
+
+TEST(TaskInstanceFuzz, LoadAwareDeadlinesFiniteAndGroupDeadlineBounded) {
+  // Random trees x random frozen load states: every virtual deadline the
+  // load-aware strategies assign must be finite (no NaN/inf, however large
+  // the backlog) and bounded by the task's end-to-end deadline,
+  // dl(Ti) <= dl(T) — recursively, since every group level clamps to its
+  // own (already bounded) group deadline.
+  Rng rng(424242);
+  static const std::vector<const char*> serial_names = {"EQS-L", "EQF-L"};
+  // PSPs whose assignments never leave the group window (DIVA enforces
+  // x >= 1 and clamps late activations), so the bound composes up the tree.
+  static const std::vector<const char*> parallel_names = {"UD", "GF", "DIVA",
+                                                          "DIVA3"};
+  for (int trial = 0; trial < 400; ++trial) {
+    const TaskSpec spec = random_tree(rng, 4);
+    const FixedLoadModel model = random_load_model(rng, 8);
+    const auto ssp = serial_strategy_by_name(
+        serial_names[rng.below(serial_names.size())]);
+    const auto psp = parallel_strategy_by_name(
+        parallel_names[rng.below(parallel_names.size())]);
+    const double arrival = rng.uniform(0, 10);
+    // Deliberately include tight deadlines (less slack than the critical
+    // path needs) so negative-slack branches are fuzzed too.
+    const double deadline =
+        arrival + spec.critical_path_exec() * rng.uniform(0.25, 1.5) +
+        rng.uniform(0, 10);
+    TaskInstance inst(static_cast<TaskId>(trial), spec, arrival, deadline,
+                      ssp, psp, &model);
+
+    std::vector<LeafSubmission> ready;
+    inst.start(arrival, ready);
+    double now = arrival;
+    while (!ready.empty()) {
+      for (const auto& s : ready) {
+        EXPECT_TRUE(std::isfinite(s.deadline)) << s.leaf;
+        EXPECT_LE(s.deadline, deadline + 1e-9) << s.leaf;
+      }
+      const std::size_t pick = rng.below(ready.size());
+      const LeafSubmission sub = ready[pick];
+      ready.erase(ready.begin() + static_cast<long>(pick));
+      now += rng.exponential(0.5);
+      std::vector<LeafSubmission> next;
+      inst.on_leaf_complete(sub.leaf, now, next);
+      ready.insert(ready.end(), next.begin(), next.end());
+    }
+    EXPECT_EQ(inst.state(), InstanceState::Completed);
+    // Every activated vertex (not only leaves) got a finite deadline.
+    for (std::size_t v = 0; v < inst.vertex_count(); ++v)
+      EXPECT_TRUE(std::isfinite(inst.vertex_deadline(v))) << v;
+  }
+}
+
+TEST(TaskInstanceFuzz, LoadAwareDeadlinesMonotoneInLoad) {
+  // More backlog at the subtask's node must never yield an *earlier*
+  // virtual deadline: the queueing charge only pushes the stage's window
+  // out (until the group-deadline clamp absorbs it).
+  Rng rng(987654321);
+  const auto eqs_l = make_eqs_load_aware();
+  const auto eqf_l = make_eqf_load_aware();
+  for (int trial = 0; trial < 1000; ++trial) {
+    SerialContext ctx;
+    ctx.count = 1 + rng.below(6);
+    ctx.index = rng.below(ctx.count);
+    ctx.group_arrival = rng.uniform(0, 20);
+    ctx.now = ctx.group_arrival + rng.uniform(0, 5);
+    ctx.pex_self = rng.exponential(1.0);
+    double later = 0;
+    for (std::size_t j = ctx.index + 1; j < ctx.count; ++j)
+      later += rng.exponential(1.0);
+    ctx.pex_remaining = ctx.pex_self + later;
+    ctx.pex_group_total = ctx.pex_remaining;
+    // D >= now: the group window has not already closed (with a closed
+    // window there is no meaningful ordering to preserve).
+    ctx.group_deadline = ctx.now + rng.uniform(0, 25);
+    ctx.node = 0;
+    double q = 0;
+    double prev_eqs = -1e300, prev_eqf = -1e300;
+    for (int step = 0; step < 8; ++step) {
+      const FixedLoadModel model({NodeLoad{q, 0.5, 3}});
+      ctx.load = &model;
+      const double dl_eqs = eqs_l->assign(ctx);
+      const double dl_eqf = eqf_l->assign(ctx);
+      EXPECT_GE(dl_eqs, prev_eqs - 1e-9) << "q=" << q;
+      EXPECT_GE(dl_eqf, prev_eqf - 1e-9) << "q=" << q;
+      EXPECT_LE(dl_eqs, ctx.group_deadline);
+      EXPECT_LE(dl_eqf, ctx.group_deadline);
+      prev_eqs = dl_eqs;
+      prev_eqf = dl_eqf;
+      q += rng.exponential(2.0);
     }
   }
 }

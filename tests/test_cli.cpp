@@ -92,11 +92,54 @@ TEST(Cli, InvalidCombinationsRejectedByValidate) {
   EXPECT_THROW(parse({"--shape=parallel", "--m=9"}), std::invalid_argument);
 }
 
+TEST(Cli, LoadModelSelection) {
+  EXPECT_EQ(parse({}).load_model.kind, core::LoadModelKind::None);
+  const auto cfg =
+      parse({"--ssp=EQS-L", "--load_model=sampled:2.5", "--lm_tau=10"});
+  EXPECT_EQ(cfg.ssp->name(), "EQS-L");
+  EXPECT_EQ(cfg.load_model.kind, core::LoadModelKind::Sampled);
+  EXPECT_DOUBLE_EQ(cfg.load_model.period, 2.5);
+  EXPECT_DOUBLE_EQ(cfg.load_model.ewma_tau, 10.0);
+  EXPECT_EQ(parse({"--load_model=stale:4"}).load_model.kind,
+            core::LoadModelKind::Stale);
+  EXPECT_THROW(parse({"--load_model=psychic"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--load_model=exact", "--lm_tau=-1"}),
+               std::invalid_argument);
+  // A bad tau fails fast even without an active load model.
+  EXPECT_THROW(parse({"--lm_tau=-1"}), std::invalid_argument);
+}
+
 TEST(Cli, UsageMentionsEveryFlagGroup) {
   const std::string usage = system::cli_usage();
   for (const char* token : {"--shape", "--ssp", "--psp", "--policy",
-                            "--abort", "--links", "--periodic", "--horizon"})
+                            "--abort", "--links", "--periodic", "--horizon",
+                            "--load_model"})
     EXPECT_NE(usage.find(token), std::string::npos) << token;
+}
+
+TEST(Cli, UsageAndErrorsAreGeneratedFromTheStrategyRegistry) {
+  // Every name the registries accept must appear in --help verbatim, so a
+  // newly registered strategy cannot silently drift out of the help text.
+  const std::string usage = system::cli_usage();
+  for (const auto name : core::serial_strategy_names())
+    EXPECT_NE(usage.find(std::string(name)), std::string::npos) << name;
+  for (const auto name : core::parallel_strategy_names())
+    EXPECT_NE(usage.find(std::string(name)), std::string::npos) << name;
+  // The lookup errors enumerate the same registry.
+  try {
+    parse({"--ssp=WAT"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    for (const auto name : core::serial_strategy_names())
+      EXPECT_NE(message.find(std::string(name)), std::string::npos) << name;
+  }
+  try {
+    parse({"--psp=WAT"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("DIVA"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -151,6 +151,15 @@ TEST(SweepAxis, ByFieldParsesKnownFieldsAndRejectsUnknown) {
   ssp.apply[1](cfg2);
   EXPECT_NE(cfg2.ssp.get(), tiny_config().ssp.get());
 
+  const auto lm =
+      engine::SweepAxis::by_field("load_model", {"none", "stale:3"});
+  system::Config cfg3 = tiny_config();
+  lm.apply[1](cfg3);
+  EXPECT_EQ(cfg3.load_model.kind, core::LoadModelKind::Stale);
+  EXPECT_DOUBLE_EQ(cfg3.load_model.period, 3.0);
+  EXPECT_THROW(engine::SweepAxis::by_field("load_model", {"psychic"}),
+               std::invalid_argument);
+
   EXPECT_THROW(engine::SweepAxis::by_field("no_such_field", {"1"}),
                std::invalid_argument);
   EXPECT_THROW(engine::SweepAxis::by_field("load", {"not-a-number"}),

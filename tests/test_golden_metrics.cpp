@@ -10,6 +10,8 @@
 // deliberate throughout.
 #include <gtest/gtest.h>
 
+#include "dsrt/core/load_aware_strategies.hpp"
+#include "dsrt/core/parallel_strategies.hpp"
 #include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/system/baseline.hpp"
 #include "dsrt/system/simulation.hpp"
@@ -85,6 +87,40 @@ TEST(GoldenMetrics, Fig2EqfLoad03Rep0) {
   EXPECT_EQ(m.global.lateness.mean(), -0x1.ffc23ee2d0af1p+1);
   EXPECT_EQ(m.subtask_wait.mean(), 0x1.7f99b98fa79e3p-2);
   EXPECT_EQ(m.mean_utilization, 0x1.32f8ec913379ep-2);
+}
+
+TEST(GoldenMetrics, CombinedCommLoadAwareSampledRep0) {
+  // Serial-parallel shape with transmission stages on dedicated link nodes,
+  // driven by the load-aware stack: EQS-L fed by the *sampled* load model
+  // (periodic snapshot events interleave with the workload) and the online
+  // DIV-x autotuner adapting on subtask lateness. Pins the whole extension
+  // path — Node load accounting, snapshot scheduling, queueing-inflated
+  // deadline arithmetic, and adaptation order — bit for bit.
+  system::Config cfg = system::baseline_combined();
+  cfg.horizon = 150000;
+  cfg.link_nodes = 2;
+  cfg.comm_exec = sim::exponential(0.25);
+  cfg.ssp = core::make_eqs_load_aware();
+  cfg.psp = core::parallel_strategy_by_name("DIVA");
+  cfg.load_model = core::LoadModelSpec::parse("sampled:5");
+  const system::RunMetrics m = system::simulate(cfg, 0);
+  EXPECT_EQ(m.events, 875406u);
+  EXPECT_EQ(m.local.generated, 337564u);
+  EXPECT_EQ(m.global.generated, 18951u);
+  EXPECT_EQ(m.local.missed.trials(), 337560u);
+  EXPECT_EQ(m.local.missed.hits(), 86657u);
+  EXPECT_EQ(m.global.missed.trials(), 18951u);
+  EXPECT_EQ(m.global.missed.hits(), 4760u);
+  EXPECT_EQ(m.local.response.mean(), 0x1.f3fc95a701fadp+0);
+  EXPECT_EQ(m.global.response.mean(), 0x1.0df2092cd99fcp+3);
+  EXPECT_EQ(m.global.response.variance(), 0x1.08e9503848199p+4);
+  EXPECT_EQ(m.local.lateness.mean(), -0x1.b357eaf7aeff5p-2);
+  EXPECT_EQ(m.global.lateness.mean(), -0x1.6847322112cd4p+1);
+  EXPECT_EQ(m.subtask_wait.count(), 151331u);
+  EXPECT_EQ(m.subtask_wait.mean(), 0x1.403801ca6bc38p-1);
+  EXPECT_EQ(m.local_wait.mean(), 0x1.e77c5c52c468bp-1);
+  EXPECT_EQ(m.mean_utilization, 0x1.00f4635cf2a8ep-1);
+  EXPECT_EQ(m.mean_link_utilization, 0x1.03fe0c763c251p-5);
 }
 
 TEST(GoldenMetrics, Fig2UdLoad05PreemptiveRep0) {
