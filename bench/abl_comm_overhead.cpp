@@ -6,6 +6,11 @@
 // special-case network. The sweep shows how growing per-hop cost erodes
 // deadlines and whether EQF's advantage survives (each hop doubles the
 // number of stages whose slack UD mismanages).
+//
+// Both comm-capable shapes are swept: the Section 4 serial chain and the
+// Section 6 serial-parallel tree (whose parallel stages make each hop a
+// fan-in/fan-out barrier — transmissions gate *groups*, not single
+// subtasks), closing the PR-3 gap where only the serial shape was covered.
 #include <vector>
 
 #include "bench_common.hpp"
@@ -19,28 +24,39 @@ int main(int argc, char** argv) {
   bench::banner("abl_comm_overhead",
                 "Section 3.2: communication network subsumed as processing "
                 "nodes",
-                "serial baseline + 2 link nodes; per-hop transmission time "
-                "swept; load 0.5");
+                "serial and serial-parallel baselines + 2 link nodes; "
+                "per-hop transmission time swept; load 0.5");
 
-  dsrt::stats::Table table({"mean hop cost", "ssp", "MD_local(%)",
+  dsrt::stats::Table table({"shape", "mean hop cost", "ssp", "MD_local(%)",
                             "MD_global(%)", "link util(%)"});
-  for (double hop : {0.0, 0.1, 0.25, 0.5}) {
-    for (const char* name : {"UD", "EQF"}) {
-      dsrt::system::Config cfg = dsrt::system::baseline_ssp();
-      bench::apply(rc, cfg);
-      cfg.ssp = dsrt::core::serial_strategy_by_name(name);
-      if (hop > 0) {
-        cfg.link_nodes = 2;
-        cfg.comm_exec = dsrt::sim::exponential(hop);
+  struct ShapeChoice {
+    const char* label;
+    dsrt::system::Config (*base)();
+  };
+  const std::vector<ShapeChoice> shapes = {
+      {"serial", dsrt::system::baseline_ssp},
+      {"serial-parallel", dsrt::system::baseline_combined},
+  };
+  for (const auto& shape : shapes) {
+    for (double hop : {0.0, 0.1, 0.25, 0.5}) {
+      for (const char* name : {"UD", "EQF"}) {
+        dsrt::system::Config cfg = shape.base();
+        bench::apply(rc, cfg);
+        cfg.ssp = dsrt::core::serial_strategy_by_name(name);
+        if (hop > 0) {
+          cfg.link_nodes = 2;
+          cfg.comm_exec = dsrt::sim::exponential(hop);
+        }
+        const auto result = dsrt::system::run_replications(cfg, rc.reps);
+        double link_util = 0;
+        for (const auto& run : result.runs)
+          link_util += run.mean_link_utilization;
+        link_util /= static_cast<double>(result.runs.size());
+        table.add_row({shape.label, dsrt::stats::Table::cell(hop, 2), name,
+                       bench::pct(result.md_local),
+                       bench::pct(result.md_global),
+                       dsrt::stats::Table::percent(link_util, 1)});
       }
-      const auto result = dsrt::system::run_replications(cfg, rc.reps);
-      double link_util = 0;
-      for (const auto& run : result.runs)
-        link_util += run.mean_link_utilization;
-      link_util /= static_cast<double>(result.runs.size());
-      table.add_row({dsrt::stats::Table::cell(hop, 2), name,
-                     bench::pct(result.md_local), bench::pct(result.md_global),
-                     dsrt::stats::Table::percent(link_util, 1)});
     }
   }
   bench::emit(table, rc);

@@ -43,13 +43,20 @@ enum class InstanceState : std::uint8_t { Running, Completed, Aborted };
 class TaskInstance {
  public:
   /// `deadline` is the end-to-end deadline dl(T); strategies — and
-  /// `load_model`, when given — must outlive the instance. `load_model`
-  /// (nullable) is surfaced to the strategies through the contexts so
-  /// load-aware strategies can consult per-node system state; static
-  /// strategies ignore it.
+  /// `load_model` / `placement`, when given — must outlive the instance.
+  /// `load_model` (nullable) is surfaced to the strategies through the
+  /// contexts so load-aware strategies can consult per-node system state;
+  /// static strategies ignore it. `placement` (nullable) resolves the node
+  /// binding of *placeable* leaves when their stage becomes ready; with no
+  /// policy a placeable leaf keeps its seed-compatible hint node. Simple
+  /// children of a parallel group are placed together, in index order, on
+  /// distinct nodes (the paper's distinct-site constraint); serial stages
+  /// are placed one by one as they activate, with no cross-stage
+  /// constraint.
   TaskInstance(TaskId id, const TaskSpec& spec, sim::Time arrival,
                sim::Time deadline, SerialStrategyPtr ssp,
-               ParallelStrategyPtr psp, const LoadModel* load_model = nullptr);
+               ParallelStrategyPtr psp, const LoadModel* load_model = nullptr,
+               const PlacementPolicy* placement = nullptr);
 
   TaskId id() const { return id_; }
   sim::Time arrival() const { return arrival_; }
@@ -92,6 +99,7 @@ class TaskInstance {
     std::vector<std::size_t> children;
     NodeId node = 0;        // leaves only
     double exec = 0;        // leaves only
+    std::vector<NodeId> eligible;  // leaves only; non-empty until placed
     double pred_duration = 0;
     std::vector<double> pex_suffix;  // serial groups: size children+1
     // Runtime state.
@@ -110,6 +118,16 @@ class TaskInstance {
                 PriorityClass priority, std::vector<LeafSubmission>& out);
   void activate_serial_child(std::size_t group, sim::Time now,
                              std::vector<LeafSubmission>& out);
+  /// Resolves the node binding of placeable leaf `v` (no-op for bound
+  /// leaves), excluding `taken` nodes from the candidates.
+  void place_leaf(std::size_t v, sim::Time now,
+                  const std::vector<NodeId>& taken);
+  /// Places every simple child of parallel group `v` on distinct nodes.
+  void place_parallel_group(std::size_t v, sim::Time now);
+  /// Queued-pex the subtree rooted at `v` is predicted to face (placed
+  /// leaf: its node's board backlog; placeable leaf: min over its eligible
+  /// set; serial: sum of children; parallel: max of branches).
+  double downstream_backlog(std::size_t v, sim::Time now) const;
   /// Marks `v` done and walks completion up the tree; returns true when the
   /// root finished.
   bool complete_vertex(std::size_t v, sim::Time now,
@@ -121,7 +139,11 @@ class TaskInstance {
   SerialStrategyPtr ssp_;
   ParallelStrategyPtr psp_;
   const LoadModel* load_model_ = nullptr;  ///< not owned; may be null
+  const PlacementPolicy* placement_ = nullptr;  ///< not owned; may be null
+  bool downstream_aware_ = false;  ///< ssp consumes queued_downstream
   std::vector<Vertex> vertices_;
+  std::vector<NodeId> place_taken_;       ///< scratch: group exclusions
+  std::vector<NodeId> place_candidates_;  ///< scratch: eligible minus taken
   InstanceState state_ = InstanceState::Running;
   std::size_t outstanding_ = 0;
   bool started_ = false;

@@ -19,10 +19,25 @@ namespace dsrt::core {
 /// submitted with less remaining slack than pex) EQS can assign beyond
 /// dl(T); the clamp is the *intended* difference there, keeping
 /// dl(Ti) <= dl(T) unconditionally (the fuzz tier's bound).
+///
+/// With `downstream` set (registered as EQS-LD) the division also charges
+/// the backlog queued ahead of the *later* stages' nodes
+/// (SerialContext::queued_downstream): that time is not shareable slack
+/// either, so the current stage's deadline moves *earlier*, reserving room
+/// for the congestion the rest of the chain is known to face. q_down = 0
+/// reduces to EQS-L exactly, which keeps the PR-3 golden pinned.
 class EqualSlackLoadAware final : public SerialStrategy {
  public:
+  explicit EqualSlackLoadAware(bool downstream = false)
+      : downstream_(downstream) {}
   sim::Time assign(const SerialContext& ctx) const override;
-  std::string_view name() const override { return "EQS-L"; }
+  std::string_view name() const override {
+    return downstream_ ? "EQS-LD" : "EQS-L";
+  }
+  bool wants_downstream_load() const override { return downstream_; }
+
+ private:
+  bool downstream_;
 };
 
 /// EQF-L — load-aware Equal Flexibility: slack is divided in proportion to
@@ -35,10 +50,24 @@ class EqualSlackLoadAware final : public SerialStrategy {
 /// backlog and never exceeds the group window. Falls back to EQS-L's equal
 /// division when the inflated remaining pex is zero. q = 0 reproduces EQF
 /// exactly.
+///
+/// With `downstream` set (EQF-LD) the later stages' board backlog q_down
+/// inflates the remaining-pex denominator and is charged against the
+/// shareable slack, so the proportional division is fully load-aware:
+/// heavily backlogged chains yield earlier current-stage deadlines.
+/// q_down = 0 reduces to EQF-L exactly.
 class EqualFlexibilityLoadAware final : public SerialStrategy {
  public:
+  explicit EqualFlexibilityLoadAware(bool downstream = false)
+      : downstream_(downstream) {}
   sim::Time assign(const SerialContext& ctx) const override;
-  std::string_view name() const override { return "EQF-L"; }
+  std::string_view name() const override {
+    return downstream_ ? "EQF-LD" : "EQF-L";
+  }
+  bool wants_downstream_load() const override { return downstream_; }
+
+ private:
+  bool downstream_;
 };
 
 /// DIVA — online DIV-x autotuner (PSP). Applies the paper's DIV-x formula
@@ -87,6 +116,9 @@ class AdaptiveDivX final : public ParallelStrategy, public SubtaskFeedback {
 
 SerialStrategyPtr make_eqs_load_aware();
 SerialStrategyPtr make_eqf_load_aware();
+/// Downstream-aware variants (EQS-LD / EQF-LD).
+SerialStrategyPtr make_eqs_load_aware_downstream();
+SerialStrategyPtr make_eqf_load_aware_downstream();
 ParallelStrategyPtr make_adaptive_div_x(AdaptiveDivX::Options options = {});
 
 }  // namespace dsrt::core

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsrt/core/strategy.hpp"
+#include "dsrt/core/task.hpp"
+#include "dsrt/sim/time.hpp"
+
+namespace dsrt::core {
+
+/// Everything a placement policy may consult when one simple subtask is
+/// bound to an execution node at dispatch time. The candidate set itself is
+/// passed separately (the engine strips nodes already taken by siblings of
+/// the same parallel group before asking).
+struct PlacementContext {
+  sim::Time now = 0;
+  /// System-state view (same board the load-aware deadline strategies
+  /// read; freshness — exact/sampled/stale — applies to placement too).
+  /// nullptr = no state information wired.
+  const LoadModel* load = nullptr;
+  /// The workload generator's seed-stream draw for this leaf. Static
+  /// placement returns it verbatim, which is what keeps a `static` run
+  /// bit-for-bit identical to a build without the placement subsystem.
+  NodeId hint = kNoNode;
+};
+
+class PlacementPolicy;
+using PlacementPolicyPtr = std::shared_ptr<const PlacementPolicy>;
+
+/// Dispatch-time node selection for placeable subtasks (the join-shortest-
+/// queue family of the load-sharing literature; the natural next consumer
+/// of the paper's "system state information" extension after deadline
+/// assignment). Policies are consulted once per placeable leaf, when the
+/// stage holding it becomes ready.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Picks one node from `candidates` (non-empty; the leaf's eligible set
+  /// minus nodes already taken by simple siblings of the same parallel
+  /// group, in eligible-set order). Must return an element of `candidates`.
+  virtual NodeId place(const PlacementContext& ctx,
+                       std::span<const NodeId> candidates) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Seed-compatible placement: returns the generator's node draw (the
+/// `hint`), so a run with `--placement=static` reproduces every golden bit
+/// for bit. Falls back to the first candidate for hand-built specs whose
+/// hint is absent from the candidate set.
+class StaticPlacement final : public PlacementPolicy {
+ public:
+  NodeId place(const PlacementContext& ctx,
+               std::span<const NodeId> candidates) const override;
+  std::string_view name() const override { return "static"; }
+};
+
+/// Join-shortest-queue placement: picks the candidate with the smallest
+/// load key — queued predicted work (`jsq-pex`) or the utilization EWMA
+/// (`jsq-util`) — as reported by the run's LoadModel, so snapshot/stale
+/// freshness degrades placement exactly like it degrades deadline
+/// assignment. Exact ties (ubiquitous on an idle board, where every key is
+/// zero) rotate deterministically through a per-run sequence counter, so an
+/// unloaded system degenerates to round-robin rather than piling onto node
+/// 0. With no LoadModel wired every key is zero and the policy *is*
+/// round-robin — a useful placement baseline in its own right.
+///
+/// The counter is mutable-in-const for the same reason as AdaptiveDivX's
+/// adaptation state: policy handles are shared as pointers-to-const, but
+/// every simulation run constructs its own instance from the declarative
+/// `PlacementSpec`, and a run is single-threaded, so the mutation is
+/// race-free and `--jobs`-invariant.
+class JsqPlacement final : public PlacementPolicy {
+ public:
+  enum class Key : std::uint8_t { QueuedPex, Utilization };
+
+  explicit JsqPlacement(Key key) : key_(key) {}
+
+  NodeId place(const PlacementContext& ctx,
+               std::span<const NodeId> candidates) const override;
+  std::string_view name() const override {
+    return key_ == Key::QueuedPex ? "jsq-pex" : "jsq-util";
+  }
+
+  /// Placements decided so far (tie-rotation position); for tests.
+  std::uint64_t decisions() const { return seq_; }
+
+ private:
+  Key key_;
+  mutable std::uint64_t seq_ = 0;
+  /// Scratch for one decision's candidate keys (board reads are not free —
+  /// each decays an EWMA); grows to its high-water mark once. Same
+  /// mutable-in-const rationale as seq_.
+  mutable std::vector<double> keys_;
+};
+
+/// Which placement policy a run should wire up.
+enum class PlacementKind : std::uint8_t { Static, JsqPex, JsqUtil };
+
+/// Declarative description of a placement policy — `system::Config` carries
+/// this (not a live policy) because the jsq variants hold per-run tie-break
+/// state that must not be shared across concurrent engine runs.
+struct PlacementSpec {
+  PlacementKind kind = PlacementKind::Static;
+
+  /// Parses "static" | "jsq-pex" | "jsq-util". No kind takes a parameter;
+  /// any ":..." suffix (e.g. "jsq-pex:junk") is rejected with the full
+  /// registry vocabulary in the message, never half-applied.
+  static PlacementSpec parse(std::string_view text);
+
+  /// Inverse of parse.
+  std::string describe() const;
+};
+
+/// Builds a fresh policy instance for one simulation run.
+PlacementPolicyPtr make_placement(const PlacementSpec& spec);
+
+/// Every name PlacementSpec::parse accepts, in registry order. The CLI
+/// builds --help and error vocabulary from this, so a newly registered
+/// policy can never drift out of the help text.
+std::vector<std::string_view> placement_names();
+
+}  // namespace dsrt::core

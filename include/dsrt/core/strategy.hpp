@@ -11,6 +11,7 @@
 namespace dsrt::core {
 
 class LoadModel;
+class PlacementPolicy;
 
 /// Scheduling class of a job at a node. `Elevated` jobs always beat
 /// `Normal` jobs in dispatch order (within a class the node's policy order
@@ -42,6 +43,13 @@ struct SerialContext {
   /// subtasks (which have no single node — load-aware strategies fall back
   /// to their static formula there and refine at the next recursion level).
   NodeId node = kNoNode;
+  /// Board backlog the *later* stages of this serial group are predicted to
+  /// queue behind (sum over stages j > i of their nodes' queued pex; a
+  /// placeable stage contributes the minimum over its eligible set, a
+  /// parallel stage the maximum over its branches). Computed only for
+  /// strategies that declare wants_downstream_load(); 0 otherwise, so the
+  /// current-stage-only strategies are byte-for-byte unaffected.
+  double queued_downstream = 0;
 };
 
 /// Serial subtask deadline-assignment strategy (SSP, Section 4). Returns
@@ -54,6 +62,10 @@ class SerialStrategy {
   virtual ~SerialStrategy() = default;
   virtual sim::Time assign(const SerialContext& ctx) const = 0;
   virtual std::string_view name() const = 0;
+  /// True for strategies that consume SerialContext::queued_downstream.
+  /// The assigner walks the remaining stages' eligible nodes only when this
+  /// is set, so everyone else keeps the cheaper current-stage-only path.
+  virtual bool wants_downstream_load() const { return false; }
   /// Strategies carrying per-run mutable state return a fresh instance so
   /// every simulation run adapts independently (shared instances across the
   /// engine's concurrent runs would race and break `--jobs` determinism).

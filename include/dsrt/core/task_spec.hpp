@@ -19,12 +19,24 @@ enum class SpecKind : std::uint8_t { Simple, Serial, Parallel };
 /// Each simple subtask carries its real execution time `ex` (known to the
 /// simulator that generates it, not to the schedulers) and the predicted
 /// execution time `pex` available to the deadline-assignment strategies.
+///
+/// A leaf is either *bound* (today's fixed node — the degenerate singleton
+/// eligible set) or *placeable*: it additionally carries the set of nodes
+/// it may execute on, and the binding is deferred to dispatch time, when a
+/// `PlacementPolicy` picks a node from the eligible set using current
+/// system state. Placeable leaves still carry a bound node — the workload
+/// generator's seed-stream draw — so static placement reproduces the bound
+/// behavior bit for bit.
 class TaskSpec {
  public:
   /// Leaf: a simple subtask executing at `node`.
   static TaskSpec simple(NodeId node, double exec, double pex);
   /// Leaf with perfect prediction (pex == ex).
   static TaskSpec simple(NodeId node, double exec);
+  /// Placeable leaf: may execute at any node of `eligible` (non-empty, must
+  /// contain `hint`); `hint` is the seed-compatible default binding.
+  static TaskSpec simple_among(NodeId hint, std::vector<NodeId> eligible,
+                               double exec, double pex);
   /// Serial composition [c1 c2 ... cn]; n >= 1.
   static TaskSpec serial(std::vector<TaskSpec> children);
   /// Parallel composition [c1 || c2 || ... || cn]; n >= 1.
@@ -33,8 +45,15 @@ class TaskSpec {
   SpecKind kind() const { return kind_; }
   bool is_simple() const { return kind_ == SpecKind::Simple; }
 
-  /// Execution node of a simple subtask. Requires is_simple().
+  /// Execution node of a simple subtask (the default binding of a
+  /// placeable leaf). Requires is_simple().
   NodeId node() const;
+
+  /// Nodes a placeable leaf may execute on; empty for bound leaves (and
+  /// complex subtasks). The dispatch-time placement engine consults this.
+  const std::vector<NodeId>& eligible() const { return eligible_; }
+  /// True when node binding is deferred to dispatch time.
+  bool placeable() const { return !eligible_.empty(); }
   /// Real execution time of a simple subtask. Requires is_simple().
   double exec() const;
   /// Predicted execution time of a simple subtask. Requires is_simple().
@@ -73,6 +92,7 @@ class TaskSpec {
   NodeId node_ = 0;
   double exec_ = 0;
   double pex_ = 0;
+  std::vector<NodeId> eligible_;  ///< non-empty iff placeable (leaves only)
   std::vector<TaskSpec> children_;
 };
 

@@ -18,6 +18,7 @@
 #include "dsrt/core/load_aware_strategies.hpp"
 #include "dsrt/core/load_model.hpp"
 #include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/core/placement.hpp"
 #include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/core/strategy.hpp"
 #include "dsrt/core/task.hpp"

@@ -6,6 +6,7 @@
 
 #include "dsrt/core/load_model.hpp"
 #include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/core/placement.hpp"
 #include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/core/strategy.hpp"
 #include "dsrt/sched/abort_policy.hpp"
@@ -42,6 +43,15 @@ struct Config {
   /// simulated-time schedule, so determinism (and --jobs invariance) holds
   /// for every kind.
   core::LoadModelSpec load_model;
+  /// Dispatch-time node selection for global subtasks. `Static` (default)
+  /// binds nodes at generation time exactly as before — bit-for-bit
+  /// identical to a build without the placement subsystem. The jsq kinds
+  /// defer binding to the instant a stage becomes ready and route it to
+  /// the least-loaded eligible node as seen through `load_model` (whose
+  /// freshness — exact/sampled/stale — therefore governs placement too;
+  /// with no load model wired they degenerate to deterministic
+  /// round-robin).
+  core::PlacementSpec placement;
 
   // --- Workload (Table 1) ------------------------------------------------
   double load = 0.5;        ///< normalized load in [0, 1)

@@ -24,15 +24,18 @@ namespace dsrt::system {
 class ProcessManager {
  public:
   /// Registers itself as the completion handler of every node.
-  /// `load_model` (nullable, not owned, must outlive the manager) is handed
-  /// to every task instance so load-aware strategies can consult system
-  /// state; when the PSP also implements core::SubtaskFeedback (the online
-  /// DIV-x autotuner) it receives every global subtask disposal.
+  /// `load_model` and `placement` (nullable, not owned, must outlive the
+  /// manager) are handed to every task instance: the former so load-aware
+  /// strategies can consult system state, the latter to resolve the node
+  /// binding of placeable subtasks at dispatch time. When the PSP also
+  /// implements core::SubtaskFeedback (the online DIV-x autotuner) it
+  /// receives every global subtask disposal.
   ProcessManager(sim::Simulator& sim,
                  std::vector<std::unique_ptr<sched::Node>>& nodes,
                  core::SerialStrategyPtr ssp, core::ParallelStrategyPtr psp,
                  RunMetrics& metrics,
-                 const core::LoadModel* load_model = nullptr);
+                 const core::LoadModel* load_model = nullptr,
+                 const core::PlacementPolicy* placement = nullptr);
 
   ProcessManager(const ProcessManager&) = delete;
   ProcessManager& operator=(const ProcessManager&) = delete;
@@ -78,7 +81,8 @@ class ProcessManager {
   core::SerialStrategyPtr ssp_;
   core::ParallelStrategyPtr psp_;
   RunMetrics& metrics_;
-  const core::LoadModel* load_model_ = nullptr;     ///< not owned
+  const core::LoadModel* load_model_ = nullptr;          ///< not owned
+  const core::PlacementPolicy* placement_ = nullptr;     ///< not owned
   const core::SubtaskFeedback* feedback_ = nullptr;  ///< psp_, if it listens
   Observer* observer_ = nullptr;
 

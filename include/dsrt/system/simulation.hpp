@@ -43,6 +43,11 @@ class SimulationRun {
   /// The load model wired from cfg.load_model (nullptr when kind = None).
   const core::LoadModel* load_model() const { return load_model_.get(); }
 
+  /// The placement policy wired from cfg.placement (nullptr when kind =
+  /// Static: static runs skip the placement engine entirely and reproduce
+  /// the generation-time binding bit for bit).
+  const core::PlacementPolicy* placement() const { return placement_.get(); }
+
  private:
   void schedule_snapshot_refresh();
 
@@ -56,6 +61,9 @@ class SimulationRun {
   std::shared_ptr<core::LoadModel> load_model_;
   core::SnapshotLoadModel* snapshot_model_ = nullptr;  ///< non-null iff
                                                        ///< sampled/stale
+  /// Fresh per run (jsq tie-break state is per-run, like the strategies'
+  /// clone_for_run state); null for Static.
+  core::PlacementPolicyPtr placement_;
   std::unique_ptr<ProcessManager> pm_;
   std::vector<std::unique_ptr<workload::LocalTaskSource>> local_sources_;
   std::unique_ptr<workload::GlobalTaskSource> global_source_;

@@ -74,6 +74,11 @@ struct GlobalTaskParams {
   /// instead of as a Poisson stream — the periodic-task variant discussed
   /// with the flow-shop related work [3], [4].
   bool periodic = false;
+  /// When true, leaves carry eligible-node sets and the node binding is
+  /// resolved at dispatch time by the run's PlacementPolicy. The RNG draw
+  /// sequence is unchanged (nodes are still drawn as hints), so flipping
+  /// this never perturbs execution times or arrival instants.
+  bool defer_placement = false;
 };
 
 /// Single Poisson stream of global tasks (Section 4.1). Every arrival draws

@@ -26,9 +26,20 @@ std::vector<core::NodeId> sample_distinct_nodes(std::size_t nodes,
 /// Builds the SSP workload's task shape (Section 4): T = [T1 T2 ... Tm],
 /// each subtask's execution time drawn from `exec_dist`, execution node
 /// drawn uniformly (with replacement) from the `nodes` nodes.
+///
+/// Every maker takes a trailing `defer_placement` flag. The RNG draw
+/// sequence is *identical* either way (nodes are always drawn, preserving
+/// the common-random-numbers discipline across placement policies and
+/// every existing golden); with the flag set each leaf additionally
+/// carries its eligible set — any compute node for serial stages and
+/// parallel-group members (the group's distinct-site constraint is
+/// enforced by the placement engine), the link-node range for
+/// transmission stages — and the generation-time draw becomes a mere
+/// hint that `--placement=static` reproduces verbatim.
 core::TaskSpec make_serial_task(std::size_t subtasks, std::size_t nodes,
                                 const sim::Distribution& exec_dist,
-                                const PexErrorModel& pex_error, sim::Rng& rng);
+                                const PexErrorModel& pex_error, sim::Rng& rng,
+                                bool defer_placement = false);
 
 /// Builds the PSP workload's task shape (Section 5):
 /// T = [T1 || T2 || ... || Tm] at m *different* nodes. Requires
@@ -36,7 +47,8 @@ core::TaskSpec make_serial_task(std::size_t subtasks, std::size_t nodes,
 core::TaskSpec make_parallel_task(std::size_t subtasks, std::size_t nodes,
                                   const sim::Distribution& exec_dist,
                                   const PexErrorModel& pex_error,
-                                  sim::Rng& rng);
+                                  sim::Rng& rng,
+                                  bool defer_placement = false);
 
 /// Parameters of the Section 6 serial-parallel shape: a serial chain of
 /// `stages` stages; each stage is, with probability `parallel_prob`, a
@@ -60,7 +72,8 @@ core::TaskSpec make_serial_parallel_task(const SerialParallelShape& shape,
                                          std::size_t nodes,
                                          const sim::Distribution& exec_dist,
                                          const PexErrorModel& pex_error,
-                                         sim::Rng& rng);
+                                         sim::Rng& rng,
+                                         bool defer_placement = false);
 
 /// Section 6 shape with Section 3.2 network modeling: a transmission
 /// subtask (on a uniformly chosen link node, ids nodes..nodes+link_nodes-1,
@@ -71,7 +84,7 @@ core::TaskSpec make_serial_parallel_task_with_comm(
     const SerialParallelShape& shape, std::size_t nodes,
     std::size_t link_nodes, const sim::Distribution& exec_dist,
     const sim::Distribution& comm_dist, const PexErrorModel& pex_error,
-    sim::Rng& rng);
+    sim::Rng& rng, bool defer_placement = false);
 
 /// Section 3.2's treatment of the network: "even the communication network
 /// is considered a resource and is subsumed as one or more processing
@@ -83,7 +96,8 @@ core::TaskSpec make_serial_parallel_task_with_comm(
 core::TaskSpec make_serial_task_with_comm(
     std::size_t subtasks, std::size_t nodes, std::size_t link_nodes,
     const sim::Distribution& exec_dist, const sim::Distribution& comm_dist,
-    const PexErrorModel& pex_error, sim::Rng& rng);
+    const PexErrorModel& pex_error, sim::Rng& rng,
+    bool defer_placement = false);
 
 /// n-th harmonic number H_n = 1 + 1/2 + ... + 1/n (mean of the max of n iid
 /// exponentials in units of their mean).

@@ -1,24 +1,31 @@
 #include "dsrt/core/assigner.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
+
+#include "dsrt/core/load_model.hpp"
+#include "dsrt/core/placement.hpp"
 
 namespace dsrt::core {
 
 TaskInstance::TaskInstance(TaskId id, const TaskSpec& spec, sim::Time arrival,
                            sim::Time deadline, SerialStrategyPtr ssp,
                            ParallelStrategyPtr psp,
-                           const LoadModel* load_model)
+                           const LoadModel* load_model,
+                           const PlacementPolicy* placement)
     : id_(id),
       arrival_(arrival),
       deadline_(deadline),
       ssp_(std::move(ssp)),
       psp_(std::move(psp)),
-      load_model_(load_model) {
+      load_model_(load_model),
+      placement_(placement) {
   if (!ssp_) throw std::invalid_argument("TaskInstance: null serial strategy");
   if (!psp_)
     throw std::invalid_argument("TaskInstance: null parallel strategy");
+  downstream_aware_ = load_model_ && ssp_->wants_downstream_load();
   vertices_.reserve(count_vertices(spec));
   build(spec, -1, 0);
 }
@@ -43,6 +50,7 @@ std::size_t TaskInstance::build(const TaskSpec& spec, int parent,
     if (spec.is_simple()) {
       vx.node = spec.node();
       vx.exec = spec.exec();
+      vx.eligible = spec.eligible();  // empty = bound at generation time
     }
   }
   if (!spec.is_simple()) {
@@ -81,6 +89,14 @@ void TaskInstance::activate(std::size_t v, sim::Time now, sim::Time deadline,
   vx.priority = priority;
   switch (vx.kind) {
     case SpecKind::Simple: {
+      // A leaf activated outside a parallel group (serial stage or root)
+      // is placed alone: no sibling runs concurrently, so nothing is
+      // excluded. Leaves of a parallel group were already resolved by
+      // place_parallel_group below.
+      if (!vx.eligible.empty()) {
+        place_taken_.clear();
+        place_leaf(v, now, place_taken_);
+      }
       ++outstanding_;
       const std::size_t sibling_count =
           vx.parent < 0
@@ -97,6 +113,9 @@ void TaskInstance::activate(std::size_t v, sim::Time now, sim::Time deadline,
       return;
     }
     case SpecKind::Parallel: {
+      // Bind every placeable simple child before any deadline is assigned,
+      // so the PSP contexts below already see the dispatch-time nodes.
+      place_parallel_group(v, now);
       vx.pending = vx.children.size();
       double pex_max = 0;
       for (std::size_t c : vx.children)
@@ -132,6 +151,13 @@ void TaskInstance::activate_serial_child(std::size_t group, sim::Time now,
   Vertex& gx = vertices_[group];
   const std::size_t i = gx.next_child;
   const std::size_t child = gx.children[i];
+  // Resolve the stage's node binding first, so the SSP context charges the
+  // backlog of the node the subtask will actually queue at.
+  if (vertices_[child].kind == SpecKind::Simple &&
+      !vertices_[child].eligible.empty()) {
+    place_taken_.clear();
+    place_leaf(child, now, place_taken_);
+  }
   SerialContext ctx;
   ctx.group_arrival = gx.activated_at;
   ctx.group_deadline = gx.assigned_deadline;
@@ -144,8 +170,99 @@ void TaskInstance::activate_serial_child(std::size_t group, sim::Time now,
   ctx.load = load_model_;
   ctx.node = vertices_[child].kind == SpecKind::Simple ? vertices_[child].node
                                                        : kNoNode;
+  if (downstream_aware_) {
+    double q_down = 0;
+    for (std::size_t j = i + 1; j < gx.children.size(); ++j)
+      q_down += downstream_backlog(gx.children[j], now);
+    ctx.queued_downstream = q_down;
+  }
   const sim::Time dl = ssp_->assign(ctx);
   activate(child, now, dl, gx.priority, out);
+}
+
+void TaskInstance::place_leaf(std::size_t v, sim::Time now,
+                              const std::vector<NodeId>& taken) {
+  Vertex& vx = vertices_[v];
+  if (!placement_) {
+    // No policy wired: keep the generator's seed-compatible hint.
+    vx.eligible.clear();
+    return;
+  }
+  place_candidates_.clear();
+  for (const NodeId node : vx.eligible) {
+    if (std::find(taken.begin(), taken.end(), node) == taken.end())
+      place_candidates_.push_back(node);
+  }
+  if (place_candidates_.empty())
+    throw std::logic_error(
+        "TaskInstance: parallel group wider than its eligible node set");
+  PlacementContext ctx;
+  ctx.now = now;
+  ctx.load = load_model_;
+  ctx.hint = vx.node;
+  vx.node = placement_->place(ctx, place_candidates_);
+  vx.eligible.clear();
+}
+
+void TaskInstance::place_parallel_group(std::size_t v, sim::Time now) {
+  Vertex& vx = vertices_[v];
+  bool any_placeable = false;
+  for (const std::size_t c : vx.children) {
+    if (vertices_[c].kind == SpecKind::Simple &&
+        !vertices_[c].eligible.empty()) {
+      any_placeable = true;
+      break;
+    }
+  }
+  if (!any_placeable) return;
+  // Distinct-site constraint: bound siblings pin their nodes first, then
+  // placeable siblings are resolved in index order, each excluding every
+  // node the group already occupies. (Leaves of *complex* children run in
+  // later stages of their own subgroups and are placed on activation,
+  // unconstrained by this group.)
+  place_taken_.clear();
+  for (const std::size_t c : vx.children) {
+    if (vertices_[c].kind == SpecKind::Simple &&
+        vertices_[c].eligible.empty())
+      place_taken_.push_back(vertices_[c].node);
+  }
+  for (const std::size_t c : vx.children) {
+    if (vertices_[c].kind != SpecKind::Simple ||
+        vertices_[c].eligible.empty())
+      continue;
+    place_leaf(c, now, place_taken_);
+    place_taken_.push_back(vertices_[c].node);
+  }
+}
+
+double TaskInstance::downstream_backlog(std::size_t v, sim::Time now) const {
+  const Vertex& vx = vertices_[v];
+  switch (vx.kind) {
+    case SpecKind::Simple: {
+      if (vx.eligible.empty())
+        return load_model_->load(vx.node, now).queued_pex;
+      // Not yet placed: the optimistic estimate is the backlog a
+      // shortest-queue dispatch would face right now.
+      double best = std::numeric_limits<double>::infinity();
+      for (const NodeId node : vx.eligible)
+        best = std::min(best, load_model_->load(node, now).queued_pex);
+      return best;
+    }
+    case SpecKind::Serial: {
+      double total = 0;
+      for (const std::size_t c : vx.children)
+        total += downstream_backlog(c, now);
+      return total;
+    }
+    case SpecKind::Parallel: {
+      // Branches queue concurrently; the join waits for the slowest.
+      double worst = 0;
+      for (const std::size_t c : vx.children)
+        worst = std::max(worst, downstream_backlog(c, now));
+      return worst;
+    }
+  }
+  return 0;  // unreachable
 }
 
 bool TaskInstance::on_leaf_complete(std::size_t leaf, sim::Time now,

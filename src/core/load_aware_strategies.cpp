@@ -25,8 +25,12 @@ double queued_ahead(const SerialContext& ctx) {
 
 sim::Time EqualSlackLoadAware::assign(const SerialContext& ctx) const {
   const double q = queued_ahead(ctx);
+  // Downstream variant: the backlog the later stages queue behind is not
+  // shareable slack either — charging it shrinks every remaining stage's
+  // share equally, moving the current deadline *earlier*.
+  const double q_down = downstream_ ? ctx.queued_downstream : 0.0;
   const double remaining_slack =
-      ctx.group_deadline - ctx.now - ctx.pex_remaining - q;
+      ctx.group_deadline - ctx.now - ctx.pex_remaining - q - q_down;
   const auto stages_left = static_cast<double>(ctx.count - ctx.index);
   const sim::Time dl =
       ctx.now + ctx.pex_self + q + remaining_slack / stages_left;
@@ -35,10 +39,14 @@ sim::Time EqualSlackLoadAware::assign(const SerialContext& ctx) const {
 
 sim::Time EqualFlexibilityLoadAware::assign(const SerialContext& ctx) const {
   const double q = queued_ahead(ctx);
+  const double q_down = downstream_ ? ctx.queued_downstream : 0.0;
   const double pex_eff = ctx.pex_self + q;
-  const double pex_rem = ctx.pex_remaining + q;
+  // The later stages' queueing joins their pex in the denominator, so the
+  // division stays proportional to *predicted residence* times, not just
+  // predicted service times.
+  const double pex_rem = ctx.pex_remaining + q + q_down;
   const double remaining_slack =
-      ctx.group_deadline - ctx.now - ctx.pex_remaining - q;
+      ctx.group_deadline - ctx.now - ctx.pex_remaining - q - q_down;
   if (pex_rem <= 0) {
     // No basis for proportional division (mirrors EQF's EQS fallback).
     const auto stages_left = static_cast<double>(ctx.count - ctx.index);
@@ -109,6 +117,12 @@ SerialStrategyPtr make_eqs_load_aware() {
 }
 SerialStrategyPtr make_eqf_load_aware() {
   return std::make_shared<EqualFlexibilityLoadAware>();
+}
+SerialStrategyPtr make_eqs_load_aware_downstream() {
+  return std::make_shared<EqualSlackLoadAware>(/*downstream=*/true);
+}
+SerialStrategyPtr make_eqf_load_aware_downstream() {
+  return std::make_shared<EqualFlexibilityLoadAware>(/*downstream=*/true);
 }
 ParallelStrategyPtr make_adaptive_div_x(AdaptiveDivX::Options options) {
   return std::make_shared<AdaptiveDivX>(options);

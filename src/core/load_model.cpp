@@ -67,9 +67,17 @@ LoadModelSpec LoadModelSpec::parse(std::string_view text) {
   LoadModelSpec spec;
   std::string_view kind = text;
   std::string_view param;
+  bool has_param = false;
   if (const auto colon = text.find(':'); colon != std::string_view::npos) {
     kind = text.substr(0, colon);
     param = text.substr(colon + 1);
+    has_param = true;
+    // A trailing colon ("sampled:") is a malformed spec, not a request for
+    // the default period — rejecting it keeps a typo from silently running
+    // with different freshness than the caller intended.
+    if (param.empty())
+      throw std::invalid_argument("LoadModelSpec: empty parameter in '" +
+                                  std::string(text) + "'");
   }
   if (kind == "none") {
     spec.kind = LoadModelKind::None;
@@ -84,7 +92,7 @@ LoadModelSpec LoadModelSpec::parse(std::string_view text) {
                                 std::string(text) +
                                 "' (want none|exact|sampled[:p]|stale[:d])");
   }
-  if (!param.empty()) {
+  if (has_param) {
     if (spec.kind == LoadModelKind::None || spec.kind == LoadModelKind::Exact)
       throw std::invalid_argument(
           "LoadModelSpec: '" + std::string(kind) + "' takes no parameter");

@@ -1,0 +1,128 @@
+#include "dsrt/core/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsrt/core/load_model.hpp"
+
+namespace dsrt::core {
+
+NodeId StaticPlacement::place(const PlacementContext& ctx,
+                              std::span<const NodeId> candidates) const {
+  if (candidates.empty())
+    throw std::invalid_argument("StaticPlacement: empty candidate set");
+  if (std::find(candidates.begin(), candidates.end(), ctx.hint) !=
+      candidates.end())
+    return ctx.hint;
+  return candidates.front();
+}
+
+NodeId JsqPlacement::place(const PlacementContext& ctx,
+                           std::span<const NodeId> candidates) const {
+  if (candidates.empty())
+    throw std::invalid_argument("JsqPlacement: empty candidate set");
+  // One model read per candidate (each read decays an EWMA with an exp());
+  // the keys are kept in a high-water-reserved scratch so the tie-indexing
+  // pass below never re-queries the board.
+  keys_.clear();
+  double best = 0;
+  std::size_t ties = 0;
+  for (const NodeId node : candidates) {
+    double key = 0;
+    if (ctx.load) {
+      const NodeLoad load = ctx.load->load(node, ctx.now);
+      key = key_ == Key::QueuedPex ? load.queued_pex : load.utilization;
+    }
+    keys_.push_back(key);
+    if (ties == 0 || key < best) {
+      best = key;
+      ties = 1;
+    } else if (key == best) {
+      ++ties;
+    }
+  }
+  // Exact ties rotate through the per-run sequence counter: deterministic,
+  // and uniform over the tied set on an idle board.
+  std::size_t skip = static_cast<std::size_t>(seq_++ % ties);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (keys_[i] == best) {
+      if (skip == 0) return candidates[i];
+      --skip;
+    }
+  }
+  return candidates.front();  // unreachable
+}
+
+namespace {
+
+/// Single source of truth for name-addressable placement policies: lookup,
+/// error messages, and the CLI help vocabulary all read this table.
+struct PlacementRegistryEntry {
+  std::string_view name;
+  PlacementKind kind;
+};
+
+constexpr PlacementRegistryEntry kPlacementRegistry[] = {
+    {"static", PlacementKind::Static},
+    {"jsq-pex", PlacementKind::JsqPex},
+    {"jsq-util", PlacementKind::JsqUtil},
+};
+
+std::string vocabulary() {
+  std::string out;
+  for (const auto& entry : kPlacementRegistry) {
+    if (!out.empty()) out += '|';
+    out += entry.name;
+  }
+  return out;
+}
+
+}  // namespace
+
+PlacementSpec PlacementSpec::parse(std::string_view text) {
+  std::string_view kind = text;
+  if (const auto colon = text.find(':'); colon != std::string_view::npos) {
+    // No placement kind is parameterized; rejecting the whole token (rather
+    // than silently ignoring the suffix) keeps "jsq-pex:junk" from running
+    // as a half-parsed jsq-pex.
+    kind = text.substr(0, colon);
+    for (const auto& entry : kPlacementRegistry) {
+      if (kind == entry.name)
+        throw std::invalid_argument("PlacementSpec: '" + std::string(kind) +
+                                    "' takes no parameter (got '" +
+                                    std::string(text) + "')");
+    }
+  }
+  for (const auto& entry : kPlacementRegistry) {
+    if (text == entry.name) return PlacementSpec{entry.kind};
+  }
+  throw std::invalid_argument("PlacementSpec: unknown placement '" +
+                              std::string(text) + "' (want " + vocabulary() +
+                              ")");
+}
+
+std::string PlacementSpec::describe() const {
+  for (const auto& entry : kPlacementRegistry)
+    if (entry.kind == kind) return std::string(entry.name);
+  return "static";  // unreachable
+}
+
+PlacementPolicyPtr make_placement(const PlacementSpec& spec) {
+  switch (spec.kind) {
+    case PlacementKind::Static:
+      return std::make_shared<StaticPlacement>();
+    case PlacementKind::JsqPex:
+      return std::make_shared<JsqPlacement>(JsqPlacement::Key::QueuedPex);
+    case PlacementKind::JsqUtil:
+      return std::make_shared<JsqPlacement>(JsqPlacement::Key::Utilization);
+  }
+  throw std::logic_error("make_placement: bad kind");
+}
+
+std::vector<std::string_view> placement_names() {
+  std::vector<std::string_view> names;
+  for (const auto& entry : kPlacementRegistry) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace dsrt::core

@@ -127,6 +127,8 @@ constexpr SerialRegistryEntry kSerialRegistry[] = {
     {"EQF-S", make_eqf_static},
     {"EQS-L", make_eqs_load_aware},
     {"EQF-L", make_eqf_load_aware},
+    {"EQS-LD", make_eqs_load_aware_downstream},
+    {"EQF-LD", make_eqf_load_aware_downstream},
 };
 
 }  // namespace

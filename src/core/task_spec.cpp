@@ -25,6 +25,17 @@ TaskSpec TaskSpec::simple(NodeId node, double exec) {
   return simple(node, exec, exec);
 }
 
+TaskSpec TaskSpec::simple_among(NodeId hint, std::vector<NodeId> eligible,
+                                double exec, double pex) {
+  if (eligible.empty())
+    throw std::invalid_argument("TaskSpec: empty eligible set");
+  if (std::find(eligible.begin(), eligible.end(), hint) == eligible.end())
+    throw std::invalid_argument("TaskSpec: hint outside the eligible set");
+  TaskSpec spec = simple(hint, exec, pex);
+  spec.eligible_ = std::move(eligible);
+  return spec;
+}
+
 TaskSpec TaskSpec::serial(std::vector<TaskSpec> children) {
   if (children.empty())
     throw std::invalid_argument("TaskSpec::serial: no children");
@@ -115,6 +126,7 @@ std::string TaskSpec::to_string() const {
   if (is_simple()) {
     std::ostringstream os;
     os << "T@" << node_;
+    if (placeable()) os << '*';  // binding deferred to dispatch time
     return os.str();
   }
   const char* sep = kind_ == SpecKind::Serial ? " " : " || ";

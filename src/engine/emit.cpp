@@ -168,7 +168,25 @@ std::string bench_artifact_json(const std::string& name,
      << ",\"total_runs\":" << sweep.total_runs
      << ",\"jobs\":" << sweep.jobs
      << ",\"wall_seconds\":" << num(sweep.wall_seconds)
-     << ",\"runs_per_second\":" << num(sweep.runs_per_second()) << "}\n";
+     << ",\"runs_per_second\":" << num(sweep.runs_per_second());
+  // Headline result grid, so a BENCH_* artifact alone can back claims like
+  // "jsq-pex beats static on MD_overall at load 0.85" without re-running
+  // the sweep (the full-fidelity per-replication data stays in the
+  // --emit=json file).
+  os << ",\"axes\":[";
+  for (std::size_t a = 0; a < sweep.axis_names.size(); ++a)
+    os << (a ? "," : "") << quoted(sweep.axis_names[a]);
+  os << "],\"results\":[";
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const PointResult& pr = sweep.points[i];
+    os << (i ? "," : "") << "{\"labels\":[";
+    for (std::size_t a = 0; a < pr.point.labels.size(); ++a)
+      os << (a ? "," : "") << quoted(pr.point.labels[a]);
+    os << "],\"md_local\":" << num(pr.result.md_local.mean)
+       << ",\"md_global\":" << num(pr.result.md_global.mean)
+       << ",\"md_overall\":" << num(pr.result.md_overall.mean) << "}";
+  }
+  os << "]}\n";
   return os.str();
 }
 

@@ -110,6 +110,11 @@ SweepAxis SweepAxis::by_field(const std::string& field,
       // accounts/snapshots, so points never share mutable state.
       const auto spec = core::LoadModelSpec::parse(value);
       fn = [spec](system::Config& c) { c.load_model = spec; };
+    } else if (field == "placement") {
+      // Also a spec: the jsq tie-break rotation is per-run state, built
+      // fresh inside every SimulationRun.
+      const auto spec = core::PlacementSpec::parse(value);
+      fn = [spec](system::Config& c) { c.placement = spec; };
     } else if (field == "policy") {
       const auto p = sched::policy_by_name(value);
       fn = [p](system::Config& c) { c.policy = p; };

@@ -40,6 +40,9 @@ Config config_from_flags(const util::Flags& flags) {
     cfg.load_model.ewma_tau = flags.get("lm_tau", cfg.load_model.ewma_tau);
     cfg.load_model.validate();
   }
+  if (flags.has("placement"))
+    cfg.placement =
+        core::PlacementSpec::parse(flags.get("placement", std::string()));
   if (flags.has("policy"))
     cfg.policy = sched::policy_by_name(flags.get("policy", std::string()));
   if (flags.has("abort"))
@@ -146,6 +149,11 @@ std::string cli_usage() {
       "                       system-state view for the load-aware\n"
       "                       strategies (EQS-L, EQF-L); --lm_tau=20 sets\n"
       "                       the utilization-EWMA time constant\n"
+      "  --placement=" + joined_names(core::placement_names()) + "\n"
+      "                       node binding of global subtasks: static =\n"
+      "                       generation-time draw (paper baseline), jsq-*\n"
+      "                       = route each ready stage to the least-loaded\n"
+      "                       eligible node via --load_model\n"
       "  --policy=EDF|MLF|FCFS|SJF --abort=NoAbort|AbortTardy|AbortHopeless\n"
       "  --smin=0.25 --smax=2.5 --pex_err=0 --m_min= --m_max=\n"
       "  --sp_stages=3 --sp_prob=0.5 --sp_width=3\n"
@@ -160,7 +168,7 @@ std::string cli_usage() {
       "  --sweep_<field>=v1,v2,...   sweep axis over a config field\n"
       "                       (load, frac_local, rel_flex, nodes, m, ssp,\n"
       "                        psp, policy, abort, pex_err, shape,\n"
-      "                        load_model, ...);\n"
+      "                        load_model, placement, ...);\n"
       "                       repeatable; axes expand as a cartesian grid\n"
       "                       (--zip: advance all axes in lockstep)\n";
 }

@@ -126,6 +126,8 @@ std::string Config::describe() const {
      << " rel_flex=" << rel_flex << " horizon=" << horizon;
   if (load_model.kind != core::LoadModelKind::None)
     os << " load_model=" << load_model.describe();
+  if (placement.kind != core::PlacementKind::Static)
+    os << " placement=" << placement.describe();
   return os.str();
 }
 

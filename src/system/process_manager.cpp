@@ -10,13 +10,15 @@ ProcessManager::ProcessManager(sim::Simulator& sim,
                                core::SerialStrategyPtr ssp,
                                core::ParallelStrategyPtr psp,
                                RunMetrics& metrics,
-                               const core::LoadModel* load_model)
+                               const core::LoadModel* load_model,
+                               const core::PlacementPolicy* placement)
     : sim_(sim),
       nodes_(nodes),
       ssp_(std::move(ssp)),
       psp_(std::move(psp)),
       metrics_(metrics),
       load_model_(load_model),
+      placement_(placement),
       feedback_(dynamic_cast<const core::SubtaskFeedback*>(psp_.get())) {
   // Steady-state hot path: keep the per-disposal scratch buffers out of
   // the allocator (they only grow at new high-water marks).
@@ -54,7 +56,8 @@ void ProcessManager::submit_global(const core::TaskSpec& spec,
   ++metrics_.global.generated;
   const core::TaskId id = next_task_id_++;
   auto [it, inserted] = instances_.try_emplace(
-      id, id, spec, sim_.now(), deadline, ssp_, psp_, load_model_);
+      id, id, spec, sim_.now(), deadline, ssp_, psp_, load_model_,
+      placement_);
   (void)inserted;
   if (observer_) observer_->on_global_arrival(id, spec, sim_.now(), deadline);
   scratch_.clear();

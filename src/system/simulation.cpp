@@ -69,8 +69,18 @@ SimulationRun::SimulationRun(const Config& config, std::uint64_t replication)
     }
   }
 
+  // Placement (extension; Config::placement). Static keeps the policy
+  // null: the generator binds nodes exactly as before and the placement
+  // engine never runs, so every pre-placement golden is reproduced bit for
+  // bit. The jsq kinds get a *fresh* policy per run — the tie-break
+  // rotation is per-run state, so concurrent engine runs stay independent
+  // and --jobs=1 equals --jobs=N.
+  if (cfg_.placement.kind != core::PlacementKind::Static)
+    placement_ = core::make_placement(cfg_.placement);
+
   pm_ = std::make_unique<ProcessManager>(sim_, nodes_, cfg_.ssp, cfg_.psp,
-                                         metrics_, load_model_.get());
+                                         metrics_, load_model_.get(),
+                                         placement_.get());
 
   // Local-task streams: homogeneous by default, or weighted per node
   // (Section 4.3's "some nodes had higher local task loads than others").
@@ -110,6 +120,7 @@ SimulationRun::SimulationRun(const Config& config, std::uint64_t replication)
   params.link_nodes = cfg_.link_nodes;
   params.comm_exec = cfg_.comm_exec;
   params.periodic = cfg_.periodic_globals;
+  params.defer_placement = placement_ != nullptr;
   global_source_ = std::make_unique<workload::GlobalTaskSource>(
       sim_, std::move(params), cfg_.lambda_global(),
       sim::Rng(seed, kGlobalStream), cfg_.horizon,

@@ -117,27 +117,31 @@ std::size_t GlobalTaskSource::draw_subtask_count() {
 }
 
 core::TaskSpec GlobalTaskSource::make_task() {
+  const bool defer = params_.defer_placement;
   switch (params_.shape) {
     case GlobalShape::Serial:
       if (params_.link_nodes > 0) {
         return make_serial_task_with_comm(
             draw_subtask_count(), params_.nodes, params_.link_nodes,
-            *params_.exec, *params_.comm_exec, *params_.pex_error, rng_);
+            *params_.exec, *params_.comm_exec, *params_.pex_error, rng_,
+            defer);
       }
       return make_serial_task(draw_subtask_count(), params_.nodes,
-                              *params_.exec, *params_.pex_error, rng_);
+                              *params_.exec, *params_.pex_error, rng_, defer);
     case GlobalShape::Parallel:
       return make_parallel_task(draw_subtask_count(), params_.nodes,
-                                *params_.exec, *params_.pex_error, rng_);
+                                *params_.exec, *params_.pex_error, rng_,
+                                defer);
     case GlobalShape::SerialParallel:
       if (params_.link_nodes > 0) {
         return make_serial_parallel_task_with_comm(
             params_.sp_shape, params_.nodes, params_.link_nodes,
-            *params_.exec, *params_.comm_exec, *params_.pex_error, rng_);
+            *params_.exec, *params_.comm_exec, *params_.pex_error, rng_,
+            defer);
       }
       return make_serial_parallel_task(params_.sp_shape, params_.nodes,
                                        *params_.exec, *params_.pex_error,
-                                       rng_);
+                                       rng_, defer);
   }
   throw std::logic_error("GlobalTaskSource: bad shape");
 }

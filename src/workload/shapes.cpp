@@ -25,11 +25,29 @@ std::vector<core::NodeId> sample_distinct_nodes(std::size_t nodes,
 
 namespace {
 
-core::TaskSpec make_leaf(core::NodeId node, const sim::Distribution& exec_dist,
-                         const PexErrorModel& pex_error, sim::Rng& rng) {
+/// Contiguous id range a deferred leaf may be placed on: the compute nodes
+/// [0, nodes) or the link nodes [nodes, nodes + link_nodes). Materialized
+/// as an explicit set (one small allocation per deferred leaf, generation
+/// path only — the event hot path is untouched) rather than a {first,
+/// count} range so per-task locality constraints (non-contiguous eligible
+/// subsets; see ROADMAP) need no TaskSpec surgery.
+std::vector<core::NodeId> node_range(std::size_t lo, std::size_t count) {
+  std::vector<core::NodeId> ids(count);
+  std::iota(ids.begin(), ids.end(), static_cast<core::NodeId>(lo));
+  return ids;
+}
+
+/// Leaf with an optional deferred binding. The RNG consumption is
+/// identical for both arms — `node` was drawn by the caller either way —
+/// so flipping `defer` never perturbs the seed stream.
+core::TaskSpec make_leaf_among(core::NodeId node, bool defer, std::size_t lo,
+                               std::size_t count,
+                               const sim::Distribution& exec_dist,
+                               const PexErrorModel& pex_error, sim::Rng& rng) {
   const double exec = exec_dist.sample(rng);
   const double pex = pex_error.predict(exec, rng);
-  return core::TaskSpec::simple(node, exec, pex);
+  if (!defer) return core::TaskSpec::simple(node, exec, pex);
+  return core::TaskSpec::simple_among(node, node_range(lo, count), exec, pex);
 }
 
 }  // namespace
@@ -37,14 +55,15 @@ core::TaskSpec make_leaf(core::NodeId node, const sim::Distribution& exec_dist,
 core::TaskSpec make_serial_task(std::size_t subtasks, std::size_t nodes,
                                 const sim::Distribution& exec_dist,
                                 const PexErrorModel& pex_error,
-                                sim::Rng& rng) {
+                                sim::Rng& rng, bool defer_placement) {
   if (subtasks == 0) throw std::invalid_argument("make_serial_task: m == 0");
   if (nodes == 0) throw std::invalid_argument("make_serial_task: no nodes");
   std::vector<core::TaskSpec> children;
   children.reserve(subtasks);
   for (std::size_t i = 0; i < subtasks; ++i) {
     const auto node = static_cast<core::NodeId>(rng.below(nodes));
-    children.push_back(make_leaf(node, exec_dist, pex_error, rng));
+    children.push_back(make_leaf_among(node, defer_placement, 0, nodes,
+                                       exec_dist, pex_error, rng));
   }
   return core::TaskSpec::serial(std::move(children));
 }
@@ -52,13 +71,14 @@ core::TaskSpec make_serial_task(std::size_t subtasks, std::size_t nodes,
 core::TaskSpec make_parallel_task(std::size_t subtasks, std::size_t nodes,
                                   const sim::Distribution& exec_dist,
                                   const PexErrorModel& pex_error,
-                                  sim::Rng& rng) {
+                                  sim::Rng& rng, bool defer_placement) {
   if (subtasks == 0) throw std::invalid_argument("make_parallel_task: m == 0");
   const auto sites = sample_distinct_nodes(nodes, subtasks, rng);
   std::vector<core::TaskSpec> children;
   children.reserve(subtasks);
   for (const auto node : sites)
-    children.push_back(make_leaf(node, exec_dist, pex_error, rng));
+    children.push_back(make_leaf_among(node, defer_placement, 0, nodes,
+                                       exec_dist, pex_error, rng));
   return core::TaskSpec::parallel(std::move(children));
 }
 
@@ -79,17 +99,19 @@ namespace {
 core::TaskSpec make_sp_stage(const SerialParallelShape& shape,
                              std::size_t nodes,
                              const sim::Distribution& exec_dist,
-                             const PexErrorModel& pex_error, sim::Rng& rng) {
+                             const PexErrorModel& pex_error, sim::Rng& rng,
+                             bool defer) {
   if (rng.uniform01() < shape.parallel_prob) {
     const auto sites = sample_distinct_nodes(nodes, shape.parallel_width, rng);
     std::vector<core::TaskSpec> group;
     group.reserve(sites.size());
     for (const auto node : sites)
-      group.push_back(make_leaf(node, exec_dist, pex_error, rng));
+      group.push_back(
+          make_leaf_among(node, defer, 0, nodes, exec_dist, pex_error, rng));
     return core::TaskSpec::parallel(std::move(group));
   }
   const auto node = static_cast<core::NodeId>(rng.below(nodes));
-  return make_leaf(node, exec_dist, pex_error, rng);
+  return make_leaf_among(node, defer, 0, nodes, exec_dist, pex_error, rng);
 }
 
 void check_sp_shape(const SerialParallelShape& shape, std::size_t nodes) {
@@ -106,12 +128,13 @@ core::TaskSpec make_serial_parallel_task(const SerialParallelShape& shape,
                                          std::size_t nodes,
                                          const sim::Distribution& exec_dist,
                                          const PexErrorModel& pex_error,
-                                         sim::Rng& rng) {
+                                         sim::Rng& rng, bool defer_placement) {
   check_sp_shape(shape, nodes);
   std::vector<core::TaskSpec> stages;
   stages.reserve(shape.stages);
   for (std::size_t s = 0; s < shape.stages; ++s)
-    stages.push_back(make_sp_stage(shape, nodes, exec_dist, pex_error, rng));
+    stages.push_back(make_sp_stage(shape, nodes, exec_dist, pex_error, rng,
+                                   defer_placement));
   return core::TaskSpec::serial(std::move(stages));
 }
 
@@ -119,7 +142,7 @@ core::TaskSpec make_serial_parallel_task_with_comm(
     const SerialParallelShape& shape, std::size_t nodes,
     std::size_t link_nodes, const sim::Distribution& exec_dist,
     const sim::Distribution& comm_dist, const PexErrorModel& pex_error,
-    sim::Rng& rng) {
+    sim::Rng& rng, bool defer_placement) {
   check_sp_shape(shape, nodes);
   if (link_nodes == 0)
     throw std::invalid_argument(
@@ -130,9 +153,12 @@ core::TaskSpec make_serial_parallel_task_with_comm(
     if (s > 0) {
       const auto link = static_cast<core::NodeId>(
           nodes + static_cast<std::size_t>(rng.below(link_nodes)));
-      stages.push_back(make_leaf(link, comm_dist, pex_error, rng));
+      stages.push_back(make_leaf_among(link, defer_placement, nodes,
+                                       link_nodes, comm_dist, pex_error,
+                                       rng));
     }
-    stages.push_back(make_sp_stage(shape, nodes, exec_dist, pex_error, rng));
+    stages.push_back(make_sp_stage(shape, nodes, exec_dist, pex_error, rng,
+                                   defer_placement));
   }
   return core::TaskSpec::serial(std::move(stages));
 }
@@ -140,7 +166,7 @@ core::TaskSpec make_serial_parallel_task_with_comm(
 core::TaskSpec make_serial_task_with_comm(
     std::size_t subtasks, std::size_t nodes, std::size_t link_nodes,
     const sim::Distribution& exec_dist, const sim::Distribution& comm_dist,
-    const PexErrorModel& pex_error, sim::Rng& rng) {
+    const PexErrorModel& pex_error, sim::Rng& rng, bool defer_placement) {
   if (subtasks == 0)
     throw std::invalid_argument("make_serial_task_with_comm: m == 0");
   if (nodes == 0)
@@ -153,10 +179,13 @@ core::TaskSpec make_serial_task_with_comm(
     if (i > 0) {
       const auto link = static_cast<core::NodeId>(
           nodes + static_cast<std::size_t>(rng.below(link_nodes)));
-      children.push_back(make_leaf(link, comm_dist, pex_error, rng));
+      children.push_back(make_leaf_among(link, defer_placement, nodes,
+                                         link_nodes, comm_dist, pex_error,
+                                         rng));
     }
     const auto node = static_cast<core::NodeId>(rng.below(nodes));
-    children.push_back(make_leaf(node, exec_dist, pex_error, rng));
+    children.push_back(make_leaf_among(node, defer_placement, 0, nodes,
+                                       exec_dist, pex_error, rng));
   }
   return core::TaskSpec::serial(std::move(children));
 }

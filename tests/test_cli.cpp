@@ -113,8 +113,21 @@ TEST(Cli, UsageMentionsEveryFlagGroup) {
   const std::string usage = system::cli_usage();
   for (const char* token : {"--shape", "--ssp", "--psp", "--policy",
                             "--abort", "--links", "--periodic", "--horizon",
-                            "--load_model"})
+                            "--load_model", "--placement"})
     EXPECT_NE(usage.find(token), std::string::npos) << token;
+}
+
+TEST(Cli, PlacementSelection) {
+  EXPECT_EQ(parse({}).placement.kind, core::PlacementKind::Static);
+  const auto cfg = parse({"--placement=jsq-pex", "--load_model=exact"});
+  EXPECT_EQ(cfg.placement.kind, core::PlacementKind::JsqPex);
+  EXPECT_EQ(parse({"--placement=static"}).placement.kind,
+            core::PlacementKind::Static);
+  EXPECT_THROW(parse({"--placement=psychic"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--placement=jsq-pex:3"}), std::invalid_argument);
+  // Malformed load-model parameters fail fast too (satellite hardening).
+  EXPECT_THROW(parse({"--load_model=sampled:"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--load_model=stale:-1"}), std::invalid_argument);
 }
 
 TEST(Cli, UsageAndErrorsAreGeneratedFromTheStrategyRegistry) {

@@ -321,6 +321,15 @@ TEST(Emit, TablesCsvAndJsonAgreeOnShape) {
   EXPECT_NE(artifact.find("\"points\":4"), std::string::npos);
   EXPECT_NE(artifact.find("\"total_runs\":8"), std::string::npos);
   EXPECT_NE(artifact.find("runs_per_second"), std::string::npos);
+  // The artifact carries the headline result grid: one labeled record per
+  // point, so BENCH_*.json alone can back cross-point comparisons.
+  EXPECT_NE(artifact.find("\"axes\":[\"load\",\"ssp\"]"), std::string::npos);
+  EXPECT_NE(artifact.find("\"labels\":[\"0.2\",\"UD\"]"), std::string::npos);
+  std::size_t md_records = 0;
+  for (std::size_t at = artifact.find("\"md_overall\"");
+       at != std::string::npos; at = artifact.find("\"md_overall\"", at + 1))
+    ++md_records;
+  EXPECT_EQ(md_records, 4u);
 }
 
 TEST(Emit, PivotTableRejectsZippedSweep) {

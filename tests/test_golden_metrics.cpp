@@ -123,6 +123,70 @@ TEST(GoldenMetrics, CombinedCommLoadAwareSampledRep0) {
   EXPECT_EQ(m.mean_link_utilization, 0x1.03fe0c763c251p-5);
 }
 
+TEST(GoldenMetrics, CombinedCommDownstreamSampledRep0) {
+  // The downstream-aware serial strategy (EQS-LD): identical configuration
+  // to CombinedCommLoadAwareSampledRep0 except the SSP also charges the
+  // later stages' board backlog. Pins the downstream-estimate walk
+  // (placed-node backlog, min-over-eligible, sum-over-serial /
+  // max-over-parallel) bit for bit; the *generated* workload matches the
+  // EQS-L golden exactly (same seeds, same draws), only disposals move.
+  system::Config cfg = system::baseline_combined();
+  cfg.horizon = 150000;
+  cfg.link_nodes = 2;
+  cfg.comm_exec = sim::exponential(0.25);
+  cfg.ssp = core::serial_strategy_by_name("EQS-LD");
+  cfg.psp = core::parallel_strategy_by_name("DIVA");
+  cfg.load_model = core::LoadModelSpec::parse("sampled:5");
+  const system::RunMetrics m = system::simulate(cfg, 0);
+  EXPECT_EQ(m.events, 875406u);
+  EXPECT_EQ(m.local.generated, 337564u);
+  EXPECT_EQ(m.global.generated, 18951u);
+  EXPECT_EQ(m.local.missed.trials(), 337560u);
+  EXPECT_EQ(m.local.missed.hits(), 87058u);
+  EXPECT_EQ(m.global.missed.trials(), 18951u);
+  EXPECT_EQ(m.global.missed.hits(), 4647u);
+  EXPECT_EQ(m.local.response.mean(), 0x1.f5d8414148319p+0);
+  EXPECT_EQ(m.global.response.mean(), 0x1.0b8f1109e9518p+3);
+  EXPECT_EQ(m.global.response.variance(), 0x1.00404a0319393p+4);
+  EXPECT_EQ(m.local.lateness.mean(), -0x1.abe93c8e960d1p-2);
+  EXPECT_EQ(m.global.lateness.mean(), -0x1.71d312acd407dp+1);
+  EXPECT_EQ(m.subtask_wait.count(), 151331u);
+  EXPECT_EQ(m.subtask_wait.mean(), 0x1.3c618f10351b7p-1);
+  EXPECT_EQ(m.local_wait.mean(), 0x1.eb33b38750d94p-1);
+  EXPECT_EQ(m.mean_utilization, 0x1.00f4635cf2a8ep-1);
+  EXPECT_EQ(m.mean_link_utilization, 0x1.03fe0c763c251p-5);
+}
+
+TEST(GoldenMetrics, Fig2EqfJsqPexExactRep0) {
+  // Dispatch-time placement: EQF over jsq-pex routing fed by the exact
+  // board. Pins the whole placement path — deferred eligible sets, the
+  // ready-instant shortest-queue decision, and the tie-break rotation —
+  // bit for bit. The event count matches the static UD golden (815073):
+  // placement moves work between nodes but never changes the event
+  // *population*, only its order.
+  system::Config cfg = golden_config();
+  cfg.ssp = core::make_eqf();
+  cfg.placement = core::PlacementSpec::parse("jsq-pex");
+  cfg.load_model = core::LoadModelSpec::parse("exact");
+  const system::RunMetrics m = system::simulate(cfg, 0);
+  EXPECT_EQ(m.events, 815073u);
+  EXPECT_EQ(m.local.generated, 337564u);
+  EXPECT_EQ(m.global.generated, 27990u);
+  EXPECT_EQ(m.local.missed.trials(), 337559u);
+  EXPECT_EQ(m.local.missed.hits(), 72857u);
+  EXPECT_EQ(m.global.missed.trials(), 27990u);
+  EXPECT_EQ(m.global.missed.hits(), 59u);
+  EXPECT_EQ(m.local.response.mean(), 0x1.b81f3c04aaa9ep+0);
+  EXPECT_EQ(m.global.response.mean(), 0x1.0511fe52edf64p+2);
+  EXPECT_EQ(m.global.response.variance(), 0x1.0e8a139b59408p+2);
+  EXPECT_EQ(m.local.lateness.mean(), -0x1.5166c10e5b075p-1);
+  EXPECT_EQ(m.global.lateness.mean(), -0x1.5b7acee44d57ap+2);
+  EXPECT_EQ(m.subtask_wait.count(), 111960u);
+  EXPECT_EQ(m.subtask_wait.mean(), 0x1.2e84fe3ef82b8p-6);
+  EXPECT_EQ(m.local_wait.mean(), 0x1.6fc1136e4ea25p-1);
+  EXPECT_EQ(m.mean_utilization, 0x1.fffe93c4b5afcp-2);
+}
+
 TEST(GoldenMetrics, Fig2UdLoad05PreemptiveRep0) {
   // Preemptive-resume relaxation: covers the preempt/stale-token paths the
   // flat ready queue rewrite touched.
