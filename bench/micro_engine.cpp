@@ -5,10 +5,14 @@
 // performance trajectory of the kernel.
 //
 // Benchmarks:
-//   event_queue_churn_<d>   push/pop churn of the 4-ary InlineAction heap
-//                           at steady depth d (64 / 1024)
+//   event_queue_churn_<d>   push/pop churn of the pending-event set at
+//                           steady depth d (32 = sorted mode, 64/1024 =
+//                           just past the boundary / deep 4-ary heap mode)
 //   node_cycle              Node submit -> dispatch -> complete cycle
 //                           through the flat ready queue (EDF, no abort)
+//   task_churn              task-layer lifecycle with no nodes: flat-spec
+//                           fill, pooled-instance recycle, deadline
+//                           decomposition, and completion walk per task
 //   end_to_end_fig2         whole-system events/sec at the Table-1
 //                           baseline (UD, load 0.5), non-preemptive
 //   end_to_end_fig2_preempt same with preemptive-resume servers
@@ -21,6 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "dsrt/core/assigner.hpp"
+#include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/engine/emit.hpp"
 #include "dsrt/engine/runner.hpp"
 #include "dsrt/sched/abort_policy.hpp"
@@ -32,6 +39,8 @@
 #include "dsrt/system/baseline.hpp"
 #include "dsrt/system/simulation.hpp"
 #include "dsrt/util/flags.hpp"
+#include "dsrt/workload/pex_error.hpp"
+#include "dsrt/workload/shapes.hpp"
 
 namespace {
 
@@ -83,6 +92,46 @@ engine::BenchEntry node_cycle(std::uint64_t jobs) {
   return {"node_cycle", "jobs", static_cast<double>(done), s};
 }
 
+engine::BenchEntry task_churn(std::uint64_t tasks) {
+  // The arena-backed global-task lifecycle in isolation (no nodes, no
+  // event kernel): refill one flat TaskSpec in place, recycle one pooled
+  // TaskInstance, decompose deadlines, and walk every leaf to completion.
+  // After the first iteration this loop performs zero heap allocations.
+  sim::Rng rng(11);
+  const auto exec_dist = sim::exponential(1.0);
+  const auto pex_error = workload::make_perfect_prediction();
+  const auto ssp = core::make_eqs();
+  const auto psp = core::make_parallel_ud();
+  core::TaskSpec spec;
+  core::TaskSpecBuilder builder;
+  core::TaskInstance inst;
+  std::vector<core::LeafSubmission> ready;
+  ready.reserve(8);
+  std::uint64_t leaves = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t t = 0; t < tasks; ++t) {
+    builder.reset(spec);
+    workload::fill_serial_task(builder, /*subtasks=*/4, /*nodes=*/6,
+                               *exec_dist, *pex_error, rng,
+                               /*defer_placement=*/false);
+    builder.finish();
+    inst.reset(t + 1, spec, 0.0, spec.critical_path_exec() + 2.0, ssp, psp);
+    ready.clear();
+    inst.start(0.0, ready);
+    double now = 0;
+    while (!ready.empty()) {
+      const core::LeafSubmission sub = ready.back();
+      ready.pop_back();
+      ++leaves;
+      now += 0.25;
+      inst.on_leaf_complete(sub.leaf, now, ready);
+    }
+  }
+  const double s = seconds_since(t0);
+  if (leaves != tasks * 4) std::abort();  // every leaf completes exactly once
+  return {"task_churn", "tasks", static_cast<double>(tasks), s};
+}
+
 engine::BenchEntry end_to_end(bool preemptive, sim::Time horizon, int reps) {
   system::Config cfg = system::baseline_ssp();
   cfg.horizon = horizon;
@@ -116,9 +165,11 @@ int main(int argc, char** argv) {
   const std::uint64_t scale = quick ? 1 : 8;
 
   std::vector<engine::BenchEntry> entries;
+  entries.push_back(churn(32, 500000 * scale));
   entries.push_back(churn(64, 500000 * scale));
   entries.push_back(churn(1024, 500000 * scale));
   entries.push_back(node_cycle(125000 * scale));
+  entries.push_back(task_churn(125000 * scale));
   entries.push_back(end_to_end(false, 37500.0 * static_cast<double>(scale),
                                /*reps=*/3));
   entries.push_back(end_to_end(true, 37500.0 * static_cast<double>(scale),

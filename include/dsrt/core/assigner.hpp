@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dsrt/core/strategy.hpp"
@@ -36,12 +38,24 @@ enum class InstanceState : std::uint8_t { Running, Completed, Aborted };
 /// early-finishing stage is inherited by later stages, and overruns rob
 /// later stages — both phenomena discussed in Section 4.2.2.
 ///
-/// Usage: construct, call `start()` once, then `on_leaf_complete()` for
-/// every completion reported by a node, submitting whatever either call
-/// emits. `abort()` marks the instance failed; subsequent completions of
-/// already-queued subtasks are absorbed without emitting further work.
+/// Storage mirrors the flat TaskSpec: one pre-order vertex array (same
+/// numbering as the spec) plus shared pools for child indices, eligible
+/// sets and the serial-suffix sums — no per-vertex heap blocks. Instances
+/// are *recyclable*: `reset()` rebuilds the runtime state in place from a
+/// (possibly different) spec, reusing every buffer, so a pooled instance
+/// costs zero heap allocations per global task once warm. The process
+/// manager keeps a free list of drained instances for exactly this reason.
+///
+/// Usage: construct (or `reset()`), call `start()` once, then
+/// `on_leaf_complete()` for every completion reported by a node, submitting
+/// whatever either call emits. `abort()` marks the instance failed;
+/// subsequent completions of already-queued subtasks are absorbed without
+/// emitting further work.
 class TaskInstance {
  public:
+  /// Empty shell for pooling; call `reset()` before use.
+  TaskInstance() = default;
+
   /// `deadline` is the end-to-end deadline dl(T); strategies — and
   /// `load_model` / `placement`, when given — must outlive the instance.
   /// `load_model` (nullable) is surfaced to the strategies through the
@@ -57,6 +71,15 @@ class TaskInstance {
                sim::Time deadline, SerialStrategyPtr ssp,
                ParallelStrategyPtr psp, const LoadModel* load_model = nullptr,
                const PlacementPolicy* placement = nullptr);
+
+  /// Rebuilds the instance in place for a new global task, reusing every
+  /// internal buffer (no allocation once the buffers fit the spec). Same
+  /// contract as the constructor.
+  void reset(TaskId id, const TaskSpec& spec, sim::Time arrival,
+             sim::Time deadline, const SerialStrategyPtr& ssp,
+             const ParallelStrategyPtr& psp,
+             const LoadModel* load_model = nullptr,
+             const PlacementPolicy* placement = nullptr);
 
   TaskId id() const { return id_; }
   sim::Time arrival() const { return arrival_; }
@@ -93,27 +116,34 @@ class TaskInstance {
 
  private:
   struct Vertex {
-    SpecKind kind = SpecKind::Simple;
-    int parent = -1;
-    std::size_t index_in_parent = 0;
-    std::vector<std::size_t> children;
-    NodeId node = 0;        // leaves only
-    double exec = 0;        // leaves only
-    std::vector<NodeId> eligible;  // leaves only; non-empty until placed
+    // Static structure, copied from the flat spec.
+    double exec = 0;            // leaves only
     double pred_duration = 0;
-    std::vector<double> pex_suffix;  // serial groups: size children+1
+    std::int32_t parent = -1;
+    std::uint32_t index_in_parent = 0;
+    std::uint32_t child_begin = 0;  // into child_pool_ (groups)
+    std::uint32_t child_count = 0;
+    std::uint32_t elig_begin = 0;   // into elig_pool_ (leaves)
+    std::uint32_t elig_count = 0;   // 0 once placed (or bound)
+    std::uint32_t suffix_begin = 0; // into suffix_pool_ (serial groups)
+    NodeId node = 0;                // leaves only
+    SpecKind kind = SpecKind::Simple;
     // Runtime state.
     sim::Time assigned_deadline = sim::kTimeInfinity;
     sim::Time activated_at = 0;
     PriorityClass priority = PriorityClass::Normal;
-    std::size_t next_child = 0;  // serial progress
-    std::size_t pending = 0;     // parallel fan-in
+    std::uint32_t next_child = 0;  // serial progress
+    std::uint32_t pending = 0;     // parallel fan-in
     bool done = false;
   };
 
-  static std::size_t count_vertices(const TaskSpec& spec);
-  std::size_t build(const TaskSpec& spec, int parent,
-                    std::size_t index_in_parent);
+  std::span<const std::uint32_t> children_of(const Vertex& vx) const {
+    return {child_pool_.data() + vx.child_begin, vx.child_count};
+  }
+  std::span<const NodeId> eligible_of(const Vertex& vx) const {
+    return {elig_pool_.data() + vx.elig_begin, vx.elig_count};
+  }
+
   void activate(std::size_t v, sim::Time now, sim::Time deadline,
                 PriorityClass priority, std::vector<LeafSubmission>& out);
   void activate_serial_child(std::size_t group, sim::Time now,
@@ -133,18 +163,21 @@ class TaskInstance {
   bool complete_vertex(std::size_t v, sim::Time now,
                        std::vector<LeafSubmission>& out);
 
-  TaskId id_;
-  sim::Time arrival_;
-  sim::Time deadline_;
+  TaskId id_ = 0;
+  sim::Time arrival_ = 0;
+  sim::Time deadline_ = 0;
   SerialStrategyPtr ssp_;
   ParallelStrategyPtr psp_;
   const LoadModel* load_model_ = nullptr;  ///< not owned; may be null
   const PlacementPolicy* placement_ = nullptr;  ///< not owned; may be null
   bool downstream_aware_ = false;  ///< ssp consumes queued_downstream
-  std::vector<Vertex> vertices_;
+  std::vector<Vertex> vertices_;          ///< pre-order, spec numbering
+  std::vector<std::uint32_t> child_pool_; ///< per-group child vertex ids
+  std::vector<NodeId> elig_pool_;         ///< per-leaf eligible sets
+  std::vector<double> suffix_pool_;       ///< per-serial-group pex suffixes
   std::vector<NodeId> place_taken_;       ///< scratch: group exclusions
   std::vector<NodeId> place_candidates_;  ///< scratch: eligible minus taken
-  InstanceState state_ = InstanceState::Running;
+  InstanceState state_ = InstanceState::Completed;
   std::size_t outstanding_ = 0;
   bool started_ = false;
 };

@@ -17,7 +17,11 @@ struct Job {
   JobId id = 0;
   core::TaskClass cls = core::TaskClass::Local;
   core::PriorityClass priority = core::PriorityClass::Normal;
-  core::TaskId task = 0;       ///< owning global task (or local task id)
+  /// Owning global task, as the process manager's slot-map handle
+  /// (slot | generation << 32): resolving a disposal is an array index plus
+  /// a generation check, not a hash lookup. 0 for local tasks. Unique per
+  /// task within a run; observers are handed the stable `TaskId` instead.
+  core::TaskId task = 0;
   std::uint32_t leaf = 0;      ///< leaf vertex within the owning instance
   core::NodeId node = 0;       ///< node the job was submitted to
   sim::Time release = 0;       ///< submission time at the node

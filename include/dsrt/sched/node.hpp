@@ -35,6 +35,14 @@ class Node {
   using CompletionHandler =
       std::function<void(const Job&, sim::Time, JobOutcome)>;
 
+  /// Context-pointer flavor of the completion hook — the process manager's
+  /// fast path. A raw function pointer plus context beats a std::function
+  /// dispatch on every disposal, and disposals are the densest callback in
+  /// the simulation. When set, it takes precedence over the std::function
+  /// handler.
+  using CompletionDelegate = void (*)(void*, const Job&, sim::Time,
+                                      JobOutcome);
+
   /// The node schedules work on `sim`; `policy` orders the ready queue;
   /// `abort_policy` screens jobs at dispatch. All pointers must be non-null.
   Node(core::NodeId id, sim::Simulator& sim, PolicyPtr policy,
@@ -48,6 +56,13 @@ class Node {
 
   /// Registers the completion handler (replaces any previous one).
   void set_completion_handler(CompletionHandler handler);
+
+  /// Registers the raw completion delegate (nullptr detaches). `ctx` is
+  /// passed back verbatim and must outlive the node or be detached first.
+  void set_completion_delegate(CompletionDelegate fn, void* ctx) {
+    delegate_ = fn;
+    delegate_ctx_ = ctx;
+  }
 
   /// Accepts a job at the current simulated time. If the server is idle the
   /// job starts service immediately; otherwise it waits in the ready queue.
@@ -104,6 +119,8 @@ class Node {
     Job job{};
   };
 
+  /// Routes a disposal to the delegate (preferred) or the handler.
+  void dispose(const Job& job, JobOutcome outcome);
   void start_service(Job job, QueueKey key);
   void on_service_complete(std::uint64_t service_token);
   void dispatch_next();
@@ -117,8 +134,16 @@ class Node {
   sim::Simulator& sim_;
   PolicyPtr policy_;
   AbortPolicyPtr abort_policy_;
+  /// Monomorphic fast paths, probed once at construction: the Table-1
+  /// baseline (EDF, no abort) is the hot configuration, and a predicted
+  /// branch beats a virtual dispatch on every submit/dispatch instant.
+  /// Exact same keys/decisions either way — behavior is unchanged.
+  bool policy_is_edf_ = false;
+  bool abort_is_none_ = false;
   PreemptionMode preemption_;
   CompletionHandler handler_;
+  CompletionDelegate delegate_ = nullptr;  ///< preferred over handler_
+  void* delegate_ctx_ = nullptr;
 
   // Ready queue: implicit binary min-heap over a flat vector, ordered by
   // (class rank, policy key, arrival sequence). The arrival sequence makes

@@ -1,7 +1,7 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "dsrt/core/assigner.hpp"
@@ -21,6 +21,15 @@ namespace dsrt::system {
 ///
 /// Its own resource consumption is not modeled, following Section 3.2 (it
 /// can be viewed as additional subtasks handled identically).
+///
+/// Task lifecycle storage is a generation-checked slot map: live instances
+/// sit in a dense array, `sched::Job::task` carries the
+/// (slot, generation) handle, and resolving a disposal is one array index
+/// plus a generation compare — no hashing on the hot path. Drained slots go
+/// on a free list and their `TaskInstance` buffers are recycled for the
+/// next arrival, so a warmed-up arrival→dispatch→disposal cycle performs
+/// zero heap allocations in this layer. Observers keep seeing the stable
+/// per-run `TaskId` (handles never leak into the observer API).
 class ProcessManager {
  public:
   /// Registers itself as the completion handler of every node.
@@ -51,30 +60,53 @@ class ProcessManager {
   void submit_global(const core::TaskSpec& spec, sim::Time deadline);
 
   /// Global tasks currently executing (or draining after an abort).
-  std::size_t live_instances() const { return instances_.size(); }
+  std::size_t live_instances() const { return live_; }
 
   /// Attaches a lifecycle observer (nullptr detaches). Not owned; must
   /// outlive the process manager or be detached first.
   void set_observer(Observer* observer) { observer_ = observer; }
 
  private:
+  /// One slot of the instance pool. `generation` bumps on every reuse, so
+  /// a stale handle can never resolve to a later task; the instance's
+  /// buffers survive release and are recycled by `reset()`.
+  struct Slot {
+    core::TaskInstance inst;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+
   struct Disposal {
     sched::Job job;
     sim::Time at;
     sched::JobOutcome outcome;
   };
 
+  static std::uint32_t slot_of(std::uint64_t handle) {
+    return static_cast<std::uint32_t>(handle);
+  }
+  static std::uint32_t generation_of(std::uint64_t handle) {
+    return static_cast<std::uint32_t>(handle >> 32);
+  }
+
   /// Entry point from node completion handlers. Submitting a follow-on
   /// subtask can *synchronously* produce another disposal (an idle node
   /// whose abort policy discards the job on the spot), so disposals are
   /// queued and drained iteratively instead of recursing — recursion would
-  /// invalidate the instance map iterator of the outer frame.
+  /// clobber the shared submission scratch of the outer frame.
   void on_disposed(const sched::Job& job, sim::Time now,
                    sched::JobOutcome outcome);
-  void handle_disposal(const Disposal& d);
-  void dispatch_submissions(core::TaskId task,
+  void drain_disposals();
+  void handle_disposal(const sched::Job& job, sim::Time now,
+                       sched::JobOutcome outcome);
+  /// Submits every released leaf under the task's slot handle. `task_id`
+  /// and `ultimate` come from the already-resolved instance, so the
+  /// arrival path never re-resolves the handle it just created.
+  void dispatch_submissions(std::uint64_t handle, core::TaskId task_id,
+                            sim::Time ultimate,
                             const std::vector<core::LeafSubmission>& subs);
   void finish_global(core::TaskInstance& inst, sim::Time now);
+  void release_slot(std::uint32_t slot);
 
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<sched::Node>>& nodes_;
@@ -86,7 +118,9 @@ class ProcessManager {
   const core::SubtaskFeedback* feedback_ = nullptr;  ///< psp_, if it listens
   Observer* observer_ = nullptr;
 
-  std::unordered_map<core::TaskId, core::TaskInstance> instances_;
+  std::vector<Slot> slots_;              ///< instance pool (dense slot map)
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
   core::TaskId next_task_id_ = 1;
   sched::JobId next_job_id_ = 1;
   std::vector<core::LeafSubmission> scratch_;

@@ -99,8 +99,15 @@ class GlobalTaskSource {
 
   std::uint64_t generated() const { return generated_; }
 
-  /// Draws one task structure (no arrival bookkeeping) — exposed so tests
-  /// and examples can sample the population directly.
+  /// Draws one task structure into the source's reusable spec buffer and
+  /// returns a reference to it — the arrival hot path. The buffer is
+  /// overwritten by the next draw; once its capacity is warm, a draw
+  /// performs zero heap allocations.
+  const core::TaskSpec& next_task();
+
+  /// Draws one task structure as an independent copy (no arrival
+  /// bookkeeping) — exposed so tests and examples can sample the
+  /// population directly. Same RNG draws as `next_task()`.
   core::TaskSpec make_task();
 
   /// Draws an end-to-end slack value.
@@ -118,6 +125,9 @@ class GlobalTaskSource {
   sim::Time until_;
   Sink sink_;
   std::uint64_t generated_ = 0;
+  core::TaskSpec spec_buf_;        ///< reused by next_task()
+  core::TaskSpecBuilder builder_;  ///< reused pre-order builder
+  ShapeScratch scratch_;           ///< distinct-site sampling pool
 };
 
 }  // namespace dsrt::workload

@@ -17,25 +17,58 @@ enum class GlobalShape : std::uint8_t {
   SerialParallel,  ///< Section 6: serial chain with parallel stages
 };
 
+/// Samples `count` distinct node ids from [0, nodes) into `out` (resized to
+/// `count`; no allocation once its capacity reached `nodes`). Requires
+/// count <= nodes. Partial Fisher-Yates; identical draw sequence to the
+/// returning overload below.
+void sample_distinct_nodes_into(std::size_t nodes, std::size_t count,
+                                sim::Rng& rng,
+                                std::vector<core::NodeId>& out);
+
 /// Samples `count` distinct node ids from [0, nodes). Requires
 /// count <= nodes. Partial Fisher-Yates; O(count) extra space.
 std::vector<core::NodeId> sample_distinct_nodes(std::size_t nodes,
                                                 std::size_t count,
                                                 sim::Rng& rng);
 
+/// Reusable scratch for the allocation-free `fill_*` makers below; owns the
+/// distinct-site sampling pool. Keep one alive per stream (GlobalTaskSource
+/// does) so repeated fills never touch the allocator.
+struct ShapeScratch {
+  std::vector<core::NodeId> sites;
+};
+
+/// The `fill_*` family emits one task of the given shape into `builder`
+/// (already `reset()` onto the output spec; the caller calls `finish()`),
+/// drawing from `rng` in *exactly* the same order as the matching `make_*`
+/// builder below — the `make_*` functions are thin wrappers over these, so
+/// there is a single source of truth for the draw sequence and the
+/// common-random-numbers discipline cannot drift between the two paths.
+/// Once the output spec's buffers are warm, a fill performs zero heap
+/// allocations; this is the arrival hot path of `GlobalTaskSource`.
+///
+/// Every maker takes a `defer_placement` flag. The RNG draw sequence is
+/// *identical* either way (nodes are always drawn, preserving the
+/// common-random-numbers discipline across placement policies and every
+/// existing golden); with the flag set each leaf additionally carries its
+/// eligible set — any compute node for serial stages and parallel-group
+/// members (the group's distinct-site constraint is enforced by the
+/// placement engine), the link-node range for transmission stages — and
+/// the generation-time draw becomes a mere hint that `--placement=static`
+/// reproduces verbatim.
+void fill_serial_task(core::TaskSpecBuilder& builder, std::size_t subtasks,
+                      std::size_t nodes, const sim::Distribution& exec_dist,
+                      const PexErrorModel& pex_error, sim::Rng& rng,
+                      bool defer_placement);
+
+void fill_parallel_task(core::TaskSpecBuilder& builder, std::size_t subtasks,
+                        std::size_t nodes, const sim::Distribution& exec_dist,
+                        const PexErrorModel& pex_error, sim::Rng& rng,
+                        bool defer_placement, ShapeScratch& scratch);
+
 /// Builds the SSP workload's task shape (Section 4): T = [T1 T2 ... Tm],
 /// each subtask's execution time drawn from `exec_dist`, execution node
 /// drawn uniformly (with replacement) from the `nodes` nodes.
-///
-/// Every maker takes a trailing `defer_placement` flag. The RNG draw
-/// sequence is *identical* either way (nodes are always drawn, preserving
-/// the common-random-numbers discipline across placement policies and
-/// every existing golden); with the flag set each leaf additionally
-/// carries its eligible set — any compute node for serial stages and
-/// parallel-group members (the group's distinct-site constraint is
-/// enforced by the placement engine), the link-node range for
-/// transmission stages — and the generation-time draw becomes a mere
-/// hint that `--placement=static` reproduces verbatim.
 core::TaskSpec make_serial_task(std::size_t subtasks, std::size_t nodes,
                                 const sim::Distribution& exec_dist,
                                 const PexErrorModel& pex_error, sim::Rng& rng,
@@ -67,6 +100,13 @@ struct SerialParallelShape {
   double expected_critical_path(double mean_exec) const;
 };
 
+void fill_serial_parallel_task(core::TaskSpecBuilder& builder,
+                               const SerialParallelShape& shape,
+                               std::size_t nodes,
+                               const sim::Distribution& exec_dist,
+                               const PexErrorModel& pex_error, sim::Rng& rng,
+                               bool defer_placement, ShapeScratch& scratch);
+
 /// Builds one Section 6 serial-parallel task.
 core::TaskSpec make_serial_parallel_task(const SerialParallelShape& shape,
                                          std::size_t nodes,
@@ -74,6 +114,13 @@ core::TaskSpec make_serial_parallel_task(const SerialParallelShape& shape,
                                          const PexErrorModel& pex_error,
                                          sim::Rng& rng,
                                          bool defer_placement = false);
+
+void fill_serial_parallel_task_with_comm(
+    core::TaskSpecBuilder& builder, const SerialParallelShape& shape,
+    std::size_t nodes, std::size_t link_nodes,
+    const sim::Distribution& exec_dist, const sim::Distribution& comm_dist,
+    const PexErrorModel& pex_error, sim::Rng& rng, bool defer_placement,
+    ShapeScratch& scratch);
 
 /// Section 6 shape with Section 3.2 network modeling: a transmission
 /// subtask (on a uniformly chosen link node, ids nodes..nodes+link_nodes-1,
@@ -85,6 +132,14 @@ core::TaskSpec make_serial_parallel_task_with_comm(
     std::size_t link_nodes, const sim::Distribution& exec_dist,
     const sim::Distribution& comm_dist, const PexErrorModel& pex_error,
     sim::Rng& rng, bool defer_placement = false);
+
+void fill_serial_task_with_comm(core::TaskSpecBuilder& builder,
+                                std::size_t subtasks, std::size_t nodes,
+                                std::size_t link_nodes,
+                                const sim::Distribution& exec_dist,
+                                const sim::Distribution& comm_dist,
+                                const PexErrorModel& pex_error, sim::Rng& rng,
+                                bool defer_placement);
 
 /// Section 3.2's treatment of the network: "even the communication network
 /// is considered a resource and is subsumed as one or more processing

@@ -14,64 +14,69 @@ TaskInstance::TaskInstance(TaskId id, const TaskSpec& spec, sim::Time arrival,
                            sim::Time deadline, SerialStrategyPtr ssp,
                            ParallelStrategyPtr psp,
                            const LoadModel* load_model,
-                           const PlacementPolicy* placement)
-    : id_(id),
-      arrival_(arrival),
-      deadline_(deadline),
-      ssp_(std::move(ssp)),
-      psp_(std::move(psp)),
-      load_model_(load_model),
-      placement_(placement) {
-  if (!ssp_) throw std::invalid_argument("TaskInstance: null serial strategy");
-  if (!psp_)
+                           const PlacementPolicy* placement) {
+  reset(id, spec, arrival, deadline, ssp, psp, load_model, placement);
+}
+
+void TaskInstance::reset(TaskId id, const TaskSpec& spec, sim::Time arrival,
+                         sim::Time deadline, const SerialStrategyPtr& ssp,
+                         const ParallelStrategyPtr& psp,
+                         const LoadModel* load_model,
+                         const PlacementPolicy* placement) {
+  if (!ssp) throw std::invalid_argument("TaskInstance: null serial strategy");
+  if (!psp)
     throw std::invalid_argument("TaskInstance: null parallel strategy");
+  if (spec.empty()) throw std::invalid_argument("TaskInstance: empty spec");
+  id_ = id;
+  arrival_ = arrival;
+  deadline_ = deadline;
+  ssp_ = ssp;
+  psp_ = psp;
+  load_model_ = load_model;
+  placement_ = placement;
   downstream_aware_ = load_model_ && ssp_->wants_downstream_load();
-  vertices_.reserve(count_vertices(spec));
-  build(spec, -1, 0);
-}
+  state_ = InstanceState::Running;
+  outstanding_ = 0;
+  started_ = false;
 
-std::size_t TaskInstance::count_vertices(const TaskSpec& spec) {
-  std::size_t n = 1;
-  if (!spec.is_simple())
-    for (const TaskSpec& child : spec.children()) n += count_vertices(child);
-  return n;
-}
-
-std::size_t TaskInstance::build(const TaskSpec& spec, int parent,
-                                std::size_t index_in_parent) {
-  const std::size_t v = vertices_.size();
-  vertices_.emplace_back();
-  {
-    Vertex& vx = vertices_.back();
-    vx.kind = spec.kind();
-    vx.parent = parent;
-    vx.index_in_parent = index_in_parent;
-    vx.pred_duration = spec.predicted_duration();
-    if (spec.is_simple()) {
-      vx.node = spec.node();
-      vx.exec = spec.exec();
-      vx.eligible = spec.eligible();  // empty = bound at generation time
-    }
-  }
-  if (!spec.is_simple()) {
-    std::vector<std::size_t> children;
-    children.reserve(spec.children().size());
-    for (std::size_t i = 0; i < spec.children().size(); ++i)
-      children.push_back(build(spec.children()[i], static_cast<int>(v), i));
-    vertices_[v].children = std::move(children);
-    vertices_[v].pending = vertices_[v].children.size();
-    if (vertices_[v].kind == SpecKind::Serial) {
-      // Suffix sums of child predicted durations: pex_suffix[i] =
+  // One pass over the flat spec: copy the structure (same pre-order
+  // numbering, shared pools copied wholesale) and reset the runtime fields.
+  // Every container reuses its capacity — zero allocations once warm.
+  const std::span<const SpecVertex> sv = spec.vertices();
+  vertices_.assign(sv.size(), Vertex{});
+  const auto cp = spec.child_pool();
+  child_pool_.assign(cp.begin(), cp.end());
+  const auto ep = spec.eligible_pool();
+  elig_pool_.assign(ep.begin(), ep.end());
+  suffix_pool_.clear();
+  for (std::size_t v = 0; v < sv.size(); ++v) {
+    const SpecVertex& s = sv[v];
+    Vertex& vx = vertices_[v];
+    vx.kind = s.kind;
+    vx.parent = s.parent;
+    vx.index_in_parent = s.index_in_parent;
+    vx.child_begin = s.child_begin;
+    vx.child_count = s.child_count;
+    vx.pred_duration = s.pred_duration;
+    vx.pending = s.child_count;
+    if (s.kind == SpecKind::Simple) {
+      vx.node = s.node;
+      vx.exec = s.exec;
+      vx.elig_begin = s.elig_begin;
+      vx.elig_count = s.elig_count;  // 0 = bound at generation time
+    } else if (s.kind == SpecKind::Serial) {
+      // Suffix sums of child predicted durations: suffix[i] =
       // sum_{j >= i} pex(child j); the SSP formulas consume these.
-      auto& suffix = vertices_[v].pex_suffix;
-      suffix.assign(vertices_[v].children.size() + 1, 0.0);
-      for (std::size_t i = vertices_[v].children.size(); i-- > 0;) {
-        suffix[i] =
-            suffix[i + 1] + vertices_[vertices_[v].children[i]].pred_duration;
-      }
+      // Accumulated right to left, exactly as the recursive build did.
+      vx.suffix_begin = static_cast<std::uint32_t>(suffix_pool_.size());
+      suffix_pool_.resize(suffix_pool_.size() + s.child_count + 1, 0.0);
+      double* suffix = suffix_pool_.data() + vx.suffix_begin;
+      const auto children = spec.children_of(s);
+      suffix[s.child_count] = 0.0;
+      for (std::size_t i = s.child_count; i-- > 0;)
+        suffix[i] = suffix[i + 1] + sv[children[i]].pred_duration;
     }
   }
-  return v;
 }
 
 void TaskInstance::start(sim::Time now, std::vector<LeafSubmission>& out) {
@@ -93,7 +98,7 @@ void TaskInstance::activate(std::size_t v, sim::Time now, sim::Time deadline,
       // is placed alone: no sibling runs concurrently, so nothing is
       // excluded. Leaves of a parallel group were already resolved by
       // place_parallel_group below.
-      if (!vx.eligible.empty()) {
+      if (vx.elig_count != 0) {
         place_taken_.clear();
         place_leaf(v, now, place_taken_);
       }
@@ -101,7 +106,7 @@ void TaskInstance::activate(std::size_t v, sim::Time now, sim::Time deadline,
       const std::size_t sibling_count =
           vx.parent < 0
               ? 1
-              : vertices_[static_cast<std::size_t>(vx.parent)].children.size();
+              : vertices_[static_cast<std::size_t>(vx.parent)].child_count;
       out.push_back(LeafSubmission{v, vx.node, vx.exec, vx.pred_duration,
                                    deadline, priority, vx.index_in_parent,
                                    sibling_count});
@@ -116,18 +121,19 @@ void TaskInstance::activate(std::size_t v, sim::Time now, sim::Time deadline,
       // Bind every placeable simple child before any deadline is assigned,
       // so the PSP contexts below already see the dispatch-time nodes.
       place_parallel_group(v, now);
-      vx.pending = vx.children.size();
+      vx.pending = vx.child_count;
+      const auto children = children_of(vx);
       double pex_max = 0;
-      for (std::size_t c : vx.children)
+      for (const std::uint32_t c : children)
         pex_max = std::max(pex_max, vertices_[c].pred_duration);
-      for (std::size_t i = 0; i < vx.children.size(); ++i) {
-        const std::size_t c = vx.children[i];
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        const std::size_t c = children[i];
         ParallelContext ctx;
         ctx.group_arrival = now;
         ctx.group_deadline = deadline;
         ctx.now = now;
         ctx.index = i;
-        ctx.count = vx.children.size();
+        ctx.count = children.size();
         ctx.pex_self = vertices_[c].pred_duration;
         ctx.pex_max = pex_max;
         ctx.load = load_model_;
@@ -150,11 +156,11 @@ void TaskInstance::activate_serial_child(std::size_t group, sim::Time now,
                                          std::vector<LeafSubmission>& out) {
   Vertex& gx = vertices_[group];
   const std::size_t i = gx.next_child;
-  const std::size_t child = gx.children[i];
+  const std::size_t child = child_pool_[gx.child_begin + i];
   // Resolve the stage's node binding first, so the SSP context charges the
   // backlog of the node the subtask will actually queue at.
   if (vertices_[child].kind == SpecKind::Simple &&
-      !vertices_[child].eligible.empty()) {
+      vertices_[child].elig_count != 0) {
     place_taken_.clear();
     place_leaf(child, now, place_taken_);
   }
@@ -163,17 +169,17 @@ void TaskInstance::activate_serial_child(std::size_t group, sim::Time now,
   ctx.group_deadline = gx.assigned_deadline;
   ctx.now = now;
   ctx.index = i;
-  ctx.count = gx.children.size();
+  ctx.count = gx.child_count;
   ctx.pex_self = vertices_[child].pred_duration;
-  ctx.pex_remaining = gx.pex_suffix[i];
-  ctx.pex_group_total = gx.pex_suffix[0];
+  ctx.pex_remaining = suffix_pool_[gx.suffix_begin + i];
+  ctx.pex_group_total = suffix_pool_[gx.suffix_begin];
   ctx.load = load_model_;
   ctx.node = vertices_[child].kind == SpecKind::Simple ? vertices_[child].node
                                                        : kNoNode;
   if (downstream_aware_) {
     double q_down = 0;
-    for (std::size_t j = i + 1; j < gx.children.size(); ++j)
-      q_down += downstream_backlog(gx.children[j], now);
+    for (std::size_t j = i + 1; j < gx.child_count; ++j)
+      q_down += downstream_backlog(child_pool_[gx.child_begin + j], now);
     ctx.queued_downstream = q_down;
   }
   const sim::Time dl = ssp_->assign(ctx);
@@ -185,11 +191,11 @@ void TaskInstance::place_leaf(std::size_t v, sim::Time now,
   Vertex& vx = vertices_[v];
   if (!placement_) {
     // No policy wired: keep the generator's seed-compatible hint.
-    vx.eligible.clear();
+    vx.elig_count = 0;
     return;
   }
   place_candidates_.clear();
-  for (const NodeId node : vx.eligible) {
+  for (const NodeId node : eligible_of(vx)) {
     if (std::find(taken.begin(), taken.end(), node) == taken.end())
       place_candidates_.push_back(node);
   }
@@ -201,15 +207,16 @@ void TaskInstance::place_leaf(std::size_t v, sim::Time now,
   ctx.load = load_model_;
   ctx.hint = vx.node;
   vx.node = placement_->place(ctx, place_candidates_);
-  vx.eligible.clear();
+  vx.elig_count = 0;
 }
 
 void TaskInstance::place_parallel_group(std::size_t v, sim::Time now) {
   Vertex& vx = vertices_[v];
+  const auto children = children_of(vx);
   bool any_placeable = false;
-  for (const std::size_t c : vx.children) {
+  for (const std::uint32_t c : children) {
     if (vertices_[c].kind == SpecKind::Simple &&
-        !vertices_[c].eligible.empty()) {
+        vertices_[c].elig_count != 0) {
       any_placeable = true;
       break;
     }
@@ -221,14 +228,14 @@ void TaskInstance::place_parallel_group(std::size_t v, sim::Time now) {
   // later stages of their own subgroups and are placed on activation,
   // unconstrained by this group.)
   place_taken_.clear();
-  for (const std::size_t c : vx.children) {
+  for (const std::uint32_t c : children) {
     if (vertices_[c].kind == SpecKind::Simple &&
-        vertices_[c].eligible.empty())
+        vertices_[c].elig_count == 0)
       place_taken_.push_back(vertices_[c].node);
   }
-  for (const std::size_t c : vx.children) {
+  for (const std::uint32_t c : children) {
     if (vertices_[c].kind != SpecKind::Simple ||
-        vertices_[c].eligible.empty())
+        vertices_[c].elig_count == 0)
       continue;
     place_leaf(c, now, place_taken_);
     place_taken_.push_back(vertices_[c].node);
@@ -239,25 +246,25 @@ double TaskInstance::downstream_backlog(std::size_t v, sim::Time now) const {
   const Vertex& vx = vertices_[v];
   switch (vx.kind) {
     case SpecKind::Simple: {
-      if (vx.eligible.empty())
+      if (vx.elig_count == 0)
         return load_model_->load(vx.node, now).queued_pex;
       // Not yet placed: the optimistic estimate is the backlog a
       // shortest-queue dispatch would face right now.
       double best = std::numeric_limits<double>::infinity();
-      for (const NodeId node : vx.eligible)
+      for (const NodeId node : eligible_of(vx))
         best = std::min(best, load_model_->load(node, now).queued_pex);
       return best;
     }
     case SpecKind::Serial: {
       double total = 0;
-      for (const std::size_t c : vx.children)
+      for (const std::uint32_t c : children_of(vx))
         total += downstream_backlog(c, now);
       return total;
     }
     case SpecKind::Parallel: {
       // Branches queue concurrently; the join waits for the slowest.
       double worst = 0;
-      for (const std::size_t c : vx.children)
+      for (const std::uint32_t c : children_of(vx))
         worst = std::max(worst, downstream_backlog(c, now));
       return worst;
     }
@@ -287,7 +294,7 @@ bool TaskInstance::complete_vertex(std::size_t v, sim::Time now,
   Vertex& px = vertices_[static_cast<std::size_t>(parent)];
   if (px.kind == SpecKind::Serial) {
     ++px.next_child;
-    if (px.next_child < px.children.size()) {
+    if (px.next_child < px.child_count) {
       activate_serial_child(static_cast<std::size_t>(parent), now, out);
       return false;
     }

@@ -25,6 +25,9 @@ Node::Node(core::NodeId id, sim::Simulator& sim, PolicyPtr policy,
       queue_signal_(sim.now(), 0) {
   if (!policy_) throw std::invalid_argument("Node: null policy");
   if (!abort_policy_) throw std::invalid_argument("Node: null abort policy");
+  policy_is_edf_ =
+      dynamic_cast<const EarliestDeadlineFirst*>(policy_.get()) != nullptr;
+  abort_is_none_ = dynamic_cast<const NoAbort*>(abort_policy_.get()) != nullptr;
   queue_.reserve(64);
 }
 
@@ -32,8 +35,17 @@ void Node::set_completion_handler(CompletionHandler handler) {
   handler_ = std::move(handler);
 }
 
+void Node::dispose(const Job& job, JobOutcome outcome) {
+  if (delegate_) {
+    delegate_(delegate_ctx_, job, sim_.now(), outcome);
+    return;
+  }
+  if (handler_) handler_(job, sim_.now(), outcome);
+}
+
 Node::QueueKey Node::key_for(const Job& job) {
-  return {{class_rank(job.priority), policy_->key(job)}, arrival_seq_++};
+  const double key = policy_is_edf_ ? job.deadline : policy_->key(job);
+  return {{class_rank(job.priority), key}, arrival_seq_++};
 }
 
 void Node::submit(Job job) {
@@ -45,10 +57,10 @@ void Node::submit(Job job) {
   if (!in_service_) {
     // Submitting to an idle server is a dispatch instant, so the abort
     // policy screens here as well.
-    if (abort_policy_->should_abort(job, sim_.now())) {
+    if (!abort_is_none_ && abort_policy_->should_abort(job, sim_.now())) {
       ++aborted_;
       if (load_) load_->remove_backlog(job.pex);
-      if (handler_) handler_(job, sim_.now(), JobOutcome::Aborted);
+      dispose(job, JobOutcome::Aborted);
       dispatch_next();  // an aborted arrival may still free a queued job
       return;
     }
@@ -135,7 +147,7 @@ void Node::on_service_complete(std::uint64_t service_token) {
     load_->remove_backlog(done.pex);
     load_->set_busy(sim_.now(), false);
   }
-  if (handler_) handler_(done, sim_.now(), JobOutcome::Completed);
+  dispose(done, JobOutcome::Completed);
   dispatch_next();
 }
 
@@ -146,10 +158,10 @@ void Node::dispatch_next() {
     Job job = std::move(entry.job);
     queue_signal_.update(sim_.now(), static_cast<double>(queue_.size()));
     if (load_) load_->set_queue_length(queue_.size());
-    if (abort_policy_->should_abort(job, sim_.now())) {
+    if (!abort_is_none_ && abort_policy_->should_abort(job, sim_.now())) {
       ++aborted_;
       if (load_) load_->remove_backlog(job.pex);
-      if (handler_) handler_(job, sim_.now(), JobOutcome::Aborted);
+      dispose(job, JobOutcome::Aborted);
       continue;  // keep draining until a servable job is found
     }
     start_service(std::move(job), key);

@@ -1,11 +1,34 @@
 #include "dsrt/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace dsrt::sim {
 
 void EventQueue::push_entry(Time at, std::uint32_t slot) {
   const Entry entry{at, next_seq_++, slot};
+  if (!heap_mode_) {
+    if (heap_.size() < kArrayMax) {
+      // Sorted mode: entries descending in firing order (earliest at the
+      // back). One insertion-sort step, scanning from the back: a new
+      // event usually fires after only a handful of already-pending ones,
+      // so the predictable short scan beats a binary search here. Equal
+      // times resolve by sequence, so the position is unique and the pop
+      // order is the exact (time, seq) total order of the heap mode.
+      std::size_t i = heap_.size();
+      heap_.emplace_back();
+      while (i > 0 && before(heap_[i - 1], entry)) {
+        heap_[i] = heap_[i - 1];
+        --i;
+      }
+      heap_[i] = entry;
+      return;
+    }
+    // Outgrew the sorted range: descending order reversed is ascending,
+    // and a sorted-ascending array is already a valid min-heap.
+    std::reverse(heap_.begin(), heap_.end());
+    heap_mode_ = true;
+  }
   // Sift up with a hole: parents shift down until the insertion slot is
   // found, and the new entry is written exactly once.
   std::size_t i = heap_.size();
@@ -20,6 +43,14 @@ void EventQueue::push_entry(Time at, std::uint32_t slot) {
 }
 
 EventQueue::Action EventQueue::pop() {
+  if (!heap_mode_) {
+    // Sorted mode: the earliest event sits at the back.
+    const std::uint32_t slot = heap_.back().slot;
+    heap_.pop_back();
+    Action action = std::move(slots_[slot]);
+    free_.push_back(slot);
+    return action;
+  }
   const std::uint32_t slot = heap_.front().slot;
   Action action = std::move(slots_[slot]);
   free_.push_back(slot);
@@ -42,6 +73,16 @@ EventQueue::Action EventQueue::pop() {
       i = best;
     }
     heap_[i] = last;
+    if (n <= kSortLowWater) {
+      // Shrunk well below the boundary: return to the sorted fast path.
+      // Sorting by the unique (time, seq) total order is deterministic,
+      // and the wide gap to kArrayMax prevents layout thrash.
+      std::sort(heap_.begin(), heap_.end(),
+                [](const Entry& a, const Entry& b) { return before(b, a); });
+      heap_mode_ = false;
+    }
+  } else {
+    heap_mode_ = false;  // drained: the next burst starts sorted again
   }
   return action;
 }

@@ -24,11 +24,15 @@ ProcessManager::ProcessManager(sim::Simulator& sim,
   // the allocator (they only grow at new high-water marks).
   scratch_.reserve(16);
   disposal_queue_.reserve(32);
-  instances_.reserve(256);
+  slots_.reserve(256);
+  free_slots_.reserve(256);
   for (auto& node : nodes_) {
-    node->set_completion_handler(
-        [this](const sched::Job& job, sim::Time now,
-               sched::JobOutcome outcome) { on_disposed(job, now, outcome); });
+    node->set_completion_delegate(
+        [](void* ctx, const sched::Job& job, sim::Time now,
+           sched::JobOutcome outcome) {
+          static_cast<ProcessManager*>(ctx)->on_disposed(job, now, outcome);
+        },
+        this);
   }
 }
 
@@ -55,23 +59,38 @@ void ProcessManager::submit_global(const core::TaskSpec& spec,
                                    sim::Time deadline) {
   ++metrics_.global.generated;
   const core::TaskId id = next_task_id_++;
-  auto [it, inserted] = instances_.try_emplace(
-      id, id, spec, sim_.now(), deadline, ssp_, psp_, load_model_,
-      placement_);
-  (void)inserted;
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slots_.emplace_back();
+    slot = static_cast<std::uint32_t>(slots_.size() - 1);
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  ++s.generation;
+  s.live = true;
+  ++live_;
+  s.inst.reset(id, spec, sim_.now(), deadline, ssp_, psp_, load_model_,
+               placement_);
+  const std::uint64_t handle =
+      (static_cast<std::uint64_t>(s.generation) << 32) | slot;
   if (observer_) observer_->on_global_arrival(id, spec, sim_.now(), deadline);
+  // Guard the shared scratch: a submission below can dispose synchronously
+  // (idle node + abort policy), and the resulting re-entrant disposal must
+  // queue instead of clobbering scratch_ mid-iteration.
+  const bool outer = !draining_disposals_;
+  draining_disposals_ = true;
   scratch_.clear();
-  it->second.start(sim_.now(), scratch_);
-  dispatch_submissions(id, scratch_);
+  s.inst.start(sim_.now(), scratch_);
+  dispatch_submissions(handle, id, s.inst.deadline(), scratch_);
+  if (outer) drain_disposals();
 }
 
 void ProcessManager::dispatch_submissions(
-    core::TaskId task, const std::vector<core::LeafSubmission>& subs) {
+    std::uint64_t handle, core::TaskId task_id, sim::Time ultimate,
+    const std::vector<core::LeafSubmission>& subs) {
   if (subs.empty()) return;
-  const auto inst_it = instances_.find(task);
-  const sim::Time ultimate = inst_it != instances_.end()
-                                 ? inst_it->second.deadline()
-                                 : sim::kTimeInfinity;
   for (const auto& sub : subs) {
     if (sub.node >= nodes_.size())
       throw std::out_of_range("global subtask: bad node id");
@@ -79,14 +98,14 @@ void ProcessManager::dispatch_submissions(
     job.id = next_job_id_++;
     job.cls = core::TaskClass::Global;
     job.priority = sub.priority;
-    job.task = task;
+    job.task = handle;
     job.leaf = static_cast<std::uint32_t>(sub.leaf);
     job.node = sub.node;
     job.deadline = sub.deadline;
     job.ultimate_deadline = ultimate;
     job.exec = sub.exec;
     job.pex = sub.pex;
-    if (observer_) observer_->on_subtask_submitted(task, sub, sim_.now());
+    if (observer_) observer_->on_subtask_submitted(task_id, sub, sim_.now());
     nodes_[sub.node]->submit(std::move(job));
   }
 }
@@ -100,24 +119,32 @@ void ProcessManager::on_disposed(const sched::Job& job, sim::Time now,
     return;
   }
   draining_disposals_ = true;
-  // Common case: handle the disposal in place (no queue round-trip), then
-  // drain whatever it spawned. Index-based loop: handle_disposal may
-  // append to the queue.
-  handle_disposal(Disposal{job, now, outcome});
+  // Common case: handle the disposal in place (no copy into the queue),
+  // then drain whatever it spawned.
+  handle_disposal(job, now, outcome);
+  drain_disposals();
+}
+
+void ProcessManager::drain_disposals() {
+  // Index-based loop: handle_disposal may append to the queue.
   for (std::size_t i = 0; i < disposal_queue_.size(); ++i) {
     const Disposal d = disposal_queue_[i];
-    handle_disposal(d);
+    handle_disposal(d.job, d.at, d.outcome);
   }
   disposal_queue_.clear();
   draining_disposals_ = false;
 }
 
-void ProcessManager::handle_disposal(const Disposal& d) {
-  const sched::Job& job = d.job;
-  const sim::Time now = d.at;
-  const sched::JobOutcome outcome = d.outcome;
-  if (observer_) observer_->on_job_disposed(job, now, outcome);
+void ProcessManager::release_slot(std::uint32_t slot) {
+  slots_[slot].live = false;
+  free_slots_.push_back(slot);
+  --live_;
+}
+
+void ProcessManager::handle_disposal(const sched::Job& job, sim::Time now,
+                                     sched::JobOutcome outcome) {
   if (job.cls == core::TaskClass::Local) {
+    if (observer_) observer_->on_job_disposed(job, now, outcome);
     if (outcome == sched::JobOutcome::Aborted) {
       metrics_.local.record_aborted();
     } else {
@@ -128,16 +155,26 @@ void ProcessManager::handle_disposal(const Disposal& d) {
     return;
   }
 
+  // Resolve the slot handle: one array index plus a generation check — the
+  // former per-disposal hash lookup, gone.
+  const std::uint32_t slot = slot_of(job.task);
+  if (slot >= slots_.size() || !slots_[slot].live ||
+      slots_[slot].generation != generation_of(job.task))
+    throw std::logic_error("global job completion for unknown instance");
+  core::TaskInstance& inst = slots_[slot].inst;
+
+  if (observer_) {
+    // Observers see the stable TaskId, not the pool handle.
+    sched::Job view = job;
+    view.task = inst.id();
+    observer_->on_job_disposed(view, now, outcome);
+  }
+
   // Online feedback for adaptive strategies: subtask lateness relative to
   // the *virtual* deadline, in simulated disposal order (deterministic).
   if (feedback_)
     feedback_->on_subtask_disposed(now - job.deadline,
                                    outcome == sched::JobOutcome::Completed);
-
-  const auto it = instances_.find(job.task);
-  if (it == instances_.end())
-    throw std::logic_error("global job completion for unknown instance");
-  core::TaskInstance& inst = it->second;
 
   if (outcome == sched::JobOutcome::Aborted &&
       inst.state() == core::InstanceState::Running) {
@@ -146,7 +183,7 @@ void ProcessManager::handle_disposal(const Disposal& d) {
     // silently below.
     inst.abort();
     metrics_.global.record_aborted();
-    if (observer_) observer_->on_global_aborted(job.task, now);
+    if (observer_) observer_->on_global_aborted(inst.id(), now);
   }
 
   if (outcome == sched::JobOutcome::Completed)
@@ -156,11 +193,11 @@ void ProcessManager::handle_disposal(const Disposal& d) {
   const bool task_done = inst.on_leaf_complete(job.leaf, now, scratch_);
   // Submissions may dispose synchronously (idle node + abort policy), but
   // such disposals only enqueue onto disposal_queue_ while draining, so
-  // `inst` and `it` stay valid through this call.
-  dispatch_submissions(job.task, scratch_);
+  // `inst` stays valid through this call.
+  dispatch_submissions(job.task, inst.id(), inst.deadline(), scratch_);
   if (task_done) finish_global(inst, now);
   if (inst.state() != core::InstanceState::Running && inst.drained())
-    instances_.erase(it);
+    release_slot(slot);
 }
 
 void ProcessManager::finish_global(core::TaskInstance& inst, sim::Time now) {

@@ -96,7 +96,7 @@ void GlobalTaskSource::schedule_next() {
 
 void GlobalTaskSource::arrive() {
   ++generated_;
-  const core::TaskSpec spec = make_task();
+  const core::TaskSpec& spec = next_task();
   // dl(T) = ar + ex(T) + sl(T): serial tasks use the total execution time,
   // parallel tasks the longest subtask (the paper's equation 2); a
   // serial-parallel tree generalizes both via its critical path.
@@ -116,34 +116,43 @@ std::size_t GlobalTaskSource::draw_subtask_count() {
   return static_cast<std::size_t>(m);
 }
 
-core::TaskSpec GlobalTaskSource::make_task() {
+const core::TaskSpec& GlobalTaskSource::next_task() {
   const bool defer = params_.defer_placement;
+  builder_.reset(spec_buf_);
   switch (params_.shape) {
     case GlobalShape::Serial:
       if (params_.link_nodes > 0) {
-        return make_serial_task_with_comm(
-            draw_subtask_count(), params_.nodes, params_.link_nodes,
-            *params_.exec, *params_.comm_exec, *params_.pex_error, rng_,
-            defer);
+        fill_serial_task_with_comm(builder_, draw_subtask_count(),
+                                   params_.nodes, params_.link_nodes,
+                                   *params_.exec, *params_.comm_exec,
+                                   *params_.pex_error, rng_, defer);
+      } else {
+        fill_serial_task(builder_, draw_subtask_count(), params_.nodes,
+                         *params_.exec, *params_.pex_error, rng_, defer);
       }
-      return make_serial_task(draw_subtask_count(), params_.nodes,
-                              *params_.exec, *params_.pex_error, rng_, defer);
+      break;
     case GlobalShape::Parallel:
-      return make_parallel_task(draw_subtask_count(), params_.nodes,
-                                *params_.exec, *params_.pex_error, rng_,
-                                defer);
+      fill_parallel_task(builder_, draw_subtask_count(), params_.nodes,
+                         *params_.exec, *params_.pex_error, rng_, defer,
+                         scratch_);
+      break;
     case GlobalShape::SerialParallel:
       if (params_.link_nodes > 0) {
-        return make_serial_parallel_task_with_comm(
-            params_.sp_shape, params_.nodes, params_.link_nodes,
+        fill_serial_parallel_task_with_comm(
+            builder_, params_.sp_shape, params_.nodes, params_.link_nodes,
             *params_.exec, *params_.comm_exec, *params_.pex_error, rng_,
-            defer);
+            defer, scratch_);
+      } else {
+        fill_serial_parallel_task(builder_, params_.sp_shape, params_.nodes,
+                                  *params_.exec, *params_.pex_error, rng_,
+                                  defer, scratch_);
       }
-      return make_serial_parallel_task(params_.sp_shape, params_.nodes,
-                                       *params_.exec, *params_.pex_error,
-                                       rng_, defer);
+      break;
   }
-  throw std::logic_error("GlobalTaskSource: bad shape");
+  builder_.finish();
+  return spec_buf_;
 }
+
+core::TaskSpec GlobalTaskSource::make_task() { return next_task(); }
 
 }  // namespace dsrt::workload

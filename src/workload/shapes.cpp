@@ -6,80 +6,138 @@
 
 namespace dsrt::workload {
 
-std::vector<core::NodeId> sample_distinct_nodes(std::size_t nodes,
-                                                std::size_t count,
-                                                sim::Rng& rng) {
+void sample_distinct_nodes_into(std::size_t nodes, std::size_t count,
+                                sim::Rng& rng,
+                                std::vector<core::NodeId>& out) {
   if (count > nodes)
     throw std::invalid_argument(
         "sample_distinct_nodes: more subtasks than nodes");
-  std::vector<core::NodeId> pool(nodes);
-  std::iota(pool.begin(), pool.end(), core::NodeId{0});
+  out.resize(nodes);
+  std::iota(out.begin(), out.end(), core::NodeId{0});
   // Partial Fisher-Yates: the first `count` entries become the sample.
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t j = i + static_cast<std::size_t>(rng.below(nodes - i));
-    std::swap(pool[i], pool[j]);
+    std::swap(out[i], out[j]);
   }
-  pool.resize(count);
+  out.resize(count);
+}
+
+std::vector<core::NodeId> sample_distinct_nodes(std::size_t nodes,
+                                                std::size_t count,
+                                                sim::Rng& rng) {
+  std::vector<core::NodeId> pool;
+  sample_distinct_nodes_into(nodes, count, rng, pool);
   return pool;
 }
 
 namespace {
 
-/// Contiguous id range a deferred leaf may be placed on: the compute nodes
-/// [0, nodes) or the link nodes [nodes, nodes + link_nodes). Materialized
-/// as an explicit set (one small allocation per deferred leaf, generation
-/// path only — the event hot path is untouched) rather than a {first,
-/// count} range so per-task locality constraints (non-contiguous eligible
-/// subsets; see ROADMAP) need no TaskSpec surgery.
-std::vector<core::NodeId> node_range(std::size_t lo, std::size_t count) {
-  std::vector<core::NodeId> ids(count);
-  std::iota(ids.begin(), ids.end(), static_cast<core::NodeId>(lo));
-  return ids;
-}
-
-/// Leaf with an optional deferred binding. The RNG consumption is
-/// identical for both arms — `node` was drawn by the caller either way —
-/// so flipping `defer` never perturbs the seed stream.
-core::TaskSpec make_leaf_among(core::NodeId node, bool defer, std::size_t lo,
-                               std::size_t count,
-                               const sim::Distribution& exec_dist,
-                               const PexErrorModel& pex_error, sim::Rng& rng) {
+/// Emits one leaf with an optional deferred binding: the eligible set is
+/// the contiguous id range [lo, lo + count) — the compute nodes or the
+/// link nodes — appended to the spec's shared pool (no per-leaf vector).
+/// The RNG consumption is identical for both arms — `node` was drawn by
+/// the caller either way — so flipping `defer` never perturbs the seed
+/// stream.
+void emit_leaf_among(core::TaskSpecBuilder& b, core::NodeId node, bool defer,
+                     std::size_t lo, std::size_t count,
+                     const sim::Distribution& exec_dist,
+                     const PexErrorModel& pex_error, sim::Rng& rng) {
   const double exec = exec_dist.sample(rng);
   const double pex = pex_error.predict(exec, rng);
-  if (!defer) return core::TaskSpec::simple(node, exec, pex);
-  return core::TaskSpec::simple_among(node, node_range(lo, count), exec, pex);
+  if (!defer) {
+    b.leaf(node, exec, pex);
+    return;
+  }
+  b.leaf_among(node, static_cast<core::NodeId>(lo),
+               static_cast<std::uint32_t>(count), exec, pex);
+}
+
+/// One stage of the Section 6 shape: parallel group or single subtask.
+void emit_sp_stage(core::TaskSpecBuilder& b, const SerialParallelShape& shape,
+                   std::size_t nodes, const sim::Distribution& exec_dist,
+                   const PexErrorModel& pex_error, sim::Rng& rng, bool defer,
+                   ShapeScratch& scratch) {
+  if (rng.uniform01() < shape.parallel_prob) {
+    sample_distinct_nodes_into(nodes, shape.parallel_width, rng,
+                               scratch.sites);
+    b.begin_parallel();
+    for (const auto node : scratch.sites)
+      emit_leaf_among(b, node, defer, 0, nodes, exec_dist, pex_error, rng);
+    b.end();
+    return;
+  }
+  const auto node = static_cast<core::NodeId>(rng.below(nodes));
+  emit_leaf_among(b, node, defer, 0, nodes, exec_dist, pex_error, rng);
+}
+
+void check_sp_shape(const SerialParallelShape& shape, std::size_t nodes) {
+  if (shape.stages == 0)
+    throw std::invalid_argument("make_serial_parallel_task: no stages");
+  if (shape.parallel_width == 0 || shape.parallel_width > nodes)
+    throw std::invalid_argument(
+        "make_serial_parallel_task: bad parallel width");
+}
+
+/// Wraps a fill function into the one-shot composing API.
+template <typename Fill>
+core::TaskSpec make_with(Fill&& fill) {
+  core::TaskSpec spec;
+  core::TaskSpecBuilder b;
+  b.reset(spec);
+  fill(b);
+  b.finish();
+  return spec;
 }
 
 }  // namespace
+
+void fill_serial_task(core::TaskSpecBuilder& b, std::size_t subtasks,
+                      std::size_t nodes, const sim::Distribution& exec_dist,
+                      const PexErrorModel& pex_error, sim::Rng& rng,
+                      bool defer_placement) {
+  if (subtasks == 0) throw std::invalid_argument("make_serial_task: m == 0");
+  if (nodes == 0) throw std::invalid_argument("make_serial_task: no nodes");
+  b.begin_serial();
+  for (std::size_t i = 0; i < subtasks; ++i) {
+    const auto node = static_cast<core::NodeId>(rng.below(nodes));
+    emit_leaf_among(b, node, defer_placement, 0, nodes, exec_dist, pex_error,
+                    rng);
+  }
+  b.end();
+}
 
 core::TaskSpec make_serial_task(std::size_t subtasks, std::size_t nodes,
                                 const sim::Distribution& exec_dist,
                                 const PexErrorModel& pex_error,
                                 sim::Rng& rng, bool defer_placement) {
-  if (subtasks == 0) throw std::invalid_argument("make_serial_task: m == 0");
-  if (nodes == 0) throw std::invalid_argument("make_serial_task: no nodes");
-  std::vector<core::TaskSpec> children;
-  children.reserve(subtasks);
-  for (std::size_t i = 0; i < subtasks; ++i) {
-    const auto node = static_cast<core::NodeId>(rng.below(nodes));
-    children.push_back(make_leaf_among(node, defer_placement, 0, nodes,
-                                       exec_dist, pex_error, rng));
-  }
-  return core::TaskSpec::serial(std::move(children));
+  return make_with([&](core::TaskSpecBuilder& b) {
+    fill_serial_task(b, subtasks, nodes, exec_dist, pex_error, rng,
+                     defer_placement);
+  });
+}
+
+void fill_parallel_task(core::TaskSpecBuilder& b, std::size_t subtasks,
+                        std::size_t nodes, const sim::Distribution& exec_dist,
+                        const PexErrorModel& pex_error, sim::Rng& rng,
+                        bool defer_placement, ShapeScratch& scratch) {
+  if (subtasks == 0) throw std::invalid_argument("make_parallel_task: m == 0");
+  sample_distinct_nodes_into(nodes, subtasks, rng, scratch.sites);
+  b.begin_parallel();
+  for (const auto node : scratch.sites)
+    emit_leaf_among(b, node, defer_placement, 0, nodes, exec_dist, pex_error,
+                    rng);
+  b.end();
 }
 
 core::TaskSpec make_parallel_task(std::size_t subtasks, std::size_t nodes,
                                   const sim::Distribution& exec_dist,
                                   const PexErrorModel& pex_error,
                                   sim::Rng& rng, bool defer_placement) {
-  if (subtasks == 0) throw std::invalid_argument("make_parallel_task: m == 0");
-  const auto sites = sample_distinct_nodes(nodes, subtasks, rng);
-  std::vector<core::TaskSpec> children;
-  children.reserve(subtasks);
-  for (const auto node : sites)
-    children.push_back(make_leaf_among(node, defer_placement, 0, nodes,
-                                       exec_dist, pex_error, rng));
-  return core::TaskSpec::parallel(std::move(children));
+  ShapeScratch scratch;
+  return make_with([&](core::TaskSpecBuilder& b) {
+    fill_parallel_task(b, subtasks, nodes, exec_dist, pex_error, rng,
+                       defer_placement, scratch);
+  });
 }
 
 double SerialParallelShape::expected_leaves() const {
@@ -93,49 +151,54 @@ double SerialParallelShape::expected_critical_path(double mean_exec) const {
          (parallel_prob * harmonic(parallel_width) + (1.0 - parallel_prob));
 }
 
-namespace {
-
-/// One stage of the Section 6 shape: parallel group or single subtask.
-core::TaskSpec make_sp_stage(const SerialParallelShape& shape,
-                             std::size_t nodes,
-                             const sim::Distribution& exec_dist,
-                             const PexErrorModel& pex_error, sim::Rng& rng,
-                             bool defer) {
-  if (rng.uniform01() < shape.parallel_prob) {
-    const auto sites = sample_distinct_nodes(nodes, shape.parallel_width, rng);
-    std::vector<core::TaskSpec> group;
-    group.reserve(sites.size());
-    for (const auto node : sites)
-      group.push_back(
-          make_leaf_among(node, defer, 0, nodes, exec_dist, pex_error, rng));
-    return core::TaskSpec::parallel(std::move(group));
-  }
-  const auto node = static_cast<core::NodeId>(rng.below(nodes));
-  return make_leaf_among(node, defer, 0, nodes, exec_dist, pex_error, rng);
+void fill_serial_parallel_task(core::TaskSpecBuilder& b,
+                               const SerialParallelShape& shape,
+                               std::size_t nodes,
+                               const sim::Distribution& exec_dist,
+                               const PexErrorModel& pex_error, sim::Rng& rng,
+                               bool defer_placement, ShapeScratch& scratch) {
+  check_sp_shape(shape, nodes);
+  b.begin_serial();
+  for (std::size_t s = 0; s < shape.stages; ++s)
+    emit_sp_stage(b, shape, nodes, exec_dist, pex_error, rng, defer_placement,
+                  scratch);
+  b.end();
 }
-
-void check_sp_shape(const SerialParallelShape& shape, std::size_t nodes) {
-  if (shape.stages == 0)
-    throw std::invalid_argument("make_serial_parallel_task: no stages");
-  if (shape.parallel_width == 0 || shape.parallel_width > nodes)
-    throw std::invalid_argument(
-        "make_serial_parallel_task: bad parallel width");
-}
-
-}  // namespace
 
 core::TaskSpec make_serial_parallel_task(const SerialParallelShape& shape,
                                          std::size_t nodes,
                                          const sim::Distribution& exec_dist,
                                          const PexErrorModel& pex_error,
                                          sim::Rng& rng, bool defer_placement) {
+  ShapeScratch scratch;
+  return make_with([&](core::TaskSpecBuilder& b) {
+    fill_serial_parallel_task(b, shape, nodes, exec_dist, pex_error, rng,
+                              defer_placement, scratch);
+  });
+}
+
+void fill_serial_parallel_task_with_comm(
+    core::TaskSpecBuilder& b, const SerialParallelShape& shape,
+    std::size_t nodes, std::size_t link_nodes,
+    const sim::Distribution& exec_dist, const sim::Distribution& comm_dist,
+    const PexErrorModel& pex_error, sim::Rng& rng, bool defer_placement,
+    ShapeScratch& scratch) {
   check_sp_shape(shape, nodes);
-  std::vector<core::TaskSpec> stages;
-  stages.reserve(shape.stages);
-  for (std::size_t s = 0; s < shape.stages; ++s)
-    stages.push_back(make_sp_stage(shape, nodes, exec_dist, pex_error, rng,
-                                   defer_placement));
-  return core::TaskSpec::serial(std::move(stages));
+  if (link_nodes == 0)
+    throw std::invalid_argument(
+        "make_serial_parallel_task_with_comm: no link nodes");
+  b.begin_serial();
+  for (std::size_t s = 0; s < shape.stages; ++s) {
+    if (s > 0) {
+      const auto link = static_cast<core::NodeId>(
+          nodes + static_cast<std::size_t>(rng.below(link_nodes)));
+      emit_leaf_among(b, link, defer_placement, nodes, link_nodes, comm_dist,
+                      pex_error, rng);
+    }
+    emit_sp_stage(b, shape, nodes, exec_dist, pex_error, rng, defer_placement,
+                  scratch);
+  }
+  b.end();
 }
 
 core::TaskSpec make_serial_parallel_task_with_comm(
@@ -143,51 +206,50 @@ core::TaskSpec make_serial_parallel_task_with_comm(
     std::size_t link_nodes, const sim::Distribution& exec_dist,
     const sim::Distribution& comm_dist, const PexErrorModel& pex_error,
     sim::Rng& rng, bool defer_placement) {
-  check_sp_shape(shape, nodes);
-  if (link_nodes == 0)
-    throw std::invalid_argument(
-        "make_serial_parallel_task_with_comm: no link nodes");
-  std::vector<core::TaskSpec> stages;
-  stages.reserve(2 * shape.stages - 1);
-  for (std::size_t s = 0; s < shape.stages; ++s) {
-    if (s > 0) {
-      const auto link = static_cast<core::NodeId>(
-          nodes + static_cast<std::size_t>(rng.below(link_nodes)));
-      stages.push_back(make_leaf_among(link, defer_placement, nodes,
-                                       link_nodes, comm_dist, pex_error,
-                                       rng));
-    }
-    stages.push_back(make_sp_stage(shape, nodes, exec_dist, pex_error, rng,
-                                   defer_placement));
-  }
-  return core::TaskSpec::serial(std::move(stages));
+  ShapeScratch scratch;
+  return make_with([&](core::TaskSpecBuilder& b) {
+    fill_serial_parallel_task_with_comm(b, shape, nodes, link_nodes,
+                                        exec_dist, comm_dist, pex_error, rng,
+                                        defer_placement, scratch);
+  });
 }
 
-core::TaskSpec make_serial_task_with_comm(
-    std::size_t subtasks, std::size_t nodes, std::size_t link_nodes,
-    const sim::Distribution& exec_dist, const sim::Distribution& comm_dist,
-    const PexErrorModel& pex_error, sim::Rng& rng, bool defer_placement) {
+void fill_serial_task_with_comm(core::TaskSpecBuilder& b,
+                                std::size_t subtasks, std::size_t nodes,
+                                std::size_t link_nodes,
+                                const sim::Distribution& exec_dist,
+                                const sim::Distribution& comm_dist,
+                                const PexErrorModel& pex_error, sim::Rng& rng,
+                                bool defer_placement) {
   if (subtasks == 0)
     throw std::invalid_argument("make_serial_task_with_comm: m == 0");
   if (nodes == 0)
     throw std::invalid_argument("make_serial_task_with_comm: no nodes");
   if (link_nodes == 0)
     throw std::invalid_argument("make_serial_task_with_comm: no link nodes");
-  std::vector<core::TaskSpec> children;
-  children.reserve(2 * subtasks - 1);
+  b.begin_serial();
   for (std::size_t i = 0; i < subtasks; ++i) {
     if (i > 0) {
       const auto link = static_cast<core::NodeId>(
           nodes + static_cast<std::size_t>(rng.below(link_nodes)));
-      children.push_back(make_leaf_among(link, defer_placement, nodes,
-                                         link_nodes, comm_dist, pex_error,
-                                         rng));
+      emit_leaf_among(b, link, defer_placement, nodes, link_nodes, comm_dist,
+                      pex_error, rng);
     }
     const auto node = static_cast<core::NodeId>(rng.below(nodes));
-    children.push_back(make_leaf_among(node, defer_placement, 0, nodes,
-                                       exec_dist, pex_error, rng));
+    emit_leaf_among(b, node, defer_placement, 0, nodes, exec_dist, pex_error,
+                    rng);
   }
-  return core::TaskSpec::serial(std::move(children));
+  b.end();
+}
+
+core::TaskSpec make_serial_task_with_comm(
+    std::size_t subtasks, std::size_t nodes, std::size_t link_nodes,
+    const sim::Distribution& exec_dist, const sim::Distribution& comm_dist,
+    const PexErrorModel& pex_error, sim::Rng& rng, bool defer_placement) {
+  return make_with([&](core::TaskSpecBuilder& b) {
+    fill_serial_task_with_comm(b, subtasks, nodes, link_nodes, exec_dist,
+                               comm_dist, pex_error, rng, defer_placement);
+  });
 }
 
 double harmonic(std::size_t n) {

@@ -157,6 +157,41 @@ TEST(GoldenMetrics, CombinedCommDownstreamSampledRep0) {
   EXPECT_EQ(m.mean_link_utilization, 0x1.03fe0c763c251p-5);
 }
 
+TEST(GoldenMetrics, CombinedCommJsqPexDownstreamSampledRep0) {
+  // The full extension stack in one trajectory: SerialParallel shape with
+  // transmission stages, jsq-pex dispatch-time placement, the
+  // downstream-aware EQS-LD deadlines, and the sampled:5 snapshot board.
+  // Captured from the tree-of-vectors task layer immediately before the
+  // flat-spec/pooled-instance rewrite, so the arena-backed lifecycle is
+  // verified against the exact pre-refactor trajectory bit for bit.
+  system::Config cfg = system::baseline_combined();
+  cfg.horizon = 150000;
+  cfg.link_nodes = 2;
+  cfg.comm_exec = sim::exponential(0.25);
+  cfg.ssp = core::serial_strategy_by_name("EQS-LD");
+  cfg.psp = core::parallel_strategy_by_name("DIVA");
+  cfg.load_model = core::LoadModelSpec::parse("sampled:5");
+  cfg.placement = core::PlacementSpec::parse("jsq-pex");
+  const system::RunMetrics m = system::simulate(cfg, 0);
+  EXPECT_EQ(m.events, 875406u);
+  EXPECT_EQ(m.local.generated, 337564u);
+  EXPECT_EQ(m.global.generated, 18951u);
+  EXPECT_EQ(m.local.missed.trials(), 337560u);
+  EXPECT_EQ(m.local.missed.hits(), 84245u);
+  EXPECT_EQ(m.global.missed.trials(), 18951u);
+  EXPECT_EQ(m.global.missed.hits(), 3058u);
+  EXPECT_EQ(m.local.response.mean(), 0x1.e10fd7a09a325p+0);
+  EXPECT_EQ(m.global.response.mean(), 0x1.d9043528467ebp+2);
+  EXPECT_EQ(m.global.response.variance(), 0x1.629e6bed40587p+3);
+  EXPECT_EQ(m.local.lateness.mean(), -0x1.ff0ae3114e2e4p-2);
+  EXPECT_EQ(m.global.lateness.mean(), -0x1.ee06ec83ec4a6p+1);
+  EXPECT_EQ(m.subtask_wait.count(), 151331u);
+  EXPECT_EQ(m.subtask_wait.mean(), 0x1.daef0f4ad8421p-2);
+  EXPECT_EQ(m.local_wait.mean(), 0x1.c1a2e045f4ca5p-1);
+  EXPECT_EQ(m.mean_utilization, 0x1.00f462f9dddbep-1);
+  EXPECT_EQ(m.mean_link_utilization, 0x1.03fe0c763c25p-5);
+}
+
 TEST(GoldenMetrics, Fig2EqfJsqPexExactRep0) {
   // Dispatch-time placement: EQF over jsq-pex routing fed by the exact
   // board. Pins the whole placement path — deferred eligible sets, the

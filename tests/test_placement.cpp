@@ -10,6 +10,7 @@
 #include <cmath>
 #include <set>
 #include <vector>
+#include <span>
 
 #include "dsrt/core/assigner.hpp"
 #include "dsrt/core/load_aware_strategies.hpp"
@@ -160,7 +161,11 @@ TEST(TaskSpecPlacement, SimpleAmongValidatesAndPrints) {
 
 // --- Deferred generation: seed-stream equivalence -------------------------
 
-void expect_same_structure(const TaskSpec& bound, const TaskSpec& deferred,
+std::vector<NodeId> to_vec(std::span<const NodeId> s) {
+  return std::vector<NodeId>(s.begin(), s.end());
+}
+
+void expect_same_structure(const SpecView bound, const SpecView deferred,
                            bool expect_placeable) {
   ASSERT_EQ(bound.kind(), deferred.kind());
   if (bound.is_simple()) {
@@ -187,10 +192,11 @@ TEST(DeferredShapes, SerialDeferMatchesSeedDrawBitForBit) {
         workload::make_serial_task(5, 6, *dist, *pex, bound_rng);
     const TaskSpec deferred =
         workload::make_serial_task(5, 6, *dist, *pex, deferred_rng, true);
-    expect_same_structure(bound, deferred, true);
+    expect_same_structure(bound.root(), deferred.root(), true);
     // Serial stages may run anywhere: eligible = all compute nodes.
-    for (const TaskSpec& leaf : deferred.children())
-      EXPECT_EQ(leaf.eligible(), (std::vector<NodeId>{0, 1, 2, 3, 4, 5}));
+    for (const SpecView leaf : deferred.children())
+      EXPECT_EQ(to_vec(leaf.eligible()),
+                (std::vector<NodeId>{0, 1, 2, 3, 4, 5}));
     // The generators left both streams in the same state.
     EXPECT_EQ(bound_rng(), deferred_rng());
   }
@@ -204,10 +210,10 @@ TEST(DeferredShapes, ParallelAndCommShapesCarryTheRightEligibleSets) {
   const TaskSpec bound = workload::make_parallel_task(4, 6, *dist, *pex, a);
   const TaskSpec deferred =
       workload::make_parallel_task(4, 6, *dist, *pex, b, true);
-  expect_same_structure(bound, deferred, true);
+  expect_same_structure(bound.root(), deferred.root(), true);
   // Hints keep the generator's distinct draw.
   std::set<NodeId> hints;
-  for (const TaskSpec& leaf : deferred.children()) hints.insert(leaf.node());
+  for (const SpecView leaf : deferred.children()) hints.insert(leaf.node());
   EXPECT_EQ(hints.size(), 4u);
 
   Rng c(7), d(7);
@@ -215,11 +221,11 @@ TEST(DeferredShapes, ParallelAndCommShapesCarryTheRightEligibleSets) {
       {}, 6, 2, *dist, *comm, *pex, c);
   const TaskSpec sp_deferred = workload::make_serial_parallel_task_with_comm(
       {}, 6, 2, *dist, *comm, *pex, d, true);
-  expect_same_structure(sp_bound, sp_deferred, true);
+  expect_same_structure(sp_bound.root(), sp_deferred.root(), true);
   // Transmission stages are placeable among the link nodes only.
-  for (const TaskSpec& stage : sp_deferred.children()) {
+  for (const SpecView stage : sp_deferred.children()) {
     if (stage.is_simple() && stage.node() >= 6)
-      EXPECT_EQ(stage.eligible(), (std::vector<NodeId>{6, 7}));
+      EXPECT_EQ(to_vec(stage.eligible()), (std::vector<NodeId>{6, 7}));
   }
 }
 
@@ -348,12 +354,12 @@ TaskSpec random_placeable_tree(Rng& rng, int max_depth, std::size_t nodes) {
 }
 
 /// Collects the hint node of every leaf, depth-first (submission id order).
-void collect_hints(const TaskSpec& spec, std::vector<NodeId>& out) {
+void collect_hints(const SpecView spec, std::vector<NodeId>& out) {
   if (spec.is_simple()) {
     out.push_back(spec.node());
     return;
   }
-  for (const TaskSpec& child : spec.children()) collect_hints(child, out);
+  for (const SpecView child : spec.children()) collect_hints(child, out);
 }
 
 TEST(PlacementFuzz, RandomTreesRespectEligibilityAndDistinctSites) {
@@ -452,7 +458,7 @@ TEST(PlacementFuzz, StaticPolicyReproducesTheSeedDrawBitForBit) {
   for (int trial = 0; trial < 300; ++trial) {
     const TaskSpec spec = random_placeable_tree(rng, 4, 8);
     std::vector<NodeId> hints;
-    collect_hints(spec, hints);
+    collect_hints(spec.root(), hints);
 
     TaskInstance placed(1, spec, 0.0, spec.critical_path_exec() + 5.0,
                         make_eqf(), parallel_strategy_by_name("DIV2"),
