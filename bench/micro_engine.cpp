@@ -16,6 +16,10 @@
 //   end_to_end_fig2         whole-system events/sec at the Table-1
 //                           baseline (UD, load 0.5), non-preemptive
 //   end_to_end_fig2_preempt same with preemptive-resume servers
+//   observer_overhead       end_to_end_fig2 with the full observability
+//                           stack attached (probes + KeepTail recorder +
+//                           miss attribution) — compare against
+//                           end_to_end_fig2 for the cost of watching
 //   replication_throughput  replications/sec through the engine runner
 //                           (the number that bounds sweep-grid cost)
 //
@@ -30,6 +34,8 @@
 #include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/engine/emit.hpp"
 #include "dsrt/engine/runner.hpp"
+#include "dsrt/obs/attribution.hpp"
+#include "dsrt/obs/tee.hpp"
 #include "dsrt/sched/abort_policy.hpp"
 #include "dsrt/sched/node.hpp"
 #include "dsrt/sched/policy.hpp"
@@ -38,6 +44,7 @@
 #include "dsrt/sim/simulator.hpp"
 #include "dsrt/system/baseline.hpp"
 #include "dsrt/system/simulation.hpp"
+#include "dsrt/trace/recorder.hpp"
 #include "dsrt/util/flags.hpp"
 #include "dsrt/workload/pex_error.hpp"
 #include "dsrt/workload/shapes.hpp"
@@ -145,6 +152,30 @@ engine::BenchEntry end_to_end(bool preemptive, sim::Time horizon, int reps) {
           "events", static_cast<double>(events), s};
 }
 
+engine::BenchEntry observer_overhead(sim::Time horizon, int reps) {
+  // The fig2 workload with everything watching: counter harvest enabled,
+  // a KeepTail ring recorder, and the miss-attribution postmortem fanned
+  // out from one observer slot. The delta vs end_to_end_fig2 is the
+  // all-in cost of full observability.
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = horizon;
+  cfg.probes = true;
+  std::uint64_t events = 0;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    trace::Recorder recorder(4096, trace::Overflow::KeepTail);
+    obs::MissAttribution attribution(cfg.nodes);
+    obs::ObserverTee tee;
+    tee.attach(&recorder);
+    tee.attach(&attribution);
+    system::SimulationRun run(cfg, static_cast<std::uint64_t>(r));
+    run.set_observer(&tee);
+    events += run.run().events;
+  }
+  const double s = seconds_since(t0);
+  return {"observer_overhead", "events", static_cast<double>(events), s};
+}
+
 engine::BenchEntry replication_throughput(sim::Time horizon,
                                           std::size_t reps) {
   system::Config cfg = system::baseline_ssp();
@@ -174,6 +205,8 @@ int main(int argc, char** argv) {
                                /*reps=*/3));
   entries.push_back(end_to_end(true, 37500.0 * static_cast<double>(scale),
                                /*reps=*/3));
+  entries.push_back(observer_overhead(37500.0 * static_cast<double>(scale),
+                                      /*reps=*/3));
   entries.push_back(
       replication_throughput(25000.0 * static_cast<double>(scale), 8));
 

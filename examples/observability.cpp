@@ -1,70 +1,46 @@
-// Observability tour: attach the trace recorder, Gantt chart, and slack
-// profiler to one run and inspect what the system actually did.
+// Observability tour: one run instrumented end to end with the dsrt::obs
+// subsystem — engine counters, deadline-miss attribution, a Perfetto trace,
+// plus the classic trace/Gantt/slack tools, all fanned out from a single
+// observer slot.
 //
-//   ./example_observability [--ssp=UD] [--window=60]
+//   ./example_observability [--ssp=UD] [--window=60] [--trace_out=FILE]
 #include <cstdio>
 #include <iostream>
-#include <vector>
 
 #include "dsrt/dsrt.hpp"
 #include "dsrt/trace/gantt.hpp"
 
 using namespace dsrt;
 
-namespace {
-
-/// Fan-in observer: forwards every hook to several observers.
-class Tee final : public system::Observer {
- public:
-  explicit Tee(std::vector<system::Observer*> sinks)
-      : sinks_(std::move(sinks)) {}
-  void on_local_submitted(core::NodeId node, const sched::Job& job,
-                          sim::Time now) override {
-    for (auto* s : sinks_) s->on_local_submitted(node, job, now);
-  }
-  void on_global_arrival(core::TaskId task, const core::TaskSpec& spec,
-                         sim::Time now, sim::Time deadline) override {
-    for (auto* s : sinks_) s->on_global_arrival(task, spec, now, deadline);
-  }
-  void on_subtask_submitted(core::TaskId task,
-                            const core::LeafSubmission& sub,
-                            sim::Time now) override {
-    for (auto* s : sinks_) s->on_subtask_submitted(task, sub, now);
-  }
-  void on_job_disposed(const sched::Job& job, sim::Time now,
-                       sched::JobOutcome outcome) override {
-    for (auto* s : sinks_) s->on_job_disposed(job, now, outcome);
-  }
-  void on_global_finished(core::TaskId task, sim::Time now,
-                          bool missed) override {
-    for (auto* s : sinks_) s->on_global_finished(task, now, missed);
-  }
-  void on_global_aborted(core::TaskId task, sim::Time now) override {
-    for (auto* s : sinks_) s->on_global_aborted(task, now);
-  }
-
- private:
-  std::vector<system::Observer*> sinks_;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
   const double window = flags.get("window", 60.0);
+  const std::string trace_out = flags.get("trace_out", std::string());
 
   system::Config cfg = system::baseline_ssp();
   cfg.ssp = core::serial_strategy_by_name(flags.get("ssp", std::string("UD")));
   cfg.horizon = 5000;
+  cfg.probes = true;  // harvest the engine counters at end of run
 
-  trace::Recorder recorder(1u << 20);
+  // KeepTail: a small ring holding whatever led up to the end of the run.
+  trace::Recorder recorder(256, trace::Overflow::KeepTail);
   trace::GanttChart gantt(1000.0, 1000.0 + window, 100);
   trace::SlackProfiler profiler;
-  Tee tee({&recorder, &gantt, &profiler});
+  obs::MissAttribution attribution(cfg.nodes);
+  obs::PerfettoExporter::Options trace_options;
+  trace_options.compute_nodes = cfg.nodes;
+  obs::PerfettoExporter exporter(trace_options);
+
+  obs::ObserverTee tee;
+  tee.attach(&recorder);
+  tee.attach(&gantt);
+  tee.attach(&profiler);
+  tee.attach(&attribution);
+  tee.attach(&exporter);
 
   system::SimulationRun run(cfg, 0);
   run.set_observer(&tee);
-  run.run();
+  const system::RunMetrics metrics = run.run();
 
   std::printf("--- first global task's timeline (ssp=%s) ---\n",
               std::string(cfg.ssp->name()).c_str());
@@ -75,6 +51,10 @@ int main(int argc, char** argv) {
                   e.node, e.deadline);
     std::printf("\n");
   }
+  std::printf("  (the recorder is a %zu-event KeepTail ring; %llu older "
+              "events were overwritten)\n",
+              recorder.events().size(),
+              static_cast<unsigned long long>(recorder.dropped()));
 
   std::printf("\n--- node occupancy, %g time units around t=1000 ---\n",
               window);
@@ -86,6 +66,28 @@ int main(int argc, char** argv) {
                 s + 1, profiler.stages()[s].wait.mean(),
                 profiler.stages()[s].allotted_window.mean(),
                 100.0 * profiler.stages()[s].virtual_miss.value());
-  std::printf("\ntry --ssp=EQF and compare the per-stage waits.\n");
+
+  std::printf("\n--- why deadlines were missed (MD_global %.1f%%) ---\n",
+              100.0 * metrics.global.missed.value());
+  attribution.table().print(std::cout);
+  std::printf("  mean lateness decomposition over missed completions:\n"
+              "    queueing %.3f + overrun %.3f + comm %.3f - slack %.3f "
+              "~= lateness %.3f\n",
+              attribution.queueing().mean(), attribution.overrun().mean(),
+              attribution.comm().mean(), attribution.slack().mean(),
+              attribution.lateness().mean());
+
+  std::printf("\n--- engine counters (Config::probes) ---\n%s\n",
+              metrics.counters.json().c_str());
+
+  if (!trace_out.empty()) {
+    exporter.write_file(trace_out);
+    std::printf("\nwrote %s (%zu slices) — open it in ui.perfetto.dev\n",
+                trace_out.c_str(), exporter.captured());
+  } else {
+    std::printf("\npass --trace_out=trace.json to export a Perfetto "
+                "timeline of this run.\n");
+  }
+  std::printf("try --ssp=EQF and compare the per-stage waits and causes.\n");
   return 0;
 }

@@ -139,8 +139,35 @@ int main(int argc, char** argv) {
 
   if (grid.axes().empty()) {
     print_single_point(cfg, sweep.points.front().result);
+    if (!sweep.points.front().result.counters.empty())
+      std::printf("\ncounters (pooled over %zu reps):\n%s\n", opts.reps,
+                  sweep.points.front().result.counters.json().c_str());
   } else {
     engine::sweep_table(sweep).print(std::cout);
+  }
+
+  // --trace_out: one extra replication-0 run of the first point with the
+  // Perfetto exporter attached. Separate from the sweep on purpose — the
+  // measured runs above stay observer-free.
+  if (!opts.trace_out.empty()) {
+    try {
+      obs::PerfettoExporter::Options trace_options;
+      trace_options.compute_nodes = cfg.nodes;
+      obs::PerfettoExporter exporter(trace_options);
+      system::Config traced = grid.axes().empty()
+                                  ? cfg
+                                  : sweep.points.front().point.config;
+      system::SimulationRun run(traced);
+      run.set_observer(&exporter);
+      run.run();
+      exporter.write_file(opts.trace_out);
+      std::printf("\nwrote %s (%zu slices%s)\n", opts.trace_out.c_str(),
+                  exporter.captured(),
+                  exporter.dropped() > 0 ? ", capped" : "");
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "trace export failed: %s\n", error.what());
+      return 1;
+    }
   }
 
   if (writes_files) {

@@ -103,8 +103,16 @@ class ExactLoadModel final : public LoadModel {
   NodeLoad load(NodeId node, sim::Time now) const override;
   std::string_view name() const override { return "exact"; }
 
+  /// Board reads served so far (obs probe; an oracle read is always age 0).
+  std::uint64_t reads() const { return reads_; }
+
  private:
   const std::vector<LoadAccount>& accounts_;
+  /// Passive read counter. Mutable-in-const for the same reason as
+  /// JsqPlacement's tie rotation: the model is shared as a pointer-to-
+  /// const, but each simulation run owns a fresh instance and a run is
+  /// single-threaded.
+  mutable std::uint64_t reads_ = 0;
 };
 
 /// Periodic-snapshot freshness. `refresh(now)` copies the live accounts
@@ -131,12 +139,29 @@ class SnapshotLoadModel final : public LoadModel {
     return serve_ == Serve::Latest ? "sampled" : "stale";
   }
 
+  /// Obs probes: refreshes and reads so far, and the mean age (read time
+  /// minus the served snapshot's capture time) over all reads — the
+  /// realized staleness the strategies actually acted on, as opposed to
+  /// the nominal period. Reads before the first refresh see the zeroed
+  /// cold-start snapshot, whose capture time is 0.
+  std::uint64_t refreshes() const { return refreshes_; }
+  std::uint64_t reads() const { return reads_; }
+  double mean_read_age() const {
+    return reads_ == 0 ? 0.0 : age_sum_ / static_cast<double>(reads_);
+  }
+
  private:
   const std::vector<LoadAccount>& accounts_;
   sim::Time period_;
   Serve serve_;
   std::vector<NodeLoad> current_;
   std::vector<NodeLoad> previous_;
+  sim::Time current_at_ = 0;   ///< capture time of current_
+  sim::Time previous_at_ = 0;  ///< capture time of previous_
+  std::uint64_t refreshes_ = 0;
+  /// Passive read accounting; mutable-in-const (see ExactLoadModel).
+  mutable std::uint64_t reads_ = 0;
+  mutable double age_sum_ = 0;
 };
 
 /// Which freshness a run should wire up.

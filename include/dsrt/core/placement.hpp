@@ -37,6 +37,20 @@ using PlacementPolicyPtr = std::shared_ptr<const PlacementPolicy>;
 /// of the paper's "system state information" extension after deadline
 /// assignment). Policies are consulted once per placeable leaf, when the
 /// stage holding it becomes ready.
+/// Passive per-run decision accounting, harvested by the obs probes.
+/// Incremented by the policies themselves (and by the assigner, for the
+/// distinct-site restriction it applies before asking); plain integer
+/// bumps, so the dispatch hot path never allocates for them.
+struct PlacementCounters {
+  std::uint64_t decisions = 0;       ///< place() calls answered
+  std::uint64_t exact_ties = 0;      ///< decisions with >1 minimal-key node
+  std::uint64_t hint_fallbacks = 0;  ///< static: hint absent from candidates
+  /// Decisions whose candidate set was restricted by the distinct-site
+  /// constraint (simple siblings of the same parallel group had already
+  /// pinned nodes).
+  std::uint64_t restricted = 0;
+};
+
 class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
@@ -47,6 +61,16 @@ class PlacementPolicy {
   virtual NodeId place(const PlacementContext& ctx,
                        std::span<const NodeId> candidates) const = 0;
   virtual std::string_view name() const = 0;
+
+  const PlacementCounters& counters() const { return counters_; }
+
+  /// The assigner marks a decision as distinct-site-restricted just before
+  /// calling place(). Mutable-in-const like the jsq tie rotation: policies
+  /// are per-run and a run is single-threaded.
+  void record_restricted() const { ++counters_.restricted; }
+
+ protected:
+  mutable PlacementCounters counters_;
 };
 
 /// Seed-compatible placement: returns the generator's node draw (the

@@ -10,6 +10,9 @@
 ///   sched    - node servers, local scheduling policies, abort policies
 ///   workload - task-population generators (shapes, slack, pex error)
 ///   system   - configuration, process manager, simulation, experiments
+///   obs      - observability: metrics registry + engine probes, Perfetto
+///              trace export, deadline-miss attribution (registry below
+///              system, the observers beside trace)
 ///   engine   - experiment orchestration: thread-pool replication/sweep
 ///              runner, declarative parameter grids, seed derivation,
 ///              structured result emitters (CSV / JSON / BENCH artifacts)
@@ -28,6 +31,11 @@
 #include "dsrt/engine/seed_sequence.hpp"
 #include "dsrt/engine/sweep.hpp"
 #include "dsrt/engine/thread_pool.hpp"
+#include "dsrt/obs/attribution.hpp"
+#include "dsrt/obs/probes.hpp"
+#include "dsrt/obs/registry.hpp"
+#include "dsrt/obs/tee.hpp"
+#include "dsrt/obs/trace_export.hpp"
 #include "dsrt/sched/abort_policy.hpp"
 #include "dsrt/sched/job.hpp"
 #include "dsrt/sched/node.hpp"

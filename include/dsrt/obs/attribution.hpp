@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dsrt/stats/report.hpp"
+#include "dsrt/stats/tally.hpp"
+#include "dsrt/system/observer.hpp"
+
+namespace dsrt::obs {
+
+class Registry;
+
+/// Why a global task missed its end-to-end deadline. Exactly one cause is
+/// assigned per miss, so the per-cause counts partition the golden
+/// MD_global numerator exactly.
+enum class MissCause : std::uint8_t {
+  Queueing,    ///< dominant component: waiting in compute-node ready queues
+  Comm,        ///< dominant: link-stage time beyond its predicted demand
+  Overrun,     ///< dominant: compute execution beyond its predicted demand
+  Infeasible,  ///< assigned slack was negative: the window could not fit
+               ///< even the predicted path (no strategy could have met it)
+  Aborted,     ///< discarded by the abort policy before finishing
+};
+inline constexpr std::size_t kMissCauseCount = 5;
+
+const char* to_string(MissCause cause);
+
+/// Deadline-miss postmortem: decomposes each missed global task's lateness
+/// along its *realized* execution path into queueing wait, execution
+/// overrun, communication excess, and assigned-slack shortfall.
+///
+/// For every finished task the observer reconstructs the realized critical
+/// path by back-chaining completed subtask records: the finishing job, the
+/// job whose completion released it (their times are exactly equal in the
+/// discrete-event model — subtask i+1 is submitted at the simulated instant
+/// subtask i completes), and so on back to the arrival. Along that path,
+/// with `window = deadline - arrival`:
+///
+///   queueing = sum of ready-queue waits at compute nodes
+///   overrun  = sum of (exec - pex) at compute nodes
+///   comm     = sum of (wait + exec - pex) at link nodes
+///   slack    = window - sum of pex over the whole path
+///   lateness = queueing + overrun + comm - slack   (== finish - deadline)
+///
+/// The identity holds exactly in real arithmetic (both sides telescope to
+/// finish - arrival - window); floating-point association makes it hold to
+/// rounding error, which the tests pin.
+///
+/// Cause assignment: Aborted for abort-policy discards; Infeasible when
+/// slack < 0 (the assignment itself was hopeless); otherwise the largest
+/// of queueing/comm/overrun (ties resolve in that order). The per-cause
+/// counts sum to exactly the golden `ClassMetrics::missed.hits()` of the
+/// global class, and trials() matches `finished() + aborted()` — the
+/// consistency the acceptance tests assert.
+///
+/// Memory: task records are pooled and recycled, so a long run's footprint
+/// is bounded by the peak number of in-flight tasks (plus one hash-map node
+/// churned per task — attached observers are allowed bounded allocation;
+/// see test_alloc_steady_state).
+class MissAttribution final : public system::Observer {
+ public:
+  /// `compute_nodes` = k: node ids >= k are link (communication) stages.
+  explicit MissAttribution(std::size_t compute_nodes);
+
+  void on_global_arrival(core::TaskId task, const core::TaskSpec& spec,
+                         sim::Time now, sim::Time deadline) override;
+  void on_job_disposed(const sched::Job& job, sim::Time now,
+                       sched::JobOutcome outcome) override;
+  void on_global_finished(core::TaskId task, sim::Time now,
+                          bool missed) override;
+  void on_global_aborted(core::TaskId task, sim::Time now) override;
+
+  /// Trials, mirroring the golden metrics: finished() counts
+  /// on_global_finished events (missed or not), aborted() the abort hook.
+  std::uint64_t finished() const { return finished_; }
+  std::uint64_t aborted() const { return aborted_; }
+  /// Total misses = missed completions + aborts
+  /// (== ClassMetrics::missed.hits() of the global class).
+  std::uint64_t misses() const { return missed_completed_ + aborted_; }
+
+  std::uint64_t cause_count(MissCause cause) const {
+    return counts_[static_cast<std::size_t>(cause)];
+  }
+  /// cause_count / (finished + aborted): the per-cause MD breakdown.
+  double md(MissCause cause) const;
+
+  /// Component tallies over missed *completed* tasks (aborts never finish,
+  /// so they have no realized path to decompose).
+  const stats::Tally& queueing() const { return queueing_; }
+  const stats::Tally& comm() const { return comm_; }
+  const stats::Tally& overrun() const { return overrun_; }
+  const stats::Tally& slack() const { return slack_; }
+  const stats::Tally& lateness() const { return lateness_; }
+
+  /// Missed completions whose realized path could not be fully chained
+  /// back to the arrival (e.g. the observer was attached mid-run). They
+  /// are still classified from the partial path, so the cause counts stay
+  /// a partition of the misses; this counter is the health check.
+  std::uint64_t unattributed() const { return unattributed_; }
+
+  /// Per-cause breakdown as a printable table.
+  stats::Table table() const;
+
+  /// Exports `attr.miss.<cause>` counters (plus trials/misses and the mean
+  /// components as gauges) into an obs registry, so attribution results
+  /// ride the same snapshot/merge/emit path as the engine probes.
+  void snapshot_into(Registry& registry) const;
+
+ private:
+  struct JobRec {
+    sim::Time release = 0;
+    sim::Time finish = 0;
+    double exec = 0;
+    double pex = 0;
+    core::NodeId node = 0;
+  };
+  struct TaskRec {
+    sim::Time arrival = 0;
+    sim::Time deadline = 0;
+    std::vector<JobRec> jobs;
+  };
+
+  TaskRec* find(core::TaskId task);
+  void release(core::TaskId task);
+  void classify(const TaskRec& rec, sim::Time finish);
+
+  std::size_t compute_nodes_;
+  std::vector<TaskRec> pool_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<core::TaskId, std::uint32_t> index_;
+
+  std::uint64_t finished_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t missed_completed_ = 0;
+  std::uint64_t unattributed_ = 0;
+  std::uint64_t counts_[kMissCauseCount] = {};
+  stats::Tally queueing_, comm_, overrun_, slack_, lateness_;
+};
+
+}  // namespace dsrt::obs

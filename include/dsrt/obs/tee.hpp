@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "dsrt/system/observer.hpp"
+
+namespace dsrt::obs {
+
+/// Fans one ProcessManager observer slot out to several observers, so a run
+/// can record a trace, export Perfetto spans and attribute misses at once.
+/// Sinks are invoked in attach order; null entries are skipped. Fixed-size
+/// (no allocation) — attach more than `kMaxSinks` and attach() returns
+/// false.
+class ObserverTee final : public system::Observer {
+ public:
+  static constexpr std::size_t kMaxSinks = 8;
+
+  bool attach(system::Observer* sink) {
+    if (!sink) return true;  // harmless no-op
+    if (count_ == kMaxSinks) return false;
+    sinks_[count_++] = sink;
+    return true;
+  }
+  std::size_t size() const { return count_; }
+
+  void on_local_submitted(core::NodeId node, const sched::Job& job,
+                          sim::Time now) override {
+    for (std::size_t i = 0; i < count_; ++i)
+      sinks_[i]->on_local_submitted(node, job, now);
+  }
+  void on_global_arrival(core::TaskId task, const core::TaskSpec& spec,
+                         sim::Time now, sim::Time deadline) override {
+    for (std::size_t i = 0; i < count_; ++i)
+      sinks_[i]->on_global_arrival(task, spec, now, deadline);
+  }
+  void on_subtask_submitted(core::TaskId task,
+                            const core::LeafSubmission& submission,
+                            sim::Time now) override {
+    for (std::size_t i = 0; i < count_; ++i)
+      sinks_[i]->on_subtask_submitted(task, submission, now);
+  }
+  void on_job_disposed(const sched::Job& job, sim::Time now,
+                       sched::JobOutcome outcome) override {
+    for (std::size_t i = 0; i < count_; ++i)
+      sinks_[i]->on_job_disposed(job, now, outcome);
+  }
+  void on_global_finished(core::TaskId task, sim::Time now,
+                          bool missed) override {
+    for (std::size_t i = 0; i < count_; ++i)
+      sinks_[i]->on_global_finished(task, now, missed);
+  }
+  void on_global_aborted(core::TaskId task, sim::Time now) override {
+    for (std::size_t i = 0; i < count_; ++i)
+      sinks_[i]->on_global_aborted(task, now);
+  }
+
+ private:
+  std::array<system::Observer*, kMaxSinks> sinks_{};
+  std::size_t count_ = 0;
+};
+
+}  // namespace dsrt::obs

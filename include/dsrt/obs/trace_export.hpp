@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsrt/system/observer.hpp"
+
+namespace dsrt::obs {
+
+/// Observer that captures a run's lifecycle and writes it as a Chrome /
+/// Perfetto `trace_events` JSON document — load the file in ui.perfetto.dev
+/// (or chrome://tracing) and the run becomes a scrollable timeline:
+///
+///   - every node is a track (thread) in the "nodes" process; link nodes
+///     are labeled as links when `compute_nodes` is set
+///   - every completed job is a duration slice on its node's track,
+///     reconstructed from its disposal (under non-preemptive service a
+///     completed job occupied the node over [finish - exec, finish))
+///   - every global task is an async span (arrival -> finish/abort) in the
+///     "global tasks" process, plus a flow arrow chain stitching its
+///     subtask slices across node tracks in realized order
+///   - deadline misses and aborts are global instant markers
+///
+/// Times are simulated time scaled by `scale` into trace microseconds
+/// (default 1000, so one simulated time unit renders as 1ms).
+///
+/// Capture is bounded by `max_records`; beyond it further slices are
+/// counted in dropped() but not stored, so attaching to a long run cannot
+/// exhaust memory. Preemptive runs render each completed job as one
+/// contiguous slice (fragmentation is invisible to the disposal hook), so
+/// overlapping slices on one track indicate preemption, not a bug.
+struct PerfettoOptions {
+  /// Capture window in simulated time: slices whose service overlaps
+  /// [from, to) and task events inside it are kept.
+  sim::Time from = 0;
+  sim::Time to = sim::kTimeInfinity;
+  /// Simulated-time unit -> trace microseconds.
+  double scale = 1000.0;
+  /// Cap on stored slice records (drop-and-count beyond it).
+  std::size_t max_records = 1u << 21;
+  /// Include local-task slices (they dominate dense runs; switch off to
+  /// see only the global-task structure).
+  bool locals = true;
+  /// Node ids >= this are rendered as link tracks ("link N"). Defaults
+  /// to "no links".
+  std::size_t compute_nodes = static_cast<std::size_t>(-1);
+};
+
+class PerfettoExporter final : public system::Observer {
+ public:
+  using Options = PerfettoOptions;
+
+  explicit PerfettoExporter(Options options = {});
+
+  void on_local_submitted(core::NodeId node, const sched::Job& job,
+                          sim::Time now) override;
+  void on_global_arrival(core::TaskId task, const core::TaskSpec& spec,
+                         sim::Time now, sim::Time deadline) override;
+  void on_job_disposed(const sched::Job& job, sim::Time now,
+                       sched::JobOutcome outcome) override;
+  void on_global_finished(core::TaskId task, sim::Time now,
+                          bool missed) override;
+  void on_global_aborted(core::TaskId task, sim::Time now) override;
+
+  /// Slice records captured so far.
+  std::size_t captured() const { return slices_.size(); }
+  /// Slice records dropped at the max_records cap.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Writes the complete `{"traceEvents": [...]}` document.
+  void write(std::ostream& os) const;
+
+  /// write() to `path`; throws std::runtime_error when the file cannot be
+  /// written.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Slice {
+    core::NodeId node = 0;
+    core::TaskId task = 0;  ///< 0 = local
+    std::uint32_t leaf = 0;
+    sim::Time start = 0;
+    sim::Time end = 0;
+  };
+  struct TaskSpan {
+    core::TaskId task = 0;
+    sim::Time arrival = 0;
+    sim::Time deadline = 0;
+    sim::Time finish = -1;  ///< < 0 while in flight
+    bool missed = false;
+    bool aborted = false;
+  };
+
+  bool in_window(sim::Time a, sim::Time b) const {
+    return b >= options_.from && a < options_.to;
+  }
+
+  Options options_;
+  std::vector<Slice> slices_;
+  std::vector<TaskSpan> tasks_;
+  std::unordered_map<core::TaskId, std::size_t> task_index_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dsrt::obs

@@ -87,6 +87,9 @@ class Node {
   std::uint64_t jobs_completed() const { return completed_; }
   std::uint64_t jobs_aborted() const { return aborted_; }
   std::uint64_t preemptions() const { return preemptions_; }
+  /// Deepest the ready queue has ever been (high-water mark, not counting
+  /// the job in service).
+  std::size_t max_queue_length() const { return max_queue_; }
 
   /// Restarts the observation window of the time-weighted statistics (for
   /// warm-up truncation). Counters are not reset.
@@ -166,6 +169,7 @@ class Node {
   std::uint64_t completed_ = 0;
   std::uint64_t aborted_ = 0;
   std::uint64_t preemptions_ = 0;
+  std::size_t max_queue_ = 0;  ///< ready-queue high-water mark
 };
 
 }  // namespace dsrt::sched

@@ -82,6 +82,15 @@ class EventQueue {
   /// Total number of events ever pushed.
   std::uint64_t pushed() const { return next_seq_; }
 
+  /// Deepest the pending set has ever been (high-water mark).
+  std::size_t max_pending() const { return max_pending_; }
+
+  /// Sorted->heap conversions plus heap->sorted re-sorts so far. The
+  /// paper-scale models should report 0 (pending set never outgrows
+  /// kArrayMax); a non-zero count is the first sign a workload is pushing
+  /// the kernel toward the adaptive boundary.
+  std::uint64_t mode_flips() const { return mode_flips_; }
+
  private:
   /// Initial capacity: deep enough for every model in the repo (a k-node
   /// run keeps ~k completions + k+1 arrivals pending), so the common case
@@ -117,6 +126,8 @@ class EventQueue {
   std::vector<std::uint32_t> free_; ///< recycled slot indices
   std::uint64_t next_seq_ = 0;
   bool heap_mode_ = false;          ///< heap_ layout: sorted vs heapified
+  std::size_t max_pending_ = 0;     ///< pending-set high-water mark
+  std::uint64_t mode_flips_ = 0;    ///< layout transitions (both directions)
 };
 
 }  // namespace dsrt::sim

@@ -59,6 +59,10 @@ class Simulator {
   /// Pending events (mostly for tests).
   std::size_t pending() const { return queue_.size(); }
 
+  /// Read-only view of the pending-event set, exposing its passive
+  /// counters (high-water depth, layout flips) to the obs probes.
+  const EventQueue& queue() const { return queue_; }
+
  private:
   EventQueue queue_;
   Time now_ = 0;

@@ -40,6 +40,10 @@ struct RunOptions {
   bool emit_json = false;    ///< --emit=json: machine-readable result file
   bool emit_csv = false;     ///< --emit=csv: long-format CSV result file
   std::string out_dir = "."; ///< directory for emitted artifacts
+  /// --trace_out=FILE: re-run replication 0 of the first sweep point with a
+  /// Perfetto exporter attached and write the trace_events JSON there
+  /// (empty = no trace).
+  std::string trace_out;
 };
 
 /// Parses run control:

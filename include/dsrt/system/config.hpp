@@ -106,6 +106,13 @@ struct Config {
   sim::Time horizon = 1e6;  ///< paper: one million time units per run
   sim::Time warmup = 0;     ///< statistics reset at this time
   std::uint64_t seed = 20250612;
+  /// Harvest the engine-wide obs counters (event-queue depth/mode flips,
+  /// ready-queue high-water marks, pool occupancy, load-model snapshot age,
+  /// placement ties) into RunMetrics::counters at the end of the run. The
+  /// counters themselves are passive and always maintained; this flag only
+  /// controls the end-of-run harvest, so it cannot perturb the trajectory —
+  /// metrics are bit-for-bit identical either way.
+  bool probes = false;
 
   // --- Derived quantities --------------------------------------------------
   /// Expected number of simple subtasks per global task.

@@ -20,6 +20,10 @@ struct ExperimentResult {
   stats::Estimate response_global;
   stats::Estimate utilization;     ///< mean server busy fraction
   std::vector<RunMetrics> runs;    ///< raw per-replication metrics
+  /// Engine counters pooled across the replications in replication order
+  /// (empty unless Config::probes). Counters add, gauges average, peaks
+  /// max — see obs::Snapshot::merge.
+  obs::Snapshot counters;
 };
 
 /// Aggregates per-replication metrics (in replication order) into the

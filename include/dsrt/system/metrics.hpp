@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "dsrt/obs/registry.hpp"
 #include "dsrt/stats/histogram.hpp"
 #include "dsrt/stats/tally.hpp"
 
@@ -45,6 +46,10 @@ struct RunMetrics {
   double mean_link_utilization = 0;  ///< average link-node busy fraction
   std::uint64_t events = 0;     ///< simulator events executed
   double observed_span = 0;     ///< measured interval (horizon - warmup)
+  /// Engine-wide obs counters, harvested at the end of the run when
+  /// Config::probes is set (empty otherwise). Merged across replications
+  /// by metric kind: counters add, gauges average, peaks max.
+  obs::Snapshot counters;
 
   void reset();
   /// Pools another run into this one: counters add, per-task statistics

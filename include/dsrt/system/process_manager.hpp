@@ -62,6 +62,14 @@ class ProcessManager {
   /// Global tasks currently executing (or draining after an abort).
   std::size_t live_instances() const { return live_; }
 
+  /// Instance-pool introspection (the obs probes' view of the slot map):
+  /// total slots ever grown, the most instances simultaneously live, and
+  /// how many arrivals were served by recycling a drained slot instead of
+  /// growing the pool.
+  std::size_t pool_slots() const { return slots_.size(); }
+  std::size_t pool_peak_live() const { return peak_live_; }
+  std::uint64_t pool_recycled() const { return recycled_; }
+
   /// Attaches a lifecycle observer (nullptr detaches). Not owned; must
   /// outlive the process manager or be detached first.
   void set_observer(Observer* observer) { observer_ = observer; }
@@ -121,6 +129,8 @@ class ProcessManager {
   std::vector<Slot> slots_;              ///< instance pool (dense slot map)
   std::vector<std::uint32_t> free_slots_;
   std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;      ///< live-instance high-water mark
+  std::uint64_t recycled_ = 0;     ///< arrivals served from the free list
   core::TaskId next_task_id_ = 1;
   sched::JobId next_job_id_ = 1;
   std::vector<core::LeafSubmission> scratch_;

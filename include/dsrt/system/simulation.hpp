@@ -34,7 +34,9 @@ class SimulationRun {
     return nodes_;
   }
   sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
   ProcessManager& process_manager() { return *pm_; }
+  const ProcessManager& process_manager() const { return *pm_; }
   const Config& config() const { return cfg_; }
 
   /// Attaches a lifecycle observer for this run (see system::Observer).

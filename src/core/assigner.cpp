@@ -202,6 +202,7 @@ void TaskInstance::place_leaf(std::size_t v, sim::Time now,
   if (place_candidates_.empty())
     throw std::logic_error(
         "TaskInstance: parallel group wider than its eligible node set");
+  if (!taken.empty()) placement_->record_restricted();
   PlacementContext ctx;
   ctx.now = now;
   ctx.load = load_model_;

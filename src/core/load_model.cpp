@@ -36,6 +36,7 @@ NodeLoad LoadAccount::read(sim::Time now) const {
 }
 
 NodeLoad ExactLoadModel::load(NodeId node, sim::Time now) const {
+  ++reads_;
   if (node >= accounts_.size()) return {};
   return accounts_[node].read(now);
 }
@@ -53,11 +54,16 @@ SnapshotLoadModel::SnapshotLoadModel(const std::vector<LoadAccount>& accounts,
 
 void SnapshotLoadModel::refresh(sim::Time now) {
   previous_.swap(current_);
+  previous_at_ = current_at_;
+  current_at_ = now;
+  ++refreshes_;
   for (std::size_t i = 0; i < accounts_.size(); ++i)
     current_[i] = accounts_[i].read(now);
 }
 
-NodeLoad SnapshotLoadModel::load(NodeId node, sim::Time) const {
+NodeLoad SnapshotLoadModel::load(NodeId node, sim::Time now) const {
+  ++reads_;
+  age_sum_ += now - (serve_ == Serve::Latest ? current_at_ : previous_at_);
   const auto& served = serve_ == Serve::Latest ? current_ : previous_;
   if (node >= served.size()) return {};
   return served[node];

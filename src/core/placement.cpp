@@ -11,9 +11,11 @@ NodeId StaticPlacement::place(const PlacementContext& ctx,
                               std::span<const NodeId> candidates) const {
   if (candidates.empty())
     throw std::invalid_argument("StaticPlacement: empty candidate set");
+  ++counters_.decisions;
   if (std::find(candidates.begin(), candidates.end(), ctx.hint) !=
       candidates.end())
     return ctx.hint;
+  ++counters_.hint_fallbacks;
   return candidates.front();
 }
 
@@ -21,6 +23,7 @@ NodeId JsqPlacement::place(const PlacementContext& ctx,
                            std::span<const NodeId> candidates) const {
   if (candidates.empty())
     throw std::invalid_argument("JsqPlacement: empty candidate set");
+  ++counters_.decisions;
   // One model read per candidate (each read decays an EWMA with an exp());
   // the keys are kept in a high-water-reserved scratch so the tie-indexing
   // pass below never re-queries the board.
@@ -43,6 +46,7 @@ NodeId JsqPlacement::place(const PlacementContext& ctx,
   }
   // Exact ties rotate through the per-run sequence counter: deterministic,
   // and uniform over the tied set on an idle board.
+  if (ties > 1) ++counters_.exact_ties;
   std::size_t skip = static_cast<std::size_t>(seq_++ % ties);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (keys_[i] == best) {

@@ -68,10 +68,18 @@ stats::Table sweep_table(const SweepResult& sweep) {
 }
 
 void write_sweep_csv(const SweepResult& sweep, std::ostream& os) {
+  // Probed sweeps get one extra RFC-4180-quoted column holding the pooled
+  // counters as a JSON object (metric sets can differ across points, e.g.
+  // placement counters on jsq points only, so fixed columns don't fit).
+  bool any_counters = false;
+  for (const PointResult& pr : sweep.points)
+    any_counters = any_counters || !pr.result.counters.empty();
   for (const std::string& name : sweep.axis_names) os << name << ',';
   os << "md_local,md_local_hw,md_global,md_global_hw,md_overall,"
         "md_overall_hw,resp_local,resp_local_hw,resp_global,resp_global_hw,"
-        "utilization,utilization_hw\n";
+        "utilization,utilization_hw";
+  if (any_counters) os << ",counters";
+  os << '\n';
   for (const PointResult& pr : sweep.points) {
     for (const std::string& label : pr.point.labels) os << label << ',';
     const auto& r = pr.result;
@@ -80,7 +88,16 @@ void write_sweep_csv(const SweepResult& sweep, std::ostream& os) {
        << r.md_overall.mean << ',' << r.md_overall.half_width << ','
        << r.response_local.mean << ',' << r.response_local.half_width << ','
        << r.response_global.mean << ',' << r.response_global.half_width << ','
-       << r.utilization.mean << ',' << r.utilization.half_width << '\n';
+       << r.utilization.mean << ',' << r.utilization.half_width;
+    if (any_counters) {
+      os << ',' << '"';
+      for (char c : r.counters.json()) {
+        os << c;
+        if (c == '"') os << c;  // RFC 4180: double embedded quotes
+      }
+      os << '"';
+    }
+    os << '\n';
   }
 }
 
@@ -143,8 +160,10 @@ std::string sweep_json(const SweepResult& sweep) {
        << ",\"md_overall\":" << estimate_json(pr.result.md_overall)
        << ",\"response_local\":" << estimate_json(pr.result.response_local)
        << ",\"response_global\":" << estimate_json(pr.result.response_global)
-       << ",\"utilization\":" << estimate_json(pr.result.utilization)
-       << ",\"runs\":[";
+       << ",\"utilization\":" << estimate_json(pr.result.utilization);
+    if (!pr.result.counters.empty())
+      os << ",\"counters\":" << pr.result.counters.json();
+    os << ",\"runs\":[";
     for (std::size_t r = 0; r < pr.result.runs.size(); ++r) {
       const auto& m = pr.result.runs[r];
       os << (r ? "," : "") << "{\"md_local\":" << num(m.local.missed.value())
@@ -184,7 +203,10 @@ std::string bench_artifact_json(const std::string& name,
       os << (a ? "," : "") << quoted(pr.point.labels[a]);
     os << "],\"md_local\":" << num(pr.result.md_local.mean)
        << ",\"md_global\":" << num(pr.result.md_global.mean)
-       << ",\"md_overall\":" << num(pr.result.md_overall.mean) << "}";
+       << ",\"md_overall\":" << num(pr.result.md_overall.mean);
+    if (!pr.result.counters.empty())
+      os << ",\"counters\":" << pr.result.counters.json();
+    os << "}";
   }
   os << "]}\n";
   return os.str();

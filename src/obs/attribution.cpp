@@ -1,0 +1,177 @@
+#include "dsrt/obs/attribution.hpp"
+
+#include <utility>
+
+#include "dsrt/obs/registry.hpp"
+
+namespace dsrt::obs {
+
+const char* to_string(MissCause cause) {
+  switch (cause) {
+    case MissCause::Queueing: return "queueing";
+    case MissCause::Comm: return "comm";
+    case MissCause::Overrun: return "overrun";
+    case MissCause::Infeasible: return "infeasible";
+    case MissCause::Aborted: return "aborted";
+  }
+  return "?";
+}
+
+MissAttribution::MissAttribution(std::size_t compute_nodes)
+    : compute_nodes_(compute_nodes) {
+  pool_.reserve(256);
+  index_.reserve(256);
+}
+
+MissAttribution::TaskRec* MissAttribution::find(core::TaskId task) {
+  const auto it = index_.find(task);
+  return it == index_.end() ? nullptr : &pool_[it->second];
+}
+
+void MissAttribution::release(core::TaskId task) {
+  const auto it = index_.find(task);
+  if (it == index_.end()) return;
+  pool_[it->second].jobs.clear();  // keeps capacity for the next occupant
+  free_.push_back(it->second);
+  index_.erase(it);
+}
+
+void MissAttribution::on_global_arrival(core::TaskId task,
+                                        const core::TaskSpec&, sim::Time now,
+                                        sim::Time deadline) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  pool_[slot].arrival = now;
+  pool_[slot].deadline = deadline;
+  index_[task] = slot;
+}
+
+void MissAttribution::on_job_disposed(const sched::Job& job, sim::Time now,
+                                      sched::JobOutcome outcome) {
+  if (outcome != sched::JobOutcome::Completed) return;
+  if (job.cls != core::TaskClass::Global) return;
+  TaskRec* rec = find(job.task);
+  if (!rec) return;  // orphan of a task already finished/aborted
+  rec->jobs.push_back(JobRec{job.release, now, job.exec, job.pex, job.node});
+}
+
+void MissAttribution::classify(const TaskRec& rec, sim::Time finish) {
+  // Back-chain the realized critical path: the stage that produced `finish`,
+  // then the stage whose completion released it, down to the arrival. The
+  // event loop submits a successor at the exact simulated instant its
+  // predecessor completes, so the links are exact floating-point equalities.
+  double queueing = 0, comm = 0, path_pex = 0;
+  double overrun = 0;
+  sim::Time cursor = finish;
+  bool chained = true;
+  while (cursor != rec.arrival) {
+    const JobRec* stage = nullptr;
+    for (const JobRec& j : rec.jobs) {
+      // Prefer the (rare) exact match ending at the cursor; among several
+      // parallel predecessors finishing together any one is a realized path.
+      if (j.finish == cursor) { stage = &j; break; }
+    }
+    if (!stage) { chained = false; break; }
+    const double wait = (stage->finish - stage->release) - stage->exec;
+    if (stage->node >= static_cast<core::NodeId>(compute_nodes_)) {
+      comm += wait + stage->exec - stage->pex;  // link stage: all excess
+    } else {
+      queueing += wait;
+      overrun += stage->exec - stage->pex;
+    }
+    path_pex += stage->pex;
+    cursor = stage->release;
+  }
+  if (!chained) ++unattributed_;
+
+  const double window = rec.deadline - rec.arrival;
+  const double slack = window - path_pex;
+  queueing_.add(queueing);
+  comm_.add(comm);
+  overrun_.add(overrun);
+  slack_.add(slack);
+  lateness_.add(finish - rec.deadline);
+
+  MissCause cause;
+  if (slack < 0) {
+    cause = MissCause::Infeasible;
+  } else if (queueing >= comm && queueing >= overrun) {
+    cause = MissCause::Queueing;
+  } else if (comm >= overrun) {
+    cause = MissCause::Comm;
+  } else {
+    cause = MissCause::Overrun;
+  }
+  ++counts_[static_cast<std::size_t>(cause)];
+}
+
+void MissAttribution::on_global_finished(core::TaskId task, sim::Time now,
+                                         bool missed) {
+  ++finished_;
+  if (missed) {
+    ++missed_completed_;
+    if (const TaskRec* rec = find(task)) classify(*rec, now);
+  }
+  release(task);
+}
+
+void MissAttribution::on_global_aborted(core::TaskId task, sim::Time now) {
+  (void)now;
+  ++aborted_;
+  ++counts_[static_cast<std::size_t>(MissCause::Aborted)];
+  release(task);
+}
+
+double MissAttribution::md(MissCause cause) const {
+  const std::uint64_t trials = finished_ + aborted_;
+  if (trials == 0) return 0;
+  return static_cast<double>(cause_count(cause)) /
+         static_cast<double>(trials);
+}
+
+stats::Table MissAttribution::table() const {
+  stats::Table table({"cause", "misses", "share_of_misses", "MD_contrib"});
+  const double total = static_cast<double>(misses());
+  for (std::size_t i = 0; i < kMissCauseCount; ++i) {
+    const auto cause = static_cast<MissCause>(i);
+    const std::uint64_t n = counts_[i];
+    table.add_row({to_string(cause), std::to_string(n),
+                   stats::Table::percent(total > 0 ? n / total : 0),
+                   stats::Table::percent(md(cause))});
+  }
+  return table;
+}
+
+void MissAttribution::snapshot_into(Registry& registry) const {
+  registry.add(registry.counter("attr.trials"),
+               static_cast<double>(finished_ + aborted_));
+  registry.add(registry.counter("attr.misses"),
+               static_cast<double>(misses()));
+  registry.add(registry.counter("attr.unattributed"),
+               static_cast<double>(unattributed_));
+  for (std::size_t i = 0; i < kMissCauseCount; ++i) {
+    const auto cause = static_cast<MissCause>(i);
+    registry.add(
+        registry.counter(std::string("attr.miss.") + to_string(cause)),
+        static_cast<double>(counts_[i]));
+  }
+  // Mean lateness decomposition over missed completions: gauges, so merging
+  // replications averages the per-run means.
+  const auto gauge = [&](const char* name, const stats::Tally& t) {
+    if (t.count() == 0) return;
+    registry.set(registry.gauge(name), t.mean());
+  };
+  gauge("attr.mean.queueing", queueing_);
+  gauge("attr.mean.comm", comm_);
+  gauge("attr.mean.overrun", overrun_);
+  gauge("attr.mean.slack", slack_);
+  gauge("attr.mean.lateness", lateness_);
+}
+
+}  // namespace dsrt::obs

@@ -1,0 +1,97 @@
+#include "dsrt/obs/probes.hpp"
+
+#include "dsrt/core/load_model.hpp"
+#include "dsrt/core/placement.hpp"
+#include "dsrt/sched/node.hpp"
+#include "dsrt/sim/simulator.hpp"
+#include "dsrt/system/process_manager.hpp"
+#include "dsrt/system/simulation.hpp"
+
+namespace dsrt::obs {
+
+void probe_run(const system::SimulationRun& run, Registry& reg) {
+  const system::Config& cfg = run.config();
+  const sim::Simulator& sim = run.simulator();
+  const sim::EventQueue& queue = sim.queue();
+
+  // --- sim: event kernel ---------------------------------------------------
+  reg.set(reg.counter("sim.events"), static_cast<double>(sim.executed()));
+  reg.set(reg.counter("sim.past_schedules"),
+          static_cast<double>(sim.past_schedules()));
+  reg.set(reg.counter("sim.queue.pushed"),
+          static_cast<double>(queue.pushed()));
+  reg.set(reg.peak("sim.queue.max_pending"),
+          static_cast<double>(queue.max_pending()));
+  reg.set(reg.counter("sim.queue.mode_flips"),
+          static_cast<double>(queue.mode_flips()));
+  reg.set(reg.gauge("sim.queue.pending_at_end"),
+          static_cast<double>(queue.size()));
+
+  // --- sched: nodes (compute separate from link) ---------------------------
+  const MetricId submitted = reg.counter("node.submitted");
+  const MetricId completed = reg.counter("node.completed");
+  const MetricId aborted = reg.counter("node.aborted");
+  const MetricId preemptions = reg.counter("node.preemptions");
+  const MetricId max_ready = reg.peak("node.max_ready_depth");
+  const MetricId depth_hist = reg.histogram("node.ready_depth", 1.0, 64);
+  const MetricId util_hist = reg.histogram("node.util", 0.02, 50);
+  const auto& nodes = run.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const sched::Node& node = *nodes[i];
+    if (i < cfg.nodes) {
+      reg.add(submitted, static_cast<double>(node.jobs_submitted()));
+      reg.add(completed, static_cast<double>(node.jobs_completed()));
+      reg.add(aborted, static_cast<double>(node.jobs_aborted()));
+      reg.add(preemptions, static_cast<double>(node.preemptions()));
+      reg.raise(max_ready, static_cast<double>(node.max_queue_length()));
+      reg.observe(depth_hist, static_cast<double>(node.queue_length()));
+      reg.observe(util_hist, node.utilization(sim.now()));
+    } else {
+      reg.add(reg.counter("link.submitted"),
+              static_cast<double>(node.jobs_submitted()));
+      reg.add(reg.counter("link.completed"),
+              static_cast<double>(node.jobs_completed()));
+      reg.add(reg.counter("link.aborted"),
+              static_cast<double>(node.jobs_aborted()));
+    }
+  }
+
+  // --- system: instance pool ----------------------------------------------
+  const system::ProcessManager& pm = run.process_manager();
+  reg.set(reg.peak("pool.slots"), static_cast<double>(pm.pool_slots()));
+  reg.set(reg.peak("pool.peak_live"),
+          static_cast<double>(pm.pool_peak_live()));
+  reg.set(reg.gauge("pool.live_at_end"),
+          static_cast<double>(pm.live_instances()));
+  reg.set(reg.counter("pool.recycled"),
+          static_cast<double>(pm.pool_recycled()));
+
+  // --- core: load-model freshness ------------------------------------------
+  if (const auto* exact =
+          dynamic_cast<const core::ExactLoadModel*>(run.load_model())) {
+    reg.set(reg.counter("load_model.reads"),
+            static_cast<double>(exact->reads()));
+  } else if (const auto* snap = dynamic_cast<const core::SnapshotLoadModel*>(
+                 run.load_model())) {
+    reg.set(reg.counter("load_model.reads"),
+            static_cast<double>(snap->reads()));
+    reg.set(reg.counter("load_model.refreshes"),
+            static_cast<double>(snap->refreshes()));
+    reg.set(reg.gauge("load_model.mean_read_age"), snap->mean_read_age());
+  }
+
+  // --- core: placement decisions -------------------------------------------
+  if (const core::PlacementPolicy* placement = run.placement()) {
+    const core::PlacementCounters& c = placement->counters();
+    reg.set(reg.counter("placement.decisions"),
+            static_cast<double>(c.decisions));
+    reg.set(reg.counter("placement.exact_ties"),
+            static_cast<double>(c.exact_ties));
+    reg.set(reg.counter("placement.hint_fallbacks"),
+            static_cast<double>(c.hint_fallbacks));
+    reg.set(reg.counter("placement.restricted"),
+            static_cast<double>(c.restricted));
+  }
+}
+
+}  // namespace dsrt::obs

@@ -97,6 +97,7 @@ void Node::enqueue(Job job, QueueKey key) {
   }
   queue_[i].key = key;
   queue_[i].job = std::move(job);
+  if (queue_.size() > max_queue_) max_queue_ = queue_.size();
   queue_signal_.update(sim_.now(), static_cast<double>(queue_.size()));
   if (load_) load_->set_queue_length(queue_.size());
 }

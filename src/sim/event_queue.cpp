@@ -7,6 +7,7 @@ namespace dsrt::sim {
 
 void EventQueue::push_entry(Time at, std::uint32_t slot) {
   const Entry entry{at, next_seq_++, slot};
+  if (heap_.size() >= max_pending_) max_pending_ = heap_.size() + 1;
   if (!heap_mode_) {
     if (heap_.size() < kArrayMax) {
       // Sorted mode: entries descending in firing order (earliest at the
@@ -28,6 +29,7 @@ void EventQueue::push_entry(Time at, std::uint32_t slot) {
     // and a sorted-ascending array is already a valid min-heap.
     std::reverse(heap_.begin(), heap_.end());
     heap_mode_ = true;
+    ++mode_flips_;
   }
   // Sift up with a hole: parents shift down until the insertion slot is
   // found, and the new entry is written exactly once.
@@ -80,6 +82,7 @@ EventQueue::Action EventQueue::pop() {
       std::sort(heap_.begin(), heap_.end(),
                 [](const Entry& a, const Entry& b) { return before(b, a); });
       heap_mode_ = false;
+      ++mode_flips_;
     }
   } else {
     heap_mode_ = false;  // drained: the next burst starts sorted again

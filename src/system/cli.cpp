@@ -82,6 +82,7 @@ Config config_from_flags(const util::Flags& flags) {
     cfg.comm_exec = sim::exponential(flags.get("hop", 0.25));
 
   cfg.periodic_globals = flags.get("periodic", false);
+  cfg.probes = flags.get("probes", false);
   cfg.preemption = flags.get("preempt", false)
                        ? sched::PreemptionMode::Preemptive
                        : sched::PreemptionMode::NonPreemptive;
@@ -108,6 +109,7 @@ RunOptions run_options_from_flags(const util::Flags& flags) {
         "threads)");
   opts.jobs = static_cast<std::size_t>(jobs);
   opts.out_dir = flags.get("out", opts.out_dir);
+  opts.trace_out = flags.get("trace_out", opts.trace_out);
   // --emit takes a comma-separated subset of {json, csv}.
   for (const std::string& kind :
        util::split(flags.get("emit", std::string()), ',')) {
@@ -158,6 +160,7 @@ std::string cli_usage() {
       "  --smin=0.25 --smax=2.5 --pex_err=0 --m_min= --m_max=\n"
       "  --sp_stages=3 --sp_prob=0.5 --sp_width=3\n"
       "  --links=0 --hop=0.25 --periodic --preempt\n"
+      "  --probes             harvest engine counters into the results\n"
       "  --horizon=1e6 --warmup=0 --seed=20250612\n"
       "  --quick              shorthand for --horizon=1e5\n"
       "run control (engine orchestration):\n"
@@ -165,6 +168,8 @@ std::string cli_usage() {
       "  --jobs=1             worker threads (0 = all hardware threads)\n"
       "  --emit=json,csv      structured outputs next to the table\n"
       "  --out=.              directory for emitted artifacts\n"
+      "  --trace_out=FILE     write a Perfetto/Chrome trace_events JSON of\n"
+      "                       replication 0 (open in ui.perfetto.dev)\n"
       "  --sweep_<field>=v1,v2,...   sweep axis over a config field\n"
       "                       (load, frac_local, rel_flex, nodes, m, ssp,\n"
       "                        psp, policy, abort, pex_err, shape,\n"

@@ -27,6 +27,7 @@ ExperimentResult aggregate_runs(std::vector<RunMetrics> runs,
     util.push_back(m.mean_utilization);
   }
   result.runs = std::move(runs);
+  for (const RunMetrics& m : result.runs) result.counters.merge(m.counters);
 
   result.md_local = stats::replication_estimate(md_local, confidence);
   result.md_global = stats::replication_estimate(md_global, confidence);

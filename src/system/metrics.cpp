@@ -49,6 +49,7 @@ void RunMetrics::merge(const RunMetrics& other) {
   }
   events += other.events;
   observed_span = span;
+  counters.merge(other.counters);
 }
 
 void RunMetrics::reset() {
@@ -60,6 +61,7 @@ void RunMetrics::reset() {
   mean_link_utilization = 0;
   events = 0;
   observed_span = 0;
+  counters.clear();
 }
 
 }  // namespace dsrt::system

@@ -66,11 +66,13 @@ void ProcessManager::submit_global(const core::TaskSpec& spec,
   } else {
     slot = free_slots_.back();
     free_slots_.pop_back();
+    ++recycled_;
   }
   Slot& s = slots_[slot];
   ++s.generation;
   s.live = true;
   ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
   s.inst.reset(id, spec, sim_.now(), deadline, ssp_, psp_, load_model_,
                placement_);
   const std::uint64_t handle =

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "dsrt/obs/probes.hpp"
+
 namespace dsrt::system {
 
 namespace {
@@ -167,6 +169,15 @@ RunMetrics SimulationRun::run() {
   metrics_.mean_link_utilization = link_util.mean();
   metrics_.events = sim_.executed();
   metrics_.observed_span = cfg_.horizon - cfg_.warmup;
+
+  // End-of-run probe harvest (Config::probes). Pull-only: nothing here can
+  // change the trajectory above, so a probed run's headline metrics are
+  // bit-for-bit those of an unprobed one.
+  if (cfg_.probes) {
+    obs::Registry registry;
+    obs::probe_run(*this, registry);
+    metrics_.counters = registry.snapshot();
+  }
   return metrics_;
 }
 

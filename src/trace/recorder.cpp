@@ -19,16 +19,21 @@ const char* to_string(TraceKind kind) {
   return "?";
 }
 
-Recorder::Recorder(std::size_t capacity) : capacity_(capacity) {
+Recorder::Recorder(std::size_t capacity, Overflow mode)
+    : capacity_(capacity), mode_(mode) {
   events_.reserve(capacity < 1024 ? capacity : 1024);
 }
 
 void Recorder::push(TraceEvent event) {
-  if (events_.size() >= capacity_) {
-    ++dropped_;
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
     return;
   }
-  events_.push_back(event);
+  ++dropped_;
+  if (mode_ == Overflow::KeepTail && capacity_ > 0) {
+    events_[head_] = event;  // overwrite the oldest kept event
+    head_ = (head_ + 1) % capacity_;
+  }
 }
 
 void Recorder::on_local_submitted(core::NodeId node, const sched::Job& job,
@@ -67,12 +72,30 @@ void Recorder::on_global_aborted(core::TaskId task, sim::Time now) {
 
 void Recorder::clear() {
   events_.clear();
+  head_ = 0;
   dropped_ = 0;
 }
 
+std::vector<TraceEvent> Recorder::ordered() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  const std::size_t start = head();
+  for (std::size_t i = 0; i < events_.size(); ++i)
+    out.push_back(events_[(start + i) % events_.size()]);
+  return out;
+}
+
 void Recorder::print(std::ostream& os, std::size_t limit) const {
+  if (dropped_ > 0) {
+    os << "[" << dropped_ << " events "
+       << (mode_ == Overflow::KeepTail ? "overwritten (showing tail)"
+                                       : "dropped (showing head)")
+       << "]\n";
+  }
+  const std::size_t start = head();
   std::size_t shown = 0;
-  for (const auto& e : events_) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[(start + i) % events_.size()];
     if (shown++ >= limit) {
       os << "... (" << events_.size() - limit << " more)\n";
       break;
@@ -90,8 +113,11 @@ void Recorder::print(std::ostream& os, std::size_t limit) const {
 
 std::vector<TraceEvent> Recorder::task_timeline(core::TaskId task) const {
   std::vector<TraceEvent> out;
-  for (const auto& e : events_)
+  const std::size_t start = head();
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[(start + i) % events_.size()];
     if (e.task == task) out.push_back(e);
+  }
   return out;
 }
 

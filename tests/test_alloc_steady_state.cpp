@@ -19,8 +19,11 @@
 #include <memory>
 #include <vector>
 
+#include "dsrt/obs/attribution.hpp"
+#include "dsrt/obs/tee.hpp"
 #include "dsrt/sched/abort_policy.hpp"
 #include "dsrt/sched/node.hpp"
+#include "dsrt/trace/recorder.hpp"
 #include "dsrt/sched/policy.hpp"
 #include "dsrt/sim/rng.hpp"
 #include "dsrt/sim/simulator.hpp"
@@ -126,6 +129,55 @@ TEST(AllocSteadyState, WarmFig2CycleAllocatesNothing) {
                         << " times over " << tasks << " global tasks";
   EXPECT_EQ(frees, 0u) << "steady-state cycle freed " << frees
                        << " heap blocks over " << tasks << " global tasks";
+}
+
+TEST(AllocSteadyState, PassiveCountersKeepDetachedRunAllocationFree) {
+  // The obs counters added to the hot layers (event-queue high-water mark
+  // and mode flips, per-node ready-queue peaks, pool recycle counts, load
+  // and placement tallies) are plain member increments — with no observer
+  // attached and no harvest, the steady-state cycle must still be
+  // allocation-free. This is the same contract as WarmFig2CycleAllocates-
+  // Nothing, asserted separately so a probe regression is named as such.
+  Fig2System f;
+  f.sim.run(5000.0);
+  const std::uint64_t allocs_before = dsrt::testing::allocation_count();
+  f.sim.run(10000.0);
+  const std::uint64_t allocs =
+      dsrt::testing::allocation_count() - allocs_before;
+  EXPECT_EQ(allocs, 0u)
+      << "passive engine counters allocated " << allocs << " times";
+}
+
+TEST(AllocSteadyState, AttachedObserversStayBounded) {
+  // With the full observability stack attached — a pre-filled KeepTail ring
+  // recorder (overwrites in place, never grows) and the miss-attribution
+  // postmortem (pooled task records; one hash-map node churned per task) —
+  // steady-state allocation must stay bounded by a small multiple of the
+  // task count, not by the event count.
+  Fig2System f;
+  trace::Recorder recorder(1024, trace::Overflow::KeepTail);
+  obs::MissAttribution attribution(6);
+  obs::ObserverTee tee;
+  tee.attach(&recorder);
+  tee.attach(&attribution);
+  f.pm->set_observer(&tee);
+
+  f.sim.run(5000.0);  // warm-up fills the ring and the attribution pool
+  ASSERT_GT(recorder.dropped(), 0u);  // ring really wrapped
+
+  const std::uint64_t allocs_before = dsrt::testing::allocation_count();
+  const std::uint64_t tasks_before = f.metrics.global.generated;
+  f.sim.run(10000.0);
+  const std::uint64_t allocs =
+      dsrt::testing::allocation_count() - allocs_before;
+  const std::uint64_t tasks = f.metrics.global.generated - tasks_before;
+
+  ASSERT_GT(tasks, 300u);
+  // The ring recorder allocates nothing; attribution may allocate a few
+  // blocks per task (unordered_map node churn + first-touch job vectors).
+  EXPECT_LT(allocs, 4 * tasks)
+      << "attached observers allocated " << allocs << " times over " << tasks
+      << " tasks";
 }
 
 TEST(AllocSteadyState, CounterSeesAllocations) {

@@ -85,4 +85,32 @@ TEST(GanttChart, LiveSystemWindowLooksBusyAtLoad) {
   EXPECT_NE(out.find('.'), std::string::npos);
 }
 
+TEST(GanttChart, DeferredPlacementRunRendersAllNodes) {
+  // Under jsq-pex the node binding happens at dispatch time, not at
+  // generation time; the disposal hook still carries the realized node, so
+  // the chart must attribute every slice to the node that actually served
+  // it — and load balancing should put global work on every node.
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = 4000;
+  cfg.load_model = core::LoadModelSpec::parse("exact");
+  cfg.placement = core::PlacementSpec::parse("jsq-pex");
+  trace::GanttChart gantt(1000.0, 1200.0, 100);
+  system::SimulationRun run(cfg, 0);
+  run.set_observer(&gantt);
+  run.run();
+  EXPECT_GT(gantt.intervals(), 50u);
+  std::ostringstream os;
+  gantt.render(os, cfg.nodes);
+  const std::string out = os.str();
+  // Every node's row shows global subtasks placed there by jsq-pex.
+  for (std::size_t n = 0; n < cfg.nodes; ++n) {
+    const auto row_at = out.find("node " + std::to_string(n) + " |");
+    ASSERT_NE(row_at, std::string::npos);
+    const std::string row = out.substr(row_at, out.find('\n', row_at) - row_at);
+    EXPECT_TRUE(row.find('G') != std::string::npos ||
+                row.find('*') != std::string::npos)
+        << "node " << n << " rendered no global work: " << row;
+  }
+}
+
 }  // namespace

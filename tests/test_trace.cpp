@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/obs/tee.hpp"
 #include "dsrt/system/baseline.hpp"
 #include "dsrt/system/simulation.hpp"
 #include "dsrt/trace/recorder.hpp"
@@ -81,6 +82,54 @@ TEST(Recorder, CapacityBoundsMemory) {
   recorder.clear();
   EXPECT_TRUE(recorder.events().empty());
   EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(Recorder, KeepTailRingKeepsMostRecent) {
+  trace::Recorder head(10);  // default KeepHead
+  trace::Recorder tail(10, trace::Overflow::KeepTail);
+  obs::ObserverTee tee;
+  tee.attach(&head);
+  tee.attach(&tail);
+  system::SimulationRun run(tiny_config(), 0);
+  run.set_observer(&tee);
+  run.run();
+
+  ASSERT_EQ(head.events().size(), 10u);
+  ASSERT_EQ(tail.events().size(), 10u);
+  EXPECT_EQ(head.dropped(), tail.dropped());
+  EXPECT_GT(tail.dropped(), 0u);
+
+  // KeepHead holds the run's first events, KeepTail its last: the ring's
+  // earliest kept timestamp is later than everything the head kept.
+  const auto ordered = tail.ordered();
+  ASSERT_EQ(ordered.size(), 10u);
+  EXPECT_GT(ordered.front().at, head.events().back().at);
+  double last = ordered.front().at;
+  for (const auto& e : ordered) {
+    EXPECT_GE(e.at, last);  // chronological despite the rotated storage
+    last = e.at;
+  }
+
+  std::ostringstream os;
+  tail.print(os, 100);
+  EXPECT_NE(os.str().find("overwritten"), std::string::npos);
+
+  tail.clear();
+  EXPECT_TRUE(tail.events().empty());
+  EXPECT_EQ(tail.dropped(), 0u);
+}
+
+TEST(Recorder, PrintSurfacesDroppedCount) {
+  trace::Recorder recorder(10);
+  system::SimulationRun run(tiny_config(), 0);
+  run.set_observer(&recorder);
+  run.run();
+  ASSERT_GT(recorder.dropped(), 0u);
+  std::ostringstream os;
+  recorder.print(os, 100);
+  EXPECT_NE(os.str().find("dropped"), std::string::npos);
+  EXPECT_NE(os.str().find(std::to_string(recorder.dropped())),
+            std::string::npos);
 }
 
 TEST(Recorder, PrintProducesOutput) {
