@@ -17,16 +17,15 @@ int main(int argc, char** argv) {
 
   bench::banner("abl_node_count",
                 "extension: number of nodes k at constant load 0.5",
-                "serial baseline, m=4 subtasks");
+                "serial baseline, m=4 subtasks; past k=24 the horizon "
+                "shrinks 1/k (constant event budget per point)");
 
   dsrt::stats::Table table({"k", "MD_local(UD)", "MD_global(UD)",
                             "MD_local(EQF)", "MD_global(EQF)"});
-  for (std::size_t k : {2u, 4u, 6u, 12u, 24u}) {
+  for (std::size_t k : {2u, 4u, 6u, 12u, 24u, 96u, 384u, 1536u}) {
     std::vector<std::string> row = {std::to_string(k)};
     for (const char* name : {"UD", "EQF"}) {
-      dsrt::system::Config cfg = dsrt::system::baseline_ssp();
-      bench::apply(rc, cfg);
-      cfg.nodes = k;
+      dsrt::system::Config cfg = bench::scaled_node_config(k, rc);
       cfg.ssp = dsrt::core::serial_strategy_by_name(name);
       const auto r = dsrt::system::run_replications(cfg, rc.reps);
       row.push_back(bench::pct(r.md_local));

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "dsrt/system/baseline.hpp"
 #include "dsrt/system/cli.hpp"
 
 namespace bench {
@@ -32,6 +33,14 @@ RunControl parse_run_control(const dsrt::util::Flags& flags) {
 void apply(const RunControl& rc, dsrt::system::Config& cfg) {
   cfg.horizon = rc.horizon;
   cfg.seed = rc.seed;
+}
+
+dsrt::system::Config scaled_node_config(std::size_t k, const RunControl& rc) {
+  dsrt::system::Config cfg = dsrt::system::baseline_ssp();
+  apply(rc, cfg);
+  cfg.nodes = k;
+  if (k > 24) cfg.horizon = rc.horizon * 24.0 / static_cast<double>(k);
+  return cfg;
 }
 
 dsrt::engine::Runner runner(const RunControl& rc) {

@@ -54,6 +54,14 @@ RunControl parse_run_control(const dsrt::util::Flags& flags);
 /// Applies run control to a config.
 void apply(const RunControl& rc, dsrt::system::Config& cfg);
 
+/// Serial-baseline config scaled to k nodes at constant per-node load
+/// (run control applied). Past the paper's largest figure (k=24) the
+/// horizon shrinks proportionally to 1/k, so the total event budget — and
+/// the wall time of a data point — stays roughly flat while the pending
+/// event set grows with k. Shared by abl_node_count and abl_scale so both
+/// sweeps measure the same shape.
+dsrt::system::Config scaled_node_config(std::size_t k, const RunControl& rc);
+
 /// Engine runner configured from run control (--jobs).
 dsrt::engine::Runner runner(const RunControl& rc);
 

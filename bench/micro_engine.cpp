@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "dsrt/core/assigner.hpp"
+#include "dsrt/core/load_model.hpp"
 #include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/core/placement.hpp"
 #include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/engine/emit.hpp"
 #include "dsrt/engine/runner.hpp"
@@ -58,9 +60,18 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-engine::BenchEntry churn(std::size_t depth, std::uint64_t iters) {
+engine::BenchEntry churn(std::size_t depth, std::uint64_t iters,
+                         sim::QueueMode mode = sim::QueueMode::Adaptive) {
   sim::Rng rng(42);
   sim::EventQueue q;
+  std::string name = "event_queue_churn_" + std::to_string(depth);
+  if (mode != sim::QueueMode::Adaptive) {
+    // Forced layout: the A/B partner of the adaptive entry at the same
+    // depth (e.g. ladder-vs-heap at 8192 pending).
+    q.set_mode(mode);
+    name += '_';
+    name += sim::queue_mode_name(mode);
+  }
   std::uint64_t fired = 0;
   for (std::size_t i = 0; i < depth; ++i)
     q.push(rng.uniform01(), [&fired] { ++fired; });
@@ -73,8 +84,7 @@ engine::BenchEntry churn(std::size_t depth, std::uint64_t iters) {
   }
   const double s = seconds_since(t0);
   if (fired != iters) std::abort();  // exactly one action fires per pop
-  return {"event_queue_churn_" + std::to_string(depth), "events",
-          static_cast<double>(iters), s};
+  return {std::move(name), "events", static_cast<double>(iters), s};
 }
 
 engine::BenchEntry node_cycle(std::uint64_t jobs) {
@@ -139,6 +149,52 @@ engine::BenchEntry task_churn(std::uint64_t tasks) {
   return {"task_churn", "tasks", static_cast<double>(tasks), s};
 }
 
+engine::BenchEntry task_churn_k1024(std::uint64_t tasks) {
+  // The big-config flavor of task_churn: eligible-set leaves over k=1024
+  // nodes, bound at stage-ready time by pod:2 over an exact load board.
+  // Covers the deferred-placement path (eligible-set pools, placement rng,
+  // O(d) sampling) at the scale the abl_scale bench runs end to end.
+  sim::Rng rng(11);
+  const auto exec_dist = sim::exponential(1.0);
+  const auto pex_error = workload::make_perfect_prediction();
+  const auto ssp = core::make_eqs();
+  const auto psp = core::make_parallel_ud();
+  constexpr std::size_t kNodes = 1024;
+  core::LoadBoard board(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) board[i].configure(20.0, 0.0);
+  core::ExactLoadModel model(board);
+  core::PlacementSpec pspec = core::PlacementSpec::parse("pod:2");
+  const auto placement = core::make_placement(pspec, /*seed=*/99);
+  core::TaskSpec spec;
+  core::TaskSpecBuilder builder;
+  core::TaskInstance inst;
+  std::vector<core::LeafSubmission> ready;
+  ready.reserve(8);
+  std::uint64_t leaves = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t t = 0; t < tasks; ++t) {
+    builder.reset(spec);
+    workload::fill_serial_task(builder, /*subtasks=*/4, kNodes, *exec_dist,
+                               *pex_error, rng, /*defer_placement=*/true);
+    builder.finish();
+    inst.reset(t + 1, spec, 0.0, spec.critical_path_exec() + 2.0, ssp, psp,
+               &model, placement.get());
+    ready.clear();
+    inst.start(0.0, ready);
+    double now = 0;
+    while (!ready.empty()) {
+      const core::LeafSubmission sub = ready.back();
+      ready.pop_back();
+      ++leaves;
+      now += 0.25;
+      inst.on_leaf_complete(sub.leaf, now, ready);
+    }
+  }
+  const double s = seconds_since(t0);
+  if (leaves != tasks * 4) std::abort();
+  return {"task_churn_k1024", "tasks", static_cast<double>(tasks), s};
+}
+
 engine::BenchEntry end_to_end(bool preemptive, sim::Time horizon, int reps) {
   system::Config cfg = system::baseline_ssp();
   cfg.horizon = horizon;
@@ -199,8 +255,14 @@ int main(int argc, char** argv) {
   entries.push_back(churn(32, 500000 * scale));
   entries.push_back(churn(64, 500000 * scale));
   entries.push_back(churn(1024, 500000 * scale));
+  // 8192 pending is past the adaptive ladder threshold: the first entry
+  // churns the bucketed ladder, the forced-heap one is its A/B partner on
+  // the identical sequence (same pops either way).
+  entries.push_back(churn(8192, 500000 * scale));
+  entries.push_back(churn(8192, 500000 * scale, sim::QueueMode::Heap));
   entries.push_back(node_cycle(125000 * scale));
   entries.push_back(task_churn(125000 * scale));
+  entries.push_back(task_churn_k1024(25000 * scale));
   entries.push_back(end_to_end(false, 37500.0 * static_cast<double>(scale),
                                /*reps=*/3));
   entries.push_back(end_to_end(true, 37500.0 * static_cast<double>(scale),

@@ -70,6 +70,68 @@ class LoadAccount {
   sim::Time last_update_ = 0;
 };
 
+/// Sharded board of per-node LoadAccounts. Accounts live in cache-line-
+/// aligned blocks of kShardSize that are allocated once and never move,
+/// which buys two things at the k=4096 scale the flat `std::vector` board
+/// could not: (a) the raw `LoadAccount*` pointers the nodes pin stay valid
+/// even if the board grows after attachment, and (b) a snapshot refresh
+/// walks independent fixed-size blocks instead of one multi-hundred-KB
+/// array, so per-node account writes and the periodic refresh sweep stop
+/// serializing through the same cache lines.
+class LoadBoard {
+ public:
+  /// Accounts per shard; a shard is a few KB — comfortably cache-resident
+  /// for the refresh inner loop.
+  static constexpr std::size_t kShardSize = 64;
+
+  LoadBoard() = default;
+  explicit LoadBoard(std::size_t n) { resize(n); }
+
+  LoadBoard(const LoadBoard&) = delete;
+  LoadBoard& operator=(const LoadBoard&) = delete;
+
+  /// Grows the board to `n` accounts (shards are added, never moved, so
+  /// existing account addresses survive; shrinking only lowers the
+  /// logical size).
+  void resize(std::size_t n) {
+    while (shards_.size() * kShardSize < n)
+      shards_.push_back(std::make_unique<Shard>());
+    size_ = n;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  LoadAccount& operator[](std::size_t i) {
+    return shards_[i / kShardSize]->slots[i % kShardSize];
+  }
+  const LoadAccount& operator[](std::size_t i) const {
+    return shards_[i / kShardSize]->slots[i % kShardSize];
+  }
+
+  /// Invokes fn(index, account) for every account, shard block by shard
+  /// block — the snapshot-refresh sweep, with the division/modulo of
+  /// operator[] hoisted out of the inner loop.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::size_t i = 0;
+    for (const auto& shard : shards_) {
+      const std::size_t limit =
+          size_ - i < kShardSize ? size_ - i : kShardSize;
+      for (std::size_t s = 0; s < limit; ++s, ++i) fn(i, shard->slots[s]);
+      if (i >= size_) break;
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    LoadAccount slots[kShardSize];
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t size_ = 0;
+};
+
 /// System-state view offered to SSP/PSP strategies (the paper's Section 7
 /// "strategies that use system state information"). Implementations differ
 /// in *freshness*: exact (oracle), sampled (periodic snapshots), stale
@@ -98,7 +160,7 @@ class IdleLoadModel final : public LoadModel {
 /// Oracle freshness: reads the live accounts.
 class ExactLoadModel final : public LoadModel {
  public:
-  explicit ExactLoadModel(const std::vector<LoadAccount>& accounts)
+  explicit ExactLoadModel(const LoadBoard& accounts)
       : accounts_(accounts) {}
   NodeLoad load(NodeId node, sim::Time now) const override;
   std::string_view name() const override { return "exact"; }
@@ -107,7 +169,7 @@ class ExactLoadModel final : public LoadModel {
   std::uint64_t reads() const { return reads_; }
 
  private:
-  const std::vector<LoadAccount>& accounts_;
+  const LoadBoard& accounts_;
   /// Passive read counter. Mutable-in-const for the same reason as
   /// JsqPlacement's tie rotation: the model is shared as a pointer-to-
   /// const, but each simulation run owns a fresh instance and a run is
@@ -126,8 +188,7 @@ class SnapshotLoadModel final : public LoadModel {
  public:
   enum class Serve : std::uint8_t { Latest, Previous };
 
-  SnapshotLoadModel(const std::vector<LoadAccount>& accounts,
-                    sim::Time period, Serve serve);
+  SnapshotLoadModel(const LoadBoard& accounts, sim::Time period, Serve serve);
 
   /// Copies the live accounts into the served snapshots. Call at
   /// monotonically non-decreasing simulated times.
@@ -151,7 +212,7 @@ class SnapshotLoadModel final : public LoadModel {
   }
 
  private:
-  const std::vector<LoadAccount>& accounts_;
+  const LoadBoard& accounts_;
   sim::Time period_;
   Serve serve_;
   std::vector<NodeLoad> current_;

@@ -9,6 +9,7 @@
 
 #include "dsrt/core/strategy.hpp"
 #include "dsrt/core/task.hpp"
+#include "dsrt/sim/rng.hpp"
 #include "dsrt/sim/time.hpp"
 
 namespace dsrt::core {
@@ -123,26 +124,84 @@ class JsqPlacement final : public PlacementPolicy {
   mutable std::vector<double> keys_;
 };
 
+/// Power-of-d-choices placement (Mitzenmacher's two-choices result, the
+/// standard scalable stand-in for full JSQ): sample d candidates without
+/// replacement from the eligible set and take the argmin queued-pex among
+/// them. O(d) per decision where full jsq is O(k) — the policy that
+/// survives thousands-of-nodes configurations.
+///
+/// Draw-order contract (pinned by tests, and what makes --jobs=1 equal
+/// --jobs=N): a decision over n candidates performs *exactly* d calls to
+/// `rng.below(n - j)` for j = 0..d-1 (a partial Fisher-Yates over an
+/// identity index scratch, un-swapped afterwards so the scratch is reused),
+/// and performs *zero* draws when n <= d (exhaustive argmin — narrow
+/// distinct-site leftovers never shift the stream consumed by wide
+/// decisions). Ties keep the first minimum in draw order: the sampling
+/// itself supplies the spread that jsq's tie rotation provides.
+///
+/// The rng/scratch are mutable-in-const for the same reason as
+/// JsqPlacement's tie rotation: every run builds a fresh instance from the
+/// spec (seeded from the run's replication seed, stream
+/// kPlacementRngStream), and a run is single-threaded.
+class PodPlacement final : public PlacementPolicy {
+ public:
+  PodPlacement(std::uint32_t d, sim::Rng rng) : d_(d), rng_(rng) {}
+
+  NodeId place(const PlacementContext& ctx,
+               std::span<const NodeId> candidates) const override;
+  std::string_view name() const override { return "pod"; }
+
+  std::uint32_t d() const { return d_; }
+
+ private:
+  std::uint32_t d_;
+  mutable sim::Rng rng_;
+  /// Identity permutation over the candidate indices; the partial
+  /// Fisher-Yates swaps into its prefix and is undone after every
+  /// decision, so the scratch is rebuilt only when the set size changes.
+  mutable std::vector<std::uint32_t> idx_;
+  mutable std::vector<std::uint32_t> drawn_;  ///< swap targets, to undo
+};
+
 /// Which placement policy a run should wire up.
-enum class PlacementKind : std::uint8_t { Static, JsqPex, JsqUtil };
+enum class PlacementKind : std::uint8_t { Static, JsqPex, JsqUtil, PowerOfD };
+
+/// Rng stream id reserved for placement sampling (the workload sources use
+/// streams 1 and 100+; common-random-numbers discipline).
+inline constexpr std::uint64_t kPlacementRngStream = 2;
 
 /// Declarative description of a placement policy — `system::Config` carries
-/// this (not a live policy) because the jsq variants hold per-run tie-break
-/// state that must not be shared across concurrent engine runs.
+/// this (not a live policy) because the jsq/pod variants hold per-run
+/// tie-break/rng state that must not be shared across concurrent engine
+/// runs.
 struct PlacementSpec {
   PlacementKind kind = PlacementKind::Static;
+  /// Sample size of PowerOfD (ignored by the other kinds). "pod" alone
+  /// defaults to the literature's two choices.
+  std::uint32_t d = 2;
 
-  /// Parses "static" | "jsq-pex" | "jsq-util". No kind takes a parameter;
-  /// any ":..." suffix (e.g. "jsq-pex:junk") is rejected with the full
-  /// registry vocabulary in the message, never half-applied.
+  /// Largest accepted d: beyond this a pod spec is certainly a typo (and
+  /// full jsq is the right tool anyway).
+  static constexpr std::uint32_t kMaxPodD = 1024;
+
+  /// Parses "static" | "jsq-pex" | "jsq-util" | "pod[:d]". Only pod takes
+  /// a parameter (an integer in [1, kMaxPodD]); a missing ("pod:"), zero,
+  /// huge, or non-integral d — and any ":..." suffix on the other kinds
+  /// (e.g. "jsq-pex:junk") — is rejected with the registry vocabulary in
+  /// the message, never half-applied.
   static PlacementSpec parse(std::string_view text);
 
-  /// Inverse of parse.
+  /// Inverse of parse ("pod" canonicalizes to "pod:<d>").
   std::string describe() const;
 };
 
-/// Builds a fresh policy instance for one simulation run.
-PlacementPolicyPtr make_placement(const PlacementSpec& spec);
+/// Builds a fresh policy instance for one simulation run. `seed` feeds the
+/// sampling rng of the PowerOfD kind (stream kPlacementRngStream);
+/// SimulationRun passes its replication seed, so pod placement is
+/// reproducible per replication and --jobs-invariant. The other kinds
+/// ignore it.
+PlacementPolicyPtr make_placement(const PlacementSpec& spec,
+                                  std::uint64_t seed = 0);
 
 /// Every name PlacementSpec::parse accepts, in registry order. The CLI
 /// builds --help and error vocabulary from this, so a newly registered

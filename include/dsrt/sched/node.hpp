@@ -95,6 +95,14 @@ class Node {
   /// warm-up truncation). Counters are not reset.
   void reset_observation(sim::Time now);
 
+  /// Raises the ready-queue capacity reserve (never shrinks). The
+  /// simulation sizes this from the run's scale so big-k configs keep the
+  /// zero-steady-state-allocation contract without growth in the
+  /// measured window.
+  void reserve_ready(std::size_t depth) {
+    if (depth > queue_.capacity()) queue_.reserve(depth);
+  }
+
   /// Attaches the node's load-accounting slot (nullptr detaches). The
   /// account must outlive the node (the simulation owns a flat board sized
   /// before attachment). When detached — the default — the scheduling hot

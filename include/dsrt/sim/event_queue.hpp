@@ -2,12 +2,33 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
 #include "dsrt/sim/inline_action.hpp"
 #include "dsrt/sim/time.hpp"
 
 namespace dsrt::sim {
+
+/// Layout discipline of the pending-event set. `Adaptive` (default) picks
+/// the layout from the pending count — sorted array, 4-ary heap, ladder —
+/// with hysteresis at every boundary; the other values pin one layout for
+/// differential tests and A/B benchmarks. All four pop the identical
+/// (time, seq) total order, so the choice can never change a trajectory,
+/// only its speed.
+enum class QueueMode : std::uint8_t { Adaptive, Sorted, Heap, Ladder };
+
+/// Parses "adaptive" | "sorted" | "heap" | "ladder". Modes take no
+/// parameter; any ":..." suffix or unknown name is rejected with the full
+/// registry vocabulary in the message (like the placement/load-model specs).
+QueueMode parse_queue_mode(std::string_view text);
+
+/// Canonical name of a mode (inverse of parse_queue_mode).
+std::string_view queue_mode_name(QueueMode mode);
+
+/// Every name parse_queue_mode accepts, in registry order; the CLI builds
+/// --help and error vocabulary from this.
+std::vector<std::string_view> queue_mode_names();
 
 /// Pending-event set of the discrete-event kernel.
 ///
@@ -16,28 +37,51 @@ namespace dsrt::sim {
 /// a property the test suite asserts and the replication methodology of the
 /// paper (fixed seeds per run) relies on.
 ///
-/// Implementation: 24-byte (time, seq, slot) entries in one flat vector,
-/// with the actions themselves parked in a slab indexed by `slot` so
-/// ordering operations never move a callback, and zero heap allocations
-/// per event in steady state (the backing vectors are reserved up front
-/// and only grow when the pending set reaches a new high-water mark).
+/// Implementation: 24-byte (time, seq, slot) entries, with the actions
+/// themselves parked in a slab indexed by `slot` so ordering operations
+/// never move a callback, and zero heap allocations per event in steady
+/// state (every backing vector is reserved up front and only grows when
+/// the pending set reaches a new high-water mark).
 ///
-/// The entry vector is *adaptive*. Small pending sets — every paper-scale
-/// model keeps ~2k+2 events in flight for k nodes — are kept fully sorted,
-/// firing order descending, so pop is a plain `pop_back` and push is one
-/// insertion-sort step scanning from the back (a new event usually fires
-/// after only a handful of pending ones, so the short predictable scan
-/// beats both a binary search and a heap sift, whose compare chains
-/// mispredict on random keys; the worst case is O(n) entry moves, bounded
-/// by `kArrayMax`). When the pending set outgrows `kArrayMax`, the vector
-/// converts in place to the implicit 4-ary min-heap (a sorted-ascending
-/// array *is* a valid heap, so conversion is one reverse) for O(log n)
-/// bounds, and re-sorts back to the fast layout once the set shrinks to
-/// `kSortLowWater` — so a transient burst does not disable the sorted
-/// path for the rest of the run, and a set hovering near the boundary
-/// cannot thrash between layouts. Both layouts pop in the identical
-/// (time, seq) total order, so the switches are invisible to the
-/// simulation: trajectories are bit-for-bit the same.
+/// The entry storage is *adaptive* across three tiers:
+///
+///  - Sorted (<= kArrayMax): one vector kept fully sorted, firing order
+///    descending, so pop is a plain `pop_back` and push is one
+///    insertion-sort step scanning from the back. Every paper-scale model
+///    (~2k+2 pending events for k nodes) lives here.
+///  - Heap (<= kLadderHigh): the same vector converts in place to an
+///    implicit 4-ary min-heap (a sorted-ascending array *is* a valid heap,
+///    so conversion is one reverse) for O(log n) bounds, and re-sorts back
+///    once the set shrinks to kSortLowWater.
+///  - Ladder (above kLadderHigh — thousands-of-nodes configs): a
+///    calendar-queue tier. Entries are hashed by firing time into
+///    kBuckets fixed-width epoch buckets, the width sized from the
+///    firing-time density at the head of the set (~kBucketTarget entries
+///    per head bucket); the earliest non-empty bucket is spilled into a small
+///    "front" min-heap lazily, one bucket at a time. Far-future pushes
+///    (at or beyond the front's latest entry — the common case for
+///    arrival timers) are O(1) bucket appends; near-now pushes that must
+///    interleave with the front (completion events) are O(log front)
+///    heap inserts, where the front holds roughly one bucket's worth of
+///    entries rather than the whole pending set. The top bucket is the
+///    beyond-epoch catch-all: instead of spilling, it re-seeds a fresh
+///    epoch (as does the overflow once an epoch is exhausted), so the
+///    front never inherits a whole epoch's tail.
+///    Below kLadderLow the remaining entries gather back into the heap
+///    tier (wide hysteresis, no thrash).
+///
+/// All tiers pop in the identical (time, seq) total order — the ladder
+/// preserves it because (a) an entry joins the front heap only when it
+/// fires strictly before the front's latest entry (everything bucketed
+/// fires at-or-after that bound, since the time → bucket mapping is
+/// monotone and spills always take the earliest remaining bucket), (b) a
+/// bucket is re-sorted by (time, seq) when spilled, and (c) newly pushed
+/// entries always hold the globally largest seq, so bucketing an
+/// equal-time push is exactly FIFO. Tier switches are therefore invisible
+/// to the simulation (trajectories are bit-for-bit the same; the goldens
+/// pin this) and are surfaced only through the passive counters
+/// (`mode_flips`, `ladder_spills`, `ladder_epochs`) the obs probes
+/// harvest.
 class EventQueue {
  public:
   using Action = InlineAction;
@@ -66,18 +110,31 @@ class EventQueue {
   }
 
   /// True when no events remain.
-  bool empty() const { return heap_.empty(); }
+  bool empty() const { return heap_.empty() && extra_ == 0; }
 
   /// Number of pending events.
-  std::size_t size() const { return heap_.size(); }
+  std::size_t size() const { return heap_.size() + extra_; }
 
-  /// Firing time of the earliest event. Requires !empty().
+  /// Firing time of the earliest event. Requires !empty(). (In ladder
+  /// layout the front heap is non-empty whenever the queue is — pop
+  /// restores that invariant eagerly — so this stays a pure read; only
+  /// the sorted tier keeps the earliest entry at the back.)
   Time next_time() const {
-    return heap_mode_ ? heap_.front().at : heap_.back().at;
+    return layout_ == Layout::Sorted ? heap_.back().at : heap_.front().at;
   }
 
   /// Removes and returns the earliest event's action. Requires !empty().
   Action pop();
+
+  /// Forces a layout discipline. Only callable while the queue is empty
+  /// (throws std::logic_error otherwise): a forced layout applies from the
+  /// first push, so there is never a mid-run migration to order-check.
+  void set_mode(QueueMode mode);
+  QueueMode mode() const { return mode_; }
+
+  /// Pre-sizes the entry/slot storage for an expected pending depth, so
+  /// big-k configurations warm up without growth reallocations.
+  void reserve(std::size_t expected_pending);
 
   /// Total number of events ever pushed.
   std::uint64_t pushed() const { return next_seq_; }
@@ -85,11 +142,17 @@ class EventQueue {
   /// Deepest the pending set has ever been (high-water mark).
   std::size_t max_pending() const { return max_pending_; }
 
-  /// Sorted->heap conversions plus heap->sorted re-sorts so far. The
-  /// paper-scale models should report 0 (pending set never outgrows
+  /// Layout transitions so far (sorted<->heap<->ladder, both directions).
+  /// The paper-scale models should report 0 (pending set never outgrows
   /// kArrayMax); a non-zero count is the first sign a workload is pushing
-  /// the kernel toward the adaptive boundary.
+  /// the kernel toward an adaptive boundary.
   std::uint64_t mode_flips() const { return mode_flips_; }
+
+  /// Ladder bucket spills (bucket -> sorted front) so far.
+  std::uint64_t ladder_spills() const { return ladder_spills_; }
+
+  /// Ladder epochs started so far (ladder entries plus overflow re-seeds).
+  std::uint64_t ladder_epochs() const { return ladder_epochs_; }
 
  private:
   /// Initial capacity: deep enough for every model in the repo (a k-node
@@ -105,6 +168,23 @@ class EventQueue {
   /// Heap mode re-sorts back to the fast sorted layout at this size. The
   /// wide hysteresis gap to kArrayMax keeps layout switches rare.
   static constexpr std::size_t kSortLowWater = 16;
+  /// Pending depth at which the heap graduates to the ladder (adaptive
+  /// mode). ~k=2000 nodes at the standard ~2k+2 pending events.
+  static constexpr std::size_t kLadderHigh = 4096;
+  /// The ladder gathers back into the heap below this depth. The 4x gap to
+  /// kLadderHigh keeps a set hovering near the boundary from thrashing.
+  static constexpr std::size_t kLadderLow = 1024;
+  /// Epoch buckets. With head-density bucket sizing an epoch covers up to
+  /// ~kBuckets * kBucketTarget entries before the tail re-seeds, so most
+  /// entries are bucketed exactly once at paper-plus scales.
+  static constexpr std::size_t kBuckets = 256;
+  /// Target entries per bucket near the epoch head. Bucket width is sized
+  /// so the densest (head) buckets spill about this many entries: the
+  /// spill sort stays cache-resident and the front heap stays shallow.
+  static constexpr std::size_t kBucketTarget = 32;
+
+  /// Current physical layout (mode_ is the *policy*, this is the state).
+  enum class Layout : std::uint8_t { Sorted, Heap, Ladder };
 
   struct Entry {
     Time at;
@@ -118,16 +198,55 @@ class EventQueue {
     return a.seq < b.seq;
   }
 
-  /// Links a filled slot into the heap (the out-of-line sift-up).
   void push_entry(Time at, std::uint32_t slot);
+  void insert_sorted(const Entry& entry);  ///< sorted-tier insertion step
+  void heap_push(const Entry& entry);      ///< sift-up with a hole
+  Action heap_pop_root();  ///< root pop + sift-down (heap tier and front)
+  Action pop_heap_layout();
 
-  std::vector<Entry> heap_;         ///< sorted descending, or 4-ary heap
+  // Ladder tier. The front min-heap reuses heap_ (root = earliest);
+  // buckets_/overflow_ hold the remaining `extra_` entries.
+  std::size_t sorted_limit() const;        ///< mode-dependent kArrayMax
+  std::size_t ladder_limit() const;        ///< mode-dependent kLadderHigh
+  std::size_t clamped_bucket(Time at) const;
+  void ladder_push(const Entry& entry);
+  void ladder_advance();          ///< spill/re-seed until the front fills
+  void seed_epoch(const std::vector<Entry>& entries);  ///< size + distribute
+  void enter_ladder();            ///< distribute heap_ into a fresh epoch
+  void exit_ladder_to_heap();     ///< gather remaining entries, heapify
+  void reset_ladder();
+
+  std::vector<Entry> heap_;         ///< sorted descending, heap, or front heap
   std::vector<Action> slots_;       ///< actions, stable while pending
   std::vector<std::uint32_t> free_; ///< recycled slot indices
   std::uint64_t next_seq_ = 0;
-  bool heap_mode_ = false;          ///< heap_ layout: sorted vs heapified
+  QueueMode mode_ = QueueMode::Adaptive;
+  Layout layout_ = Layout::Sorted;
   std::size_t max_pending_ = 0;     ///< pending-set high-water mark
-  std::uint64_t mode_flips_ = 0;    ///< layout transitions (both directions)
+  std::uint64_t mode_flips_ = 0;    ///< layout transitions (all directions)
+
+  // Ladder state. bucket b owns firing times [start + b*w, start + (b+1)*w)
+  // of the current epoch; bucket indices clamp into [next_bucket_,
+  // kBuckets-1], which is always order-safe because a spill re-sorts and
+  // the top bucket is treated as unbounded. overflow_ collects pushes that
+  // arrive after the whole epoch has spilled; exhausting the buckets
+  // re-seeds a new epoch from the overflow's span.
+  std::vector<std::vector<Entry>> buckets_;  ///< kBuckets, built lazily
+  std::size_t ladder_reserve_ = 0;  ///< reserve() hint for ladder storage
+  std::vector<Entry> overflow_;
+  std::vector<Entry> respill_;      ///< re-seed scratch (capacity recycled)
+  std::size_t extra_ = 0;           ///< entries in buckets_ + overflow_
+  double bucket_start_ = 0;
+  double bucket_inv_width_ = 1;  ///< 1/width: multiply on the push path
+  std::size_t next_bucket_ = 0;     ///< first bucket not yet spilled
+  /// Firing time of the latest entry placed in the front at the last
+  /// spill (or singleton push). Pushes before this bound interleave into
+  /// the front heap; everything else is bucketed — the bound never rises
+  /// between spills, so bucketed entries always fire at-or-after the
+  /// whole front.
+  Time front_max_ = 0;
+  std::uint64_t ladder_spills_ = 0;
+  std::uint64_t ladder_epochs_ = 0;
 };
 
 }  // namespace dsrt::sim

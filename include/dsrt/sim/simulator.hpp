@@ -63,6 +63,15 @@ class Simulator {
   /// counters (high-water depth, layout flips) to the obs probes.
   const EventQueue& queue() const { return queue_; }
 
+  /// Forces the pending-set layout and pre-sizes its storage for an
+  /// expected depth. Must be called before any event is scheduled
+  /// (EventQueue::set_mode throws on a non-empty queue); SimulationRun
+  /// does this first thing, from Config::event_queue and the node count.
+  void configure_queue(QueueMode mode, std::size_t expected_pending = 0) {
+    queue_.set_mode(mode);
+    if (expected_pending > 0) queue_.reserve(expected_pending);
+  }
+
  private:
   EventQueue queue_;
   Time now_ = 0;

@@ -13,6 +13,7 @@
 #include "dsrt/sched/node.hpp"
 #include "dsrt/sched/policy.hpp"
 #include "dsrt/sim/distribution.hpp"
+#include "dsrt/sim/event_queue.hpp"
 #include "dsrt/sim/time.hpp"
 #include "dsrt/workload/pex_error.hpp"
 #include "dsrt/workload/shapes.hpp"
@@ -52,6 +53,13 @@ struct Config {
   /// with no load model wired they degenerate to deterministic
   /// round-robin).
   core::PlacementSpec placement;
+  /// Layout discipline of the pending-event set. `Adaptive` (default)
+  /// graduates sorted -> 4-ary heap -> ladder/calendar queue as the
+  /// pending count grows; the forced values pin one layout for A/B
+  /// benchmarks and differential tests. Every mode pops the identical
+  /// (time, seq) order, so this can never change a trajectory — only its
+  /// speed at thousands-of-nodes configurations.
+  sim::QueueMode event_queue = sim::QueueMode::Adaptive;
 
   // --- Workload (Table 1) ------------------------------------------------
   double load = 0.5;        ///< normalized load in [0, 1)

@@ -74,6 +74,12 @@ class ProcessManager {
   /// outlive the process manager or be detached first.
   void set_observer(Observer* observer) { observer_ = observer; }
 
+  /// Raises the pool/scratch reserves for a k-node run (never shrinks):
+  /// the live-instance high-water mark scales with the global arrival
+  /// rate, itself proportional to k, so pre-sizing here keeps slot-map
+  /// growth out of the steady state at the big configs.
+  void reserve_for_scale(std::size_t nodes);
+
  private:
   /// One slot of the instance pool. `generation` bumps on every reuse, so
   /// a stale handle can never resolve to a later task; the instance's

@@ -57,9 +57,10 @@ class SimulationRun {
   sim::Simulator sim_;
   RunMetrics metrics_;
   std::vector<std::unique_ptr<sched::Node>> nodes_;
-  /// One accounting slot per node (compute + link); sized once before the
-  /// nodes attach pointers into it, then never reallocated.
-  std::vector<core::LoadAccount> load_board_;
+  /// One accounting slot per node (compute + link), sharded in cache-line-
+  /// aligned blocks; shards never move, so the raw pointers the nodes
+  /// attach stay valid for the life of the run even at k=4096.
+  core::LoadBoard load_board_;
   std::shared_ptr<core::LoadModel> load_model_;
   core::SnapshotLoadModel* snapshot_model_ = nullptr;  ///< non-null iff
                                                        ///< sampled/stale

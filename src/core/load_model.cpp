@@ -41,7 +41,7 @@ NodeLoad ExactLoadModel::load(NodeId node, sim::Time now) const {
   return accounts_[node].read(now);
 }
 
-SnapshotLoadModel::SnapshotLoadModel(const std::vector<LoadAccount>& accounts,
+SnapshotLoadModel::SnapshotLoadModel(const LoadBoard& accounts,
                                      sim::Time period, Serve serve)
     : accounts_(accounts),
       period_(period),
@@ -57,8 +57,13 @@ void SnapshotLoadModel::refresh(sim::Time now) {
   previous_at_ = current_at_;
   current_at_ = now;
   ++refreshes_;
-  for (std::size_t i = 0; i < accounts_.size(); ++i)
-    current_[i] = accounts_[i].read(now);
+  // Shard-wise sweep over the board: each block is cache-resident and
+  // independent of the lines the nodes are writing concurrently-in-sim-
+  // time, so the k=4096 refresh stays a tight streaming loop.
+  accounts_.for_each(
+      [&](std::size_t i, const LoadAccount& acct) {
+        current_[i] = acct.read(now);
+      });
 }
 
 NodeLoad SnapshotLoadModel::load(NodeId node, sim::Time now) const {

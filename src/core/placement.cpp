@@ -1,9 +1,13 @@
 #include "dsrt/core/placement.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "dsrt/core/load_model.hpp"
+#include "dsrt/util/flags.hpp"
 
 namespace dsrt::core {
 
@@ -57,6 +61,71 @@ NodeId JsqPlacement::place(const PlacementContext& ctx,
   return candidates.front();  // unreachable
 }
 
+NodeId PodPlacement::place(const PlacementContext& ctx,
+                           std::span<const NodeId> candidates) const {
+  if (candidates.empty())
+    throw std::invalid_argument("PodPlacement: empty candidate set");
+  ++counters_.decisions;
+  const std::size_t n = candidates.size();
+  const auto key_of = [&](NodeId node) {
+    return ctx.load ? ctx.load->load(node, ctx.now).queued_pex : 0.0;
+  };
+  if (n <= d_) {
+    // Exhaustive fallback: a set this small is cheaper to scan than to
+    // sample, and — per the documented draw-order contract — it consumes
+    // NO rng draws, so narrow distinct-site leftovers never shift the
+    // stream seen by the wide decisions around them.
+    NodeId best_node = candidates[0];
+    double best = key_of(best_node);
+    std::size_t ties = 1;
+    for (std::size_t i = 1; i < n; ++i) {
+      const double key = key_of(candidates[i]);
+      if (key < best) {
+        best = key;
+        best_node = candidates[i];
+        ties = 1;
+      } else if (key == best) {
+        ++ties;
+      }
+    }
+    if (ties > 1) ++counters_.exact_ties;
+    return best_node;
+  }
+  // Partial Fisher-Yates over the identity scratch: exactly d_ draws of
+  // rng.below(n - j), each picking one not-yet-sampled candidate uniformly
+  // (sampling without replacement). The prefix swaps are undone below, so
+  // idx_ stays the identity permutation and is rebuilt only when the
+  // candidate-set size changes.
+  if (idx_.size() != n) {
+    idx_.resize(n);
+    std::iota(idx_.begin(), idx_.end(), 0u);
+  }
+  drawn_.clear();
+  NodeId best_node = candidates[0];
+  double best = 0;
+  std::size_t ties = 0;
+  for (std::uint32_t j = 0; j < d_; ++j) {
+    const std::uint32_t r =
+        j + static_cast<std::uint32_t>(rng_.below(n - j));
+    std::swap(idx_[j], idx_[r]);
+    drawn_.push_back(r);
+    const NodeId node = candidates[idx_[j]];
+    const double key = key_of(node);
+    if (ties == 0 || key < best) {
+      best = key;
+      best_node = node;
+      ties = 1;
+    } else if (key == best) {
+      // First minimum in draw order wins; the random sample itself
+      // provides the idle-board spread jsq gets from tie rotation.
+      ++ties;
+    }
+  }
+  if (ties > 1) ++counters_.exact_ties;
+  for (std::uint32_t j = d_; j-- > 0;) std::swap(idx_[j], idx_[drawn_[j]]);
+  return best_node;
+}
+
 namespace {
 
 /// Single source of truth for name-addressable placement policies: lookup,
@@ -70,6 +139,7 @@ constexpr PlacementRegistryEntry kPlacementRegistry[] = {
     {"static", PlacementKind::Static},
     {"jsq-pex", PlacementKind::JsqPex},
     {"jsq-util", PlacementKind::JsqUtil},
+    {"pod", PlacementKind::PowerOfD},
 };
 
 std::string vocabulary() {
@@ -86,10 +156,37 @@ std::string vocabulary() {
 PlacementSpec PlacementSpec::parse(std::string_view text) {
   std::string_view kind = text;
   if (const auto colon = text.find(':'); colon != std::string_view::npos) {
-    // No placement kind is parameterized; rejecting the whole token (rather
-    // than silently ignoring the suffix) keeps "jsq-pex:junk" from running
-    // as a half-parsed jsq-pex.
     kind = text.substr(0, colon);
+    const std::string_view param = text.substr(colon + 1);
+    if (kind == "pod") {
+      // The only parameterized kind: pod:<d>, d an integer in
+      // [1, kMaxPodD]. A trailing colon, zero, huge, or non-integral d is
+      // a malformed spec, not a request for the default — rejecting keeps
+      // a typo from silently sampling a different number of choices.
+      if (param.empty())
+        throw std::invalid_argument("PlacementSpec: empty parameter in '" +
+                                    std::string(text) + "'");
+      const auto value = util::parse_double(param);
+      if (!value || *value != std::floor(*value))
+        throw std::invalid_argument("PlacementSpec: bad pod sample size '" +
+                                    std::string(param) +
+                                    "' (want an integer)");
+      if (*value < 1.0)
+        throw std::invalid_argument(
+            "PlacementSpec: pod sample size must be >= 1 (got '" +
+            std::string(param) + "')");
+      if (*value > static_cast<double>(PlacementSpec::kMaxPodD))
+        throw std::invalid_argument(
+            "PlacementSpec: pod sample size " + std::string(param) +
+            " exceeds the maximum " + std::to_string(PlacementSpec::kMaxPodD));
+      PlacementSpec spec;
+      spec.kind = PlacementKind::PowerOfD;
+      spec.d = static_cast<std::uint32_t>(*value);
+      return spec;
+    }
+    // No other placement kind is parameterized; rejecting the whole token
+    // (rather than silently ignoring the suffix) keeps "jsq-pex:junk" from
+    // running as a half-parsed jsq-pex.
     for (const auto& entry : kPlacementRegistry) {
       if (kind == entry.name)
         throw std::invalid_argument("PlacementSpec: '" + std::string(kind) +
@@ -98,7 +195,11 @@ PlacementSpec PlacementSpec::parse(std::string_view text) {
     }
   }
   for (const auto& entry : kPlacementRegistry) {
-    if (text == entry.name) return PlacementSpec{entry.kind};
+    if (text == entry.name) {
+      PlacementSpec spec;
+      spec.kind = entry.kind;  // bare "pod" keeps the default d = 2
+      return spec;
+    }
   }
   throw std::invalid_argument("PlacementSpec: unknown placement '" +
                               std::string(text) + "' (want " + vocabulary() +
@@ -106,12 +207,14 @@ PlacementSpec PlacementSpec::parse(std::string_view text) {
 }
 
 std::string PlacementSpec::describe() const {
+  if (kind == PlacementKind::PowerOfD) return "pod:" + std::to_string(d);
   for (const auto& entry : kPlacementRegistry)
     if (entry.kind == kind) return std::string(entry.name);
   return "static";  // unreachable
 }
 
-PlacementPolicyPtr make_placement(const PlacementSpec& spec) {
+PlacementPolicyPtr make_placement(const PlacementSpec& spec,
+                                  std::uint64_t seed) {
   switch (spec.kind) {
     case PlacementKind::Static:
       return std::make_shared<StaticPlacement>();
@@ -119,6 +222,15 @@ PlacementPolicyPtr make_placement(const PlacementSpec& spec) {
       return std::make_shared<JsqPlacement>(JsqPlacement::Key::QueuedPex);
     case PlacementKind::JsqUtil:
       return std::make_shared<JsqPlacement>(JsqPlacement::Key::Utilization);
+    case PlacementKind::PowerOfD:
+      if (spec.d < 1 || spec.d > PlacementSpec::kMaxPodD)
+        throw std::invalid_argument("make_placement: pod sample size " +
+                                    std::to_string(spec.d) +
+                                    " outside [1, " +
+                                    std::to_string(PlacementSpec::kMaxPodD) +
+                                    "]");
+      return std::make_shared<PodPlacement>(
+          spec.d, sim::Rng(seed, kPlacementRngStream));
   }
   throw std::logic_error("make_placement: bad kind");
 }

@@ -115,6 +115,11 @@ SweepAxis SweepAxis::by_field(const std::string& field,
       // fresh inside every SimulationRun.
       const auto spec = core::PlacementSpec::parse(value);
       fn = [spec](system::Config& c) { c.placement = spec; };
+    } else if (field == "event_queue") {
+      // Layout sweeps A/B the pending-set implementation; the trajectory
+      // (and thus every metric) is mode-invariant, so only ev/s moves.
+      const auto mode = sim::parse_queue_mode(value);
+      fn = [mode](system::Config& c) { c.event_queue = mode; };
     } else if (field == "policy") {
       const auto p = sched::policy_by_name(value);
       fn = [p](system::Config& c) { c.policy = p; };

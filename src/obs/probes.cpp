@@ -24,6 +24,10 @@ void probe_run(const system::SimulationRun& run, Registry& reg) {
           static_cast<double>(queue.max_pending()));
   reg.set(reg.counter("sim.queue.mode_flips"),
           static_cast<double>(queue.mode_flips()));
+  reg.set(reg.counter("sim.queue.ladder_spills"),
+          static_cast<double>(queue.ladder_spills()));
+  reg.set(reg.counter("sim.queue.ladder_epochs"),
+          static_cast<double>(queue.ladder_epochs()));
   reg.set(reg.gauge("sim.queue.pending_at_end"),
           static_cast<double>(queue.size()));
 

@@ -1,36 +1,128 @@
 #include "dsrt/sim/event_queue.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace dsrt::sim {
 
-void EventQueue::push_entry(Time at, std::uint32_t slot) {
-  const Entry entry{at, next_seq_++, slot};
-  if (heap_.size() >= max_pending_) max_pending_ = heap_.size() + 1;
-  if (!heap_mode_) {
-    if (heap_.size() < kArrayMax) {
-      // Sorted mode: entries descending in firing order (earliest at the
-      // back). One insertion-sort step, scanning from the back: a new
-      // event usually fires after only a handful of already-pending ones,
-      // so the predictable short scan beats a binary search here. Equal
-      // times resolve by sequence, so the position is unique and the pop
-      // order is the exact (time, seq) total order of the heap mode.
-      std::size_t i = heap_.size();
-      heap_.emplace_back();
-      while (i > 0 && before(heap_[i - 1], entry)) {
-        heap_[i] = heap_[i - 1];
-        --i;
-      }
-      heap_[i] = entry;
-      return;
-    }
-    // Outgrew the sorted range: descending order reversed is ascending,
-    // and a sorted-ascending array is already a valid min-heap.
-    std::reverse(heap_.begin(), heap_.end());
-    heap_mode_ = true;
-    ++mode_flips_;
+namespace {
+
+/// Single source of truth for the name-addressable queue modes: lookup,
+/// error messages, and the CLI help vocabulary all read this table.
+struct QueueModeRegistryEntry {
+  std::string_view name;
+  QueueMode mode;
+};
+
+constexpr QueueModeRegistryEntry kQueueModeRegistry[] = {
+    {"adaptive", QueueMode::Adaptive},
+    {"sorted", QueueMode::Sorted},
+    {"heap", QueueMode::Heap},
+    {"ladder", QueueMode::Ladder},
+};
+
+std::string mode_vocabulary() {
+  std::string out;
+  for (const auto& entry : kQueueModeRegistry) {
+    if (!out.empty()) out += '|';
+    out += entry.name;
   }
+  return out;
+}
+
+}  // namespace
+
+QueueMode parse_queue_mode(std::string_view text) {
+  std::string_view kind = text;
+  if (const auto colon = text.find(':'); colon != std::string_view::npos) {
+    // No mode is parameterized; rejecting the whole token (instead of
+    // silently ignoring the suffix) keeps "ladder:junk" from running as a
+    // half-parsed ladder.
+    kind = text.substr(0, colon);
+    for (const auto& entry : kQueueModeRegistry) {
+      if (kind == entry.name)
+        throw std::invalid_argument("parse_queue_mode: '" + std::string(kind) +
+                                    "' takes no parameter (got '" +
+                                    std::string(text) + "')");
+    }
+  }
+  for (const auto& entry : kQueueModeRegistry) {
+    if (text == entry.name) return entry.mode;
+  }
+  throw std::invalid_argument("parse_queue_mode: unknown mode '" +
+                              std::string(text) + "' (want " +
+                              mode_vocabulary() + ")");
+}
+
+std::string_view queue_mode_name(QueueMode mode) {
+  for (const auto& entry : kQueueModeRegistry)
+    if (entry.mode == mode) return entry.name;
+  return "adaptive";  // unreachable
+}
+
+std::vector<std::string_view> queue_mode_names() {
+  std::vector<std::string_view> names;
+  for (const auto& entry : kQueueModeRegistry) names.push_back(entry.name);
+  return names;
+}
+
+void EventQueue::set_mode(QueueMode mode) {
+  if (!empty())
+    throw std::logic_error("EventQueue::set_mode: queue not empty");
+  mode_ = mode;
+  // Forced-heap starts (and stays) in heap layout; everything else starts
+  // from the sorted layout and grows into its tier, so no flip is counted
+  // for the forcing itself.
+  layout_ = mode == QueueMode::Heap ? Layout::Heap : Layout::Sorted;
+}
+
+void EventQueue::reserve(std::size_t expected_pending) {
+  const std::size_t n = std::max(expected_pending, kReserve);
+  heap_.reserve(n);
+  slots_.reserve(n);
+  free_.reserve(n);
+  // Remembered for enter_ladder: the catch-all bucket, overflow, and
+  // re-seed scratch can each briefly hold the whole pending set, so they
+  // size to this hint rather than to the (smaller) depth at entry.
+  ladder_reserve_ = std::max(ladder_reserve_, n);
+}
+
+std::size_t EventQueue::sorted_limit() const {
+  switch (mode_) {
+    case QueueMode::Sorted: return static_cast<std::size_t>(-1);
+    case QueueMode::Heap: return 0;
+    default: return kArrayMax;
+  }
+}
+
+std::size_t EventQueue::ladder_limit() const {
+  switch (mode_) {
+    case QueueMode::Adaptive: return kLadderHigh;
+    case QueueMode::Ladder: return kArrayMax;  // straight from sorted
+    default: return static_cast<std::size_t>(-1);
+  }
+}
+
+void EventQueue::insert_sorted(const Entry& entry) {
+  // Descending firing order (earliest at the back). One insertion-sort
+  // step scanning from the back: a new event usually fires after only a
+  // handful of already-pending ones, so the predictable short scan beats
+  // a binary search here. Equal times resolve by sequence, so the
+  // position is unique and the pop order is the exact (time, seq) total
+  // order of every other layout.
+  std::size_t i = heap_.size();
+  heap_.emplace_back();
+  while (i > 0 && before(heap_[i - 1], entry)) {
+    heap_[i] = heap_[i - 1];
+    --i;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::heap_push(const Entry& entry) {
   // Sift up with a hole: parents shift down until the insertion slot is
   // found, and the new entry is written exactly once.
   std::size_t i = heap_.size();
@@ -44,15 +136,233 @@ void EventQueue::push_entry(Time at, std::uint32_t slot) {
   heap_[i] = entry;
 }
 
-EventQueue::Action EventQueue::pop() {
-  if (!heap_mode_) {
-    // Sorted mode: the earliest event sits at the back.
-    const std::uint32_t slot = heap_.back().slot;
-    heap_.pop_back();
-    Action action = std::move(slots_[slot]);
-    free_.push_back(slot);
-    return action;
+std::size_t EventQueue::clamped_bucket(Time at) const {
+  // One consistent mapping for pushes, ladder entry, and re-seeds, so a
+  // floating-point boundary can never classify the same time two ways.
+  // NaN / below-epoch times map to bucket 0; at-or-beyond-epoch times
+  // clamp into the top bucket (treated as unbounded — safe because every
+  // spill re-sorts); already-spilled buckets clamp up to next_bucket_
+  // (safe for the same reason: such entries fire after the whole front,
+  // whose test in ladder_push they just failed).
+  const double f = (at - bucket_start_) * bucket_inv_width_;
+  std::size_t idx = 0;
+  if (f >= static_cast<double>(kBuckets)) {
+    idx = kBuckets - 1;
+  } else if (f >= 1.0) {
+    idx = static_cast<std::size_t>(f);
   }
+  if (idx < next_bucket_) idx = next_bucket_;
+  return idx;
+}
+
+void EventQueue::ladder_push(const Entry& entry) {
+  if (heap_.empty() && extra_ == 0) {
+    heap_.push_back(entry);
+    front_max_ = entry.at;
+    return;
+  }
+  // The front heap accepts an entry only if it fires strictly before the
+  // bound set at the last spill; an equal-time push carries the globally
+  // largest seq, so bucketing it preserves exact FIFO among simultaneous
+  // events. Near-now pushes (completions) cost O(log front) here; the
+  // common far-future push (arrival timers) falls through to an O(1)
+  // bucket append.
+  if (!heap_.empty() && entry.at < front_max_) {
+    heap_push(entry);
+    return;
+  }
+  if (next_bucket_ >= kBuckets) {
+    overflow_.push_back(entry);
+  } else {
+    buckets_[clamped_bucket(entry.at)].push_back(entry);
+  }
+  ++extra_;
+  if (heap_.empty()) ladder_advance();  // keep the front invariant
+}
+
+void EventQueue::ladder_advance() {
+  while (heap_.empty()) {
+    while (next_bucket_ < kBuckets && buckets_[next_bucket_].empty())
+      ++next_bucket_;
+    if (next_bucket_ < kBuckets) {
+      std::vector<Entry>& bucket = buckets_[next_bucket_];
+      if (next_bucket_ == kBuckets - 1) {
+        // The top bucket is the beyond-epoch catch-all: it accumulates
+        // every at-or-past-the-horizon push for the whole epoch, so by the
+        // time it is reached it holds on the order of the entire pending
+        // set. Spilling it into the front directly would sort thousands of
+        // entries and raise front_max_ to the epoch's far tail, sending
+        // every later push into the front heap — the ladder would spend
+        // half of each cycle degenerated into one big heap. Re-seed it as
+        // a fresh epoch instead whenever its span is still subdividable;
+        // the remainder (one shared instant, or nothing finite — where
+        // re-bucketing cannot make progress) falls through to the direct
+        // spill, which stays order-safe because the spill re-sorts.
+        Time lo = bucket.front().at;
+        Time hi = lo;
+        for (const Entry& e : bucket) {
+          if (e.at < lo) lo = e.at;
+          if (e.at > hi) hi = e.at;
+        }
+        if (std::isfinite(lo) && lo < hi) {
+          overflow_.insert(overflow_.end(), bucket.begin(), bucket.end());
+          bucket.clear();
+          next_bucket_ = kBuckets;  // re-seed from the overflow below
+          continue;
+        }
+      }
+      // Spill the earliest non-empty bucket into the (empty) front and
+      // sort it ascending: ~size/kBuckets entries, cache-resident, and a
+      // sorted-ascending array is already a valid kArity min-heap.
+      heap_.insert(heap_.end(), bucket.begin(), bucket.end());
+      extra_ -= bucket.size();
+      bucket.clear();
+      std::sort(heap_.begin(), heap_.end(),
+                [](const Entry& a, const Entry& b) { return before(a, b); });
+      front_max_ = heap_.back().at;
+      ++next_bucket_;
+      ++ladder_spills_;
+      return;
+    }
+    if (overflow_.empty()) return;  // queue fully drained (extra_ == 0)
+    // Epoch exhausted: re-seed a new one from the overflow.
+    // Each pass redistributes everything into buckets (clamped, never back
+    // into overflow). An entry can return via the top-bucket merge above,
+    // but only while that bucket still spans more than one finite instant —
+    // every pass moves the sub-maximum entries into lower buckets, so the
+    // loop terminates even for degenerate (equal / infinite) firing times.
+    respill_.swap(overflow_);
+    seed_epoch(respill_);
+    respill_.clear();
+    ++ladder_epochs_;
+  }
+}
+
+void EventQueue::seed_epoch(const std::vector<Entry>& entries) {
+  // Bucket width comes from the density at the epoch's *head*, not from
+  // its full span: firing times in a DES cluster near now with a sparse
+  // far tail (timers), so span/kBuckets would hand the head bucket — and
+  // therefore the front heap — hundreds of entries. Estimating the head
+  // density as n / mean-excess (exact for an exponential profile, the
+  // classic calendar-queue sizing) keeps head spills near kBucketTarget;
+  // whatever the short dense epoch does not cover lands in the top-bucket
+  // catch-all and simply re-seeds later. The span-based width remains as
+  // the cap so sparse sets still cover themselves in one epoch.
+  Time lo = entries.front().at;
+  Time hi = lo;
+  double sum = 0;
+  for (const Entry& e : entries) {
+    if (e.at < lo) lo = e.at;
+    if (e.at > hi) hi = e.at;
+    sum += e.at;
+  }
+  if (!std::isfinite(lo)) lo = 0;  // every remaining event at +-inf
+  double width = (hi - lo) / static_cast<double>(kBuckets);
+  const double n = static_cast<double>(entries.size());
+  const double mean_excess = sum / n - lo;
+  if (std::isfinite(mean_excess) && mean_excess > 0) {
+    const double dense =
+        static_cast<double>(kBucketTarget) * mean_excess / n;
+    if (dense < width) width = dense;
+  }
+  if (!(width > 0) || !std::isfinite(width)) width = 1.0;
+  bucket_start_ = lo;
+  bucket_inv_width_ = 1.0 / width;
+  next_bucket_ = 0;
+  for (const Entry& e : entries) buckets_[clamped_bucket(e.at)].push_back(e);
+}
+
+void EventQueue::enter_ladder() {
+  if (buckets_.empty()) buckets_.resize(kBuckets);  // one-time lazy build
+  // Pre-size the ladder storage. Regular buckets get 4x the head-bucket
+  // target (head spills aim at kBucketTarget; 4x absorbs Poisson spread
+  // and moderate clustering); the catch-all bucket, the overflow, and the
+  // re-seed scratch can each briefly hold the whole pending set, so they
+  // get the full expected depth. Reserve is monotone — later entries at a
+  // bigger size only ever raise the floor — and a pathological epoch that
+  // still outgrows a vector costs a one-time capacity raise, not
+  // steady-state churn.
+  const std::size_t deep = std::max(heap_.size(), ladder_reserve_);
+  const std::size_t share =
+      std::max(4 * (deep / kBuckets + 1), 4 * kBucketTarget);
+  for (auto& bucket : buckets_)
+    if (bucket.capacity() < share) bucket.reserve(share);
+  buckets_[kBuckets - 1].reserve(deep);
+  overflow_.reserve(deep);
+  respill_.reserve(deep);
+  seed_epoch(heap_);
+  extra_ += heap_.size();
+  heap_.clear();
+  layout_ = Layout::Ladder;
+  ++mode_flips_;
+  ++ladder_epochs_;
+  ladder_advance();  // establish the front invariant
+}
+
+void EventQueue::exit_ladder_to_heap() {
+  // Gather everything still pending into one vector and sort it ascending
+  // by (time, seq): a sorted-ascending array is a valid kArity-heap.
+  for (std::size_t b = next_bucket_; b < kBuckets; ++b) {
+    heap_.insert(heap_.end(), buckets_[b].begin(), buckets_[b].end());
+    buckets_[b].clear();
+  }
+  heap_.insert(heap_.end(), overflow_.begin(), overflow_.end());
+  overflow_.clear();
+  extra_ = 0;
+  std::sort(heap_.begin(), heap_.end(),
+            [](const Entry& a, const Entry& b) { return before(a, b); });
+  reset_ladder();
+  layout_ = Layout::Heap;
+  ++mode_flips_;
+}
+
+void EventQueue::reset_ladder() {
+  bucket_start_ = 0;
+  bucket_inv_width_ = 1;
+  next_bucket_ = 0;
+  front_max_ = 0;
+}
+
+void EventQueue::push_entry(Time at, std::uint32_t slot) {
+  const Entry entry{at, next_seq_++, slot};
+  const std::size_t n = size();
+  if (n >= max_pending_) max_pending_ = n + 1;
+  switch (layout_) {
+    case Layout::Sorted: {
+      if (n < sorted_limit()) {
+        insert_sorted(entry);
+        return;
+      }
+      if (n >= ladder_limit()) {
+        // Forced-ladder mode skips the heap tier entirely.
+        enter_ladder();
+        ladder_push(entry);
+        return;
+      }
+      // Outgrew the sorted range: descending order reversed is ascending,
+      // and a sorted-ascending array is already a valid min-heap.
+      std::reverse(heap_.begin(), heap_.end());
+      layout_ = Layout::Heap;
+      ++mode_flips_;
+      heap_push(entry);
+      return;
+    }
+    case Layout::Heap: {
+      if (n >= ladder_limit()) {
+        enter_ladder();
+        ladder_push(entry);
+        return;
+      }
+      heap_push(entry);
+      return;
+    }
+    case Layout::Ladder:
+      ladder_push(entry);
+      return;
+  }
+}
+
+EventQueue::Action EventQueue::heap_pop_root() {
   const std::uint32_t slot = heap_.front().slot;
   Action action = std::move(slots_[slot]);
   free_.push_back(slot);
@@ -75,19 +385,55 @@ EventQueue::Action EventQueue::pop() {
       i = best;
     }
     heap_[i] = last;
-    if (n <= kSortLowWater) {
+  }
+  return action;
+}
+
+EventQueue::Action EventQueue::pop_heap_layout() {
+  Action action = heap_pop_root();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    if (mode_ == QueueMode::Adaptive && n <= kSortLowWater) {
       // Shrunk well below the boundary: return to the sorted fast path.
       // Sorting by the unique (time, seq) total order is deterministic,
       // and the wide gap to kArrayMax prevents layout thrash.
       std::sort(heap_.begin(), heap_.end(),
                 [](const Entry& a, const Entry& b) { return before(b, a); });
-      heap_mode_ = false;
+      layout_ = Layout::Sorted;
       ++mode_flips_;
     }
-  } else {
-    heap_mode_ = false;  // drained: the next burst starts sorted again
+  } else if (mode_ != QueueMode::Heap) {
+    layout_ = Layout::Sorted;  // drained: the next burst starts sorted
   }
   return action;
+}
+
+EventQueue::Action EventQueue::pop() {
+  switch (layout_) {
+    case Layout::Sorted: {
+      // Sorted mode: the earliest event sits at the back.
+      const std::uint32_t slot = heap_.back().slot;
+      heap_.pop_back();
+      Action action = std::move(slots_[slot]);
+      free_.push_back(slot);
+      return action;
+    }
+    case Layout::Heap:
+      return pop_heap_layout();
+    case Layout::Ladder: {
+      Action action = heap_pop_root();
+      if (heap_.empty() && extra_ > 0) ladder_advance();
+      const std::size_t n = size();
+      if (n == 0) {
+        reset_ladder();
+        layout_ = Layout::Sorted;  // drained: the next burst starts sorted
+      } else if (mode_ == QueueMode::Adaptive && n <= kLadderLow) {
+        exit_ladder_to_heap();
+      }
+      return action;
+    }
+  }
+  return Action{};  // unreachable
 }
 
 }  // namespace dsrt::sim

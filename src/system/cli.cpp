@@ -43,6 +43,9 @@ Config config_from_flags(const util::Flags& flags) {
   if (flags.has("placement"))
     cfg.placement =
         core::PlacementSpec::parse(flags.get("placement", std::string()));
+  if (flags.has("event_queue"))
+    cfg.event_queue =
+        sim::parse_queue_mode(flags.get("event_queue", std::string()));
   if (flags.has("policy"))
     cfg.policy = sched::policy_by_name(flags.get("policy", std::string()));
   if (flags.has("abort"))
@@ -155,7 +158,14 @@ std::string cli_usage() {
       "                       node binding of global subtasks: static =\n"
       "                       generation-time draw (paper baseline), jsq-*\n"
       "                       = route each ready stage to the least-loaded\n"
-      "                       eligible node via --load_model\n"
+      "                       eligible node via --load_model, pod[:d] =\n"
+      "                       power-of-d-choices (d rng samples, argmin\n"
+      "                       queued pex; default d=2) — O(d) per decision\n"
+      "                       vs jsq's O(k) scan\n"
+      "  --event_queue=" + joined_names(sim::queue_mode_names()) + "\n"
+      "                       pending-set layout (adaptive = sorted/heap/\n"
+      "                       ladder by occupancy; forced modes for A/B).\n"
+      "                       Pop order is identical in every mode\n"
       "  --policy=EDF|MLF|FCFS|SJF --abort=NoAbort|AbortTardy|AbortHopeless\n"
       "  --smin=0.25 --smax=2.5 --pex_err=0 --m_min= --m_max=\n"
       "  --sp_stages=3 --sp_prob=0.5 --sp_width=3\n"

@@ -1,5 +1,6 @@
 #include "dsrt/system/process_manager.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -34,6 +35,14 @@ ProcessManager::ProcessManager(sim::Simulator& sim,
         },
         this);
   }
+}
+
+void ProcessManager::reserve_for_scale(std::size_t nodes) {
+  const std::size_t want = std::max<std::size_t>(256, 2 * nodes);
+  if (want > slots_.capacity()) slots_.reserve(want);
+  if (want > free_slots_.capacity()) free_slots_.reserve(want);
+  const std::size_t scratch = std::max<std::size_t>(16, nodes);
+  if (scratch > scratch_.capacity()) scratch_.reserve(scratch);
 }
 
 void ProcessManager::submit_local(core::NodeId node, double exec, double pex,

@@ -15,7 +15,8 @@ std::uint64_t replication_seed(std::uint64_t base, std::uint64_t replication) {
   return base ^ (0xd1b54a32d192ed03ULL * (replication + 1));
 }
 
-// Stream ids per stochastic source (common-random-numbers discipline).
+// Stream ids per stochastic source (common-random-numbers discipline; the
+// placement sampler uses core::kPlacementRngStream = 2).
 constexpr std::uint64_t kGlobalStream = 1;
 constexpr std::uint64_t kLocalStreamBase = 100;
 
@@ -35,11 +36,24 @@ SimulationRun::SimulationRun(const Config& config, std::uint64_t replication)
   // Compute nodes 0..k-1 followed by any link nodes (Section 3.2 treats
   // the network as extra processing nodes with the same scheduler kind).
   const std::size_t total_nodes = cfg_.nodes + cfg_.link_nodes;
+
+  // Event-queue discipline + proportional reserve: a k-node run keeps
+  // ~2k+2 events pending (one completion + one arrival timer per source),
+  // so pre-sizing here moves every growth reallocation of the pending set
+  // out of the run entirely — part of the zero-steady-state-allocation
+  // contract at k >= 1024. Must precede any scheduling (a forced layout
+  // applies from the first push).
+  sim_.configure_queue(cfg_.event_queue, 2 * total_nodes + 64);
+
   nodes_.reserve(total_nodes);
   for (std::size_t i = 0; i < total_nodes; ++i) {
     nodes_.push_back(std::make_unique<sched::Node>(
         static_cast<core::NodeId>(i), sim_, cfg_.policy, cfg_.abort_policy,
         cfg_.preemption));
+    // Per-node ready depth scales with load and parallel fan-in, not with
+    // k; the bump at big configs absorbs transient parallel-group bursts
+    // without growth in the measured window.
+    nodes_.back()->reserve_ready(total_nodes >= 1024 ? 128 : 64);
   }
 
   // Load accounting + model (extension; Config::load_model). The board is
@@ -74,15 +88,20 @@ SimulationRun::SimulationRun(const Config& config, std::uint64_t replication)
   // Placement (extension; Config::placement). Static keeps the policy
   // null: the generator binds nodes exactly as before and the placement
   // engine never runs, so every pre-placement golden is reproduced bit for
-  // bit. The jsq kinds get a *fresh* policy per run — the tie-break
-  // rotation is per-run state, so concurrent engine runs stay independent
-  // and --jobs=1 equals --jobs=N.
+  // bit. The other kinds get a *fresh* policy per run — the jsq tie-break
+  // rotation and the pod sampling rng (seeded from this replication's
+  // seed, stream kPlacementRngStream) are per-run state, so concurrent
+  // engine runs stay independent and --jobs=1 equals --jobs=N.
   if (cfg_.placement.kind != core::PlacementKind::Static)
-    placement_ = core::make_placement(cfg_.placement);
+    placement_ = core::make_placement(cfg_.placement, seed);
 
   pm_ = std::make_unique<ProcessManager>(sim_, nodes_, cfg_.ssp, cfg_.psp,
                                          metrics_, load_model_.get(),
                                          placement_.get());
+  // Proportional pool reserve: live-instance count scales with the global
+  // arrival rate (itself proportional to k), so the slot map's growth
+  // reallocations move into construction at the big configs.
+  pm_->reserve_for_scale(total_nodes);
 
   // Local-task streams: homogeneous by default, or weighted per node
   // (Section 4.3's "some nodes had higher local task loads than others").

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -114,7 +116,8 @@ TEST(EventQueue, InterleavedChurnMatchesReferenceOrder) {
 
 TEST(EventQueue, HandlesManyEvents) {
   EventQueue q;
-  // Reverse insertion order stresses the heap.
+  // Reverse insertion order stresses the heap (and, past the ladder
+  // threshold, the bucket redistribution).
   for (int i = 10000; i > 0; --i)
     q.push(static_cast<double>(i), [] {});
   double last = 0;
@@ -123,6 +126,150 @@ TEST(EventQueue, HandlesManyEvents) {
     last = q.next_time();
     q.pop();
   }
+}
+
+// --- queue modes (sorted / heap / ladder layouts) -------------------------
+
+using dsrt::sim::QueueMode;
+
+TEST(QueueMode, ParseMatchesRegistryVocabulary) {
+  EXPECT_EQ(dsrt::sim::parse_queue_mode("adaptive"), QueueMode::Adaptive);
+  EXPECT_EQ(dsrt::sim::parse_queue_mode("sorted"), QueueMode::Sorted);
+  EXPECT_EQ(dsrt::sim::parse_queue_mode("heap"), QueueMode::Heap);
+  EXPECT_EQ(dsrt::sim::parse_queue_mode("ladder"), QueueMode::Ladder);
+  // Every advertised name parses, and every mode round-trips through its
+  // name — the --help vocabulary can never drift from the parser.
+  for (const auto name : dsrt::sim::queue_mode_names())
+    EXPECT_EQ(dsrt::sim::queue_mode_name(dsrt::sim::parse_queue_mode(name)),
+              name);
+  EXPECT_THROW(dsrt::sim::parse_queue_mode(""), std::invalid_argument);
+  EXPECT_THROW(dsrt::sim::parse_queue_mode("lader"), std::invalid_argument);
+  // Modes are parameterless; a colon is a malformed spec, not a request
+  // for a default.
+  EXPECT_THROW(dsrt::sim::parse_queue_mode("ladder:128"),
+               std::invalid_argument);
+  EXPECT_THROW(dsrt::sim::parse_queue_mode("heap:"), std::invalid_argument);
+}
+
+TEST(QueueMode, SetModeRequiresEmptyQueue) {
+  EventQueue q;
+  q.set_mode(QueueMode::Ladder);  // fine while empty
+  EXPECT_EQ(q.mode(), QueueMode::Ladder);
+  q.push(1.0, [] {});
+  EXPECT_THROW(q.set_mode(QueueMode::Heap), std::logic_error);
+  q.pop();
+  q.set_mode(QueueMode::Heap);  // fine again once drained
+  EXPECT_EQ(q.mode(), QueueMode::Heap);
+}
+
+/// Replays one deterministic deep-churn schedule (pushes/pops, heavy ties,
+/// occasional +inf timers) against a queue in `mode` and returns the fired
+/// ids in pop order.
+std::vector<int> churn_trace(QueueMode mode) {
+  EventQueue q;
+  q.set_mode(mode);
+  dsrt::sim::Rng rng(777);
+  std::vector<int> fired;
+  int next_id = 0;
+  // Deep fill first, so forced-ladder runs spend most of the churn past
+  // the bucket threshold (re-seeds included: times are quantized into few
+  // distinct values, clustering whole epochs into single buckets).
+  for (int i = 0; i < 9000; ++i) {
+    double at = std::floor(rng.uniform01() * 50.0);
+    if (next_id % 997 == 0) at = std::numeric_limits<double>::infinity();
+    const int id = next_id++;
+    q.push(at, [id, &fired] { fired.push_back(id); });
+  }
+  // The schedule is a pure function of the loop index (no data-dependent
+  // control flow), so every mode sees bit-identical (time, seq) inputs.
+  for (int round = 0; round < 30000; ++round) {
+    if (round % 3 != 0) {
+      const double at = 50.0 + std::floor(rng.uniform01() * 50.0);
+      const int id = next_id++;
+      q.push(at, [id, &fired] { fired.push_back(id); });
+    } else if (!q.empty()) {
+      q.pop()();
+    }
+  }
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(fired.size(), static_cast<std::size_t>(next_id));
+  return fired;
+}
+
+TEST(QueueMode, EveryLayoutPopsTheIdenticalOrder) {
+  // The layout is a pure representation choice: heap, ladder, and the
+  // adaptive switcher must fire the exact same (time, seq) total order on
+  // the same schedule. This is the contract that makes --event_queue
+  // trajectory-invariant (goldens can never move).
+  const std::vector<int> heap = churn_trace(QueueMode::Heap);
+  const std::vector<int> ladder = churn_trace(QueueMode::Ladder);
+  const std::vector<int> adaptive = churn_trace(QueueMode::Adaptive);
+  ASSERT_EQ(heap.size(), ladder.size());
+  EXPECT_EQ(heap, ladder);
+  EXPECT_EQ(heap, adaptive);
+}
+
+TEST(QueueMode, AdaptiveEntersLadderPastThresholdAndExitsOnDrain) {
+  EventQueue q;
+  for (int i = 0; i < 6000; ++i)
+    q.push(static_cast<double>(i % 100), [] {});
+  // sorted -> heap at the array bound, heap -> ladder past the high-water
+  // mark: two flips on the way up.
+  EXPECT_GE(q.mode_flips(), 2u);
+  EXPECT_GE(q.ladder_epochs(), 1u);
+  EXPECT_GE(q.ladder_spills(), 1u);
+  double last = 0;
+  while (!q.empty()) {
+    EXPECT_GE(q.next_time(), last);
+    last = q.next_time();
+    q.pop();
+  }
+  // Draining back through the low-water mark re-enters the heap tier.
+  EXPECT_GE(q.mode_flips(), 3u);
+  EXPECT_EQ(q.mode(), QueueMode::Adaptive);  // policy never changes
+}
+
+TEST(QueueMode, LadderKeepsFifoOnAllEqualTimes) {
+  // Degenerate span (every event at one instant): the epoch width guard
+  // must keep redistribution terminating and the seq tie-break exact.
+  EventQueue q;
+  q.set_mode(QueueMode::Ladder);
+  std::vector<int> fired;
+  for (int i = 0; i < 5000; ++i)
+    q.push(7.0, [i, &fired] { fired.push_back(i); });
+  while (!q.empty()) q.pop()();
+  ASSERT_EQ(fired.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(QueueMode, LadderOrdersInfiniteTimersLast) {
+  // Horizon-guard timers at +inf must sort after every finite event and
+  // keep FIFO among themselves (they ride the overflow/re-seed path).
+  EventQueue q;
+  q.set_mode(QueueMode::Ladder);
+  std::vector<int> fired;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 300; ++i) {
+    q.push(inf, [i, &fired] { fired.push_back(1000000 + i); });
+    q.push(static_cast<double>(300 - i), [i, &fired] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  ASSERT_EQ(fired.size(), 600u);
+  for (int i = 0; i < 300; ++i)
+    EXPECT_EQ(fired[static_cast<size_t>(i)], 299 - i);  // finite, ascending
+  for (int i = 0; i < 300; ++i)
+    EXPECT_EQ(fired[static_cast<size_t>(300 + i)], 1000000 + i);  // FIFO
+}
+
+TEST(QueueMode, ReserveDoesNotDisturbOrderOrCounters) {
+  EventQueue q;
+  q.reserve(1 << 14);
+  std::vector<int> order;
+  q.push(2.0, [&] { order.push_back(2); });
+  q.push(1.0, [&] { order.push_back(1); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.pushed(), 2u);
 }
 
 }  // namespace

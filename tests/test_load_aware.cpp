@@ -61,9 +61,32 @@ TEST(LoadAccount, UtilizationEwmaDecaysInSimulatedTime) {
 
 // --- LoadModels -----------------------------------------------------------
 
+TEST(LoadBoard, ShardedSlotsKeepStableAddressesAcrossGrowth) {
+  core::LoadBoard board(1);
+  board[0].configure(5.0, 0.0);
+  core::LoadAccount* first = &board[0];
+  board[0].add_backlog(2.0);
+  // Growing the board appends shards; existing accounts never move (the
+  // nodes hold raw pointers into the board for the life of a run).
+  board.resize(4096);
+  EXPECT_EQ(&board[0], first);
+  EXPECT_DOUBLE_EQ(board[0].read(0.0).queued_pex, 2.0);
+  board[4095].configure(5.0, 0.0);
+  board[4095].add_backlog(7.0);
+  std::size_t seen = 0;
+  double sum = 0.0;
+  board.for_each([&](std::size_t i, const core::LoadAccount& acct) {
+    ++seen;
+    sum += acct.read(0.0).queued_pex;
+    (void)i;
+  });
+  EXPECT_EQ(seen, 4096u);
+  EXPECT_DOUBLE_EQ(sum, 9.0);
+}
+
 TEST(LoadModel, ExactReadsLiveAccounts) {
-  std::vector<core::LoadAccount> board(2);
-  for (auto& acct : board) acct.configure(5.0, 0.0);
+  core::LoadBoard board(2);
+  for (std::size_t i = 0; i < 2; ++i) board[i].configure(5.0, 0.0);
   core::ExactLoadModel model(board);
   board[1].add_backlog(4.0);
   EXPECT_DOUBLE_EQ(model.load(1, 0.0).queued_pex, 4.0);
@@ -73,7 +96,7 @@ TEST(LoadModel, ExactReadsLiveAccounts) {
 }
 
 TEST(LoadModel, SampledServesTheLastSnapshotNotLiveState) {
-  std::vector<core::LoadAccount> board(1);
+  core::LoadBoard board(1);
   board[0].configure(5.0, 0.0);
   core::SnapshotLoadModel model(board, /*period=*/2.0,
                                 core::SnapshotLoadModel::Serve::Latest);
@@ -89,7 +112,7 @@ TEST(LoadModel, SampledServesTheLastSnapshotNotLiveState) {
 }
 
 TEST(LoadModel, StaleServesThePreviousSnapshot) {
-  std::vector<core::LoadAccount> board(1);
+  core::LoadBoard board(1);
   board[0].configure(5.0, 0.0);
   core::SnapshotLoadModel model(board, /*period=*/2.0,
                                 core::SnapshotLoadModel::Serve::Previous);

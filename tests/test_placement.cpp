@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <vector>
 #include <span>
@@ -59,15 +61,40 @@ TEST(PlacementSpec, ParseRoundTripsAndRejectsJunk) {
   EXPECT_EQ(PlacementSpec::parse("static").kind, PlacementKind::Static);
   EXPECT_EQ(PlacementSpec::parse("jsq-pex").kind, PlacementKind::JsqPex);
   EXPECT_EQ(PlacementSpec::parse("jsq-util").kind, PlacementKind::JsqUtil);
-  for (const auto name : placement_names())
-    EXPECT_EQ(PlacementSpec::parse(name).describe(), name);
+  for (const auto name : placement_names()) {
+    // Every registered name parses, and describe() round-trips through
+    // parse to an equivalent spec (pod prints its d: "pod" -> "pod:2").
+    const auto spec = PlacementSpec::parse(name);
+    const auto again = PlacementSpec::parse(spec.describe());
+    EXPECT_EQ(again.kind, spec.kind);
+    EXPECT_EQ(again.d, spec.d);
+    EXPECT_EQ(again.describe(), spec.describe());
+  }
   EXPECT_THROW(PlacementSpec::parse(""), std::invalid_argument);
   EXPECT_THROW(PlacementSpec::parse("jsq"), std::invalid_argument);
   EXPECT_THROW(PlacementSpec::parse("random"), std::invalid_argument);
-  // No kind is parameterized; a suffixed token must not half-apply.
+  // Only pod is parameterized; a suffixed token elsewhere must not
+  // half-apply.
   EXPECT_THROW(PlacementSpec::parse("jsq-pex:junk"), std::invalid_argument);
   EXPECT_THROW(PlacementSpec::parse("static:1"), std::invalid_argument);
   EXPECT_THROW(PlacementSpec::parse("jsq-pex:"), std::invalid_argument);
+}
+
+TEST(PlacementSpec, PodParsesItsSampleCountStrictly) {
+  EXPECT_EQ(PlacementSpec::parse("pod").kind, PlacementKind::PowerOfD);
+  EXPECT_EQ(PlacementSpec::parse("pod").d, 2u);  // Mitzenmacher default
+  EXPECT_EQ(PlacementSpec::parse("pod:3").d, 3u);
+  EXPECT_EQ(PlacementSpec::parse("pod:1").d, 1u);  // degenerate: random
+  EXPECT_EQ(PlacementSpec::parse("pod:1024").d, 1024u);
+  EXPECT_EQ(PlacementSpec::parse("pod:3").describe(), "pod:3");
+  // Strict: a malformed d must never silently run with the default.
+  EXPECT_THROW(PlacementSpec::parse("pod:"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("pod:0"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("pod:-2"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("pod:junk"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("pod:2.5"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("pod:1025"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("pod:1e9"), std::invalid_argument);
 }
 
 TEST(PlacementSpec, FactoryMatchesRegistryNames) {
@@ -136,6 +163,90 @@ TEST(JsqPlacement, TiesRotateDeterministically) {
   for (int i = 0; i < 6; ++i) picks.push_back(policy.place(ctx, candidates));
   EXPECT_EQ(picks, (std::vector<NodeId>{3, 5, 7, 3, 5, 7}));
   EXPECT_EQ(policy.decisions(), 6u);
+}
+
+// --- pod:d (power-of-d-choices) -------------------------------------------
+
+TEST(PodPlacement, FollowsTheDocumentedDrawOrderExactly) {
+  // The draw-order contract is API: exactly d calls to rng.below(n - j)
+  // (a partial Fisher-Yates over the identity permutation, undone after
+  // the decision), argmin queued-pex among the d sampled candidates with
+  // first-in-draw-order winning ties. A mirror rng replays the documented
+  // sequence and must predict every single decision.
+  const FixedLoadModel model = backlogs({5.0, 1.0, 4.0, 2.0, 9.0, 0.5, 7.0,
+                                         3.0});
+  PodPlacement policy(2, Rng(99, kPlacementRngStream));
+  Rng mirror(99, kPlacementRngStream);
+  PlacementContext ctx;
+  ctx.load = &model;
+  const std::vector<NodeId> candidates = {0, 1, 2, 3, 4, 5, 6, 7};
+  for (int decision = 0; decision < 500; ++decision) {
+    std::vector<std::uint32_t> idx(candidates.size());
+    for (std::uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    NodeId expected = candidates[0];
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint32_t j = 0; j < 2; ++j) {
+      const auto r = j + static_cast<std::uint32_t>(
+                             mirror.below(candidates.size() - j));
+      std::swap(idx[j], idx[r]);
+      const NodeId node = candidates[idx[j]];
+      const double key = model.load(node, 0.0).queued_pex;
+      if (key < best) {
+        best = key;
+        expected = node;
+      }
+    }
+    EXPECT_EQ(policy.place(ctx, candidates), expected) << decision;
+  }
+  EXPECT_EQ(policy.counters().decisions, 500u);
+}
+
+TEST(PodPlacement, SmallCandidateSetsAreExhaustiveAndDrawNothing) {
+  // n <= d degenerates to a full argmin scan with ZERO rng draws — the
+  // mirror below stays in lockstep across the small decisions, proving no
+  // entropy was consumed by them.
+  const FixedLoadModel model = backlogs({5.0, 1.0, 4.0, 2.0, 9.0, 0.5, 7.0,
+                                         3.0});
+  PodPlacement policy(4, Rng(31, kPlacementRngStream));
+  Rng mirror(31, kPlacementRngStream);
+  PlacementContext ctx;
+  ctx.load = &model;
+  const std::vector<NodeId> small = {0, 2, 3};  // n=3 <= d=4
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(policy.place(ctx, small), 3u);
+  // Now a big set: the policy's first real draws must match a fresh mirror
+  // of the documented sequence.
+  const std::vector<NodeId> big = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<std::uint32_t> idx(big.size());
+  for (std::uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  NodeId expected = big[0];
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    const auto r =
+        j + static_cast<std::uint32_t>(mirror.below(big.size() - j));
+    std::swap(idx[j], idx[r]);
+    const double key = model.load(big[idx[j]], 0.0).queued_pex;
+    if (key < best) {
+      best = key;
+      expected = big[idx[j]];
+    }
+  }
+  EXPECT_EQ(policy.place(ctx, big), expected);
+}
+
+TEST(PodPlacement, IdleBoardTiesKeepTheFirstSample) {
+  // No load model: every key reads zero, so the first drawn candidate
+  // wins every tie (deterministic given the rng stream).
+  PodPlacement policy(3, Rng(12, kPlacementRngStream));
+  Rng mirror(12, kPlacementRngStream);
+  PlacementContext ctx;  // ctx.load == nullptr
+  const std::vector<NodeId> candidates = {4, 5, 6, 7, 8};
+  for (int i = 0; i < 100; ++i) {
+    const auto first = static_cast<std::uint32_t>(mirror.below(5));
+    mirror.below(4);  // remaining draws happen but cannot win a tie
+    mirror.below(3);
+    EXPECT_EQ(policy.place(ctx, candidates), candidates[first]) << i;
+  }
+  EXPECT_THROW(policy.place(ctx, {}), std::invalid_argument);
 }
 
 // --- TaskSpec eligible sets -----------------------------------------------
@@ -510,7 +621,7 @@ TEST(PlacementSystem, JsqChangesSchedulingAndIsReproducible) {
 
 TEST(PlacementSystem, JobsOneEqualsJobsEightForEveryPlacementCombo) {
   std::vector<system::Config> combos;
-  for (const char* placement : {"jsq-pex", "jsq-util"}) {
+  for (const char* placement : {"jsq-pex", "jsq-util", "pod:2", "pod:3"}) {
     for (const char* lm : {"exact", "sampled:2", "none"}) {
       system::Config cfg = system::baseline_ssp();
       cfg.horizon = 4000;
@@ -610,6 +721,95 @@ TEST(PlacementSystem, JsqBeatsStaticTowardSaturation) {
                                m.global.missed.trials());
   };
   EXPECT_LT(md(jsq), md(stat));
+}
+
+TEST(PlacementSystem, PodBeatsStaticTowardSaturation) {
+  // Mitzenmacher's two-choices property at test scale: sampling just d=2
+  // queues captures most of jsq's miss-ratio gain over the static draw —
+  // at O(d) instead of O(k) per decision. Deterministic seeds; the
+  // abl_scale bench explores the crossover at real k.
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = 100000;
+  cfg.load = 0.85;
+  const auto stat = system::simulate(cfg, 0);
+  cfg.placement = PlacementSpec::parse("pod:2");
+  cfg.load_model = LoadModelSpec::parse("exact");
+  const auto pod = system::simulate(cfg, 0);
+  const auto md = [](const system::RunMetrics& m) {
+    return static_cast<double>(m.local.missed.hits() +
+                               m.global.missed.hits()) /
+           static_cast<double>(m.local.missed.trials() +
+                               m.global.missed.trials());
+  };
+  EXPECT_LT(md(pod), md(stat));
+}
+
+TEST(PlacementSystem, PodIsReproduciblePerReplication) {
+  // The sampling rng is seeded from the replication seed (stream
+  // kPlacementRngStream): same (config, replication) => bit-identical run;
+  // different replications draw independent placement streams.
+  system::Config cfg = system::baseline_ssp();
+  cfg.horizon = 20000;
+  cfg.load = 0.8;
+  cfg.placement = PlacementSpec::parse("pod:2");
+  cfg.load_model = LoadModelSpec::parse("exact");
+  const auto a = system::simulate(cfg, 0);
+  const auto b = system::simulate(cfg, 0);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.global.response.mean(), b.global.response.mean());
+  const auto other = system::simulate(cfg, 1);
+  EXPECT_NE(a.global.response.mean(), other.global.response.mean());
+}
+
+// --- Event-queue modes at system level ------------------------------------
+
+TEST(EventQueueSystem, LayoutIsTrajectoryInvariant) {
+  // The tentpole contract: --event_queue changes the pending-set data
+  // structure, never the trajectory. A k=128 run keeps ~258 events pending
+  // (past the forced-ladder bucket threshold), and every layout must
+  // produce the bit-identical run.
+  system::Config cfg = system::baseline_ssp();
+  cfg.nodes = 128;
+  cfg.horizon = 4000;
+  cfg.load = 0.6;
+  cfg.event_queue = sim::QueueMode::Heap;
+  const auto heap = system::simulate(cfg, 0);
+  cfg.event_queue = sim::QueueMode::Ladder;
+  const auto ladder = system::simulate(cfg, 0);
+  cfg.event_queue = sim::QueueMode::Adaptive;
+  const auto adaptive = system::simulate(cfg, 0);
+  EXPECT_EQ(heap.events, ladder.events);
+  EXPECT_EQ(heap.events, adaptive.events);
+  EXPECT_EQ(heap.global.response.mean(), ladder.global.response.mean());
+  EXPECT_EQ(heap.local.response.mean(), ladder.local.response.mean());
+  EXPECT_EQ(heap.global.response.mean(), adaptive.global.response.mean());
+  EXPECT_EQ(heap.mean_utilization, ladder.mean_utilization);
+}
+
+TEST(EventQueueSystem, CliFlagAndSweepAxisWireTheMode) {
+  std::vector<const char*> argv = {"prog", "--event_queue=ladder"};
+  const util::Flags flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(system::config_from_flags(flags).event_queue,
+            sim::QueueMode::Ladder);
+  // Usage advertises the registry vocabulary.
+  const std::string usage = system::cli_usage();
+  for (const auto name : sim::queue_mode_names())
+    EXPECT_NE(usage.find(std::string(name)), std::string::npos) << name;
+  // Sweep axis mutates the config field (and rejects junk up front).
+  const auto axis =
+      engine::SweepAxis::by_field("event_queue", {"heap", "adaptive"});
+  system::Config cfg = system::baseline_ssp();
+  axis.apply[0](cfg);
+  EXPECT_EQ(cfg.event_queue, sim::QueueMode::Heap);
+  axis.apply[1](cfg);
+  EXPECT_EQ(cfg.event_queue, sim::QueueMode::Adaptive);
+  EXPECT_THROW(engine::SweepAxis::by_field("event_queue", {"lader"}),
+               std::invalid_argument);
+  // A non-default mode shows up in the config description (provenance of
+  // emitted artifacts); the default stays silent.
+  EXPECT_EQ(cfg.describe().find("event_queue"), std::string::npos);
+  cfg.event_queue = sim::QueueMode::Ladder;
+  EXPECT_NE(cfg.describe().find("event_queue=ladder"), std::string::npos);
 }
 
 // --- Downstream-aware serial strategies (EQS-LD / EQF-LD) -----------------
