@@ -3,13 +3,12 @@
 // significant when there is moderate slack and load": too-tight or
 // too-loose timing makes every SSP strategy look alike.
 //
-// Declared as a rel_flex x load x strategy SweepGrid (3 axes, 42 points)
-// on the engine thread pool; the gap table is a reduction over the
-// strategy axis.
+// The grid is the registered `abl_rel_flex` sweep manifest (dsrt::xp, 3
+// axes, 42 points); the gap table is a reduction over the strategy axis.
 #include <vector>
 
 #include "bench_common.hpp"
-#include "dsrt/system/baseline.hpp"
+#include "dsrt/xp/manifest.hpp"
 
 int main(int argc, char** argv) {
   const dsrt::util::Flags flags(argc, argv);
@@ -20,17 +19,14 @@ int main(int argc, char** argv) {
                 "MD_global(UD) - MD_global(EQF) in percentage points; "
                 "positive = EQF better");
 
-  const std::vector<std::string> flexes = {"0.1", "0.25", "0.5", "1.0",
-                                           "2.0", "4.0", "8.0"};
-  const std::vector<std::string> loads = {"0.3", "0.5", "0.7"};
+  const dsrt::xp::Manifest& manifest =
+      dsrt::xp::find_manifest("abl_rel_flex");
+  const dsrt::engine::SweepGrid grid = manifest.grid();
+  const std::vector<std::string>& flexes = grid.axes()[0].labels;
+  const std::vector<std::string>& loads = grid.axes()[1].labels;
 
-  dsrt::engine::SweepGrid grid;
-  grid.axis(dsrt::engine::SweepAxis::by_field("rel_flex", flexes))
-      .axis(dsrt::engine::SweepAxis::by_field("load", loads))
-      .axis(dsrt::engine::SweepAxis::by_field("ssp", {"UD", "EQF"}));
-
-  const auto sweep = bench::run_sweep("abl_rel_flex", grid,
-                                      dsrt::system::baseline_ssp(), rc);
+  const auto sweep =
+      bench::run_sweep("abl_rel_flex", grid, manifest.base(), rc);
 
   // Reduce over the strategy axis: gap(flex, load) = UD - EQF. Each
   // point carries its per-axis coordinates, so the reduction is immune to

@@ -20,6 +20,9 @@
 //
 // Artifact: BENCH_scale.json with one events/second entry per
 // (k, placement, queue) cell plus rss_kb/* gauges (items = resident KB).
+// The deterministic slice of this sweep (k x placement, adaptive queue)
+// is also registered as the `abl_scale_quick` manifest in dsrt::xp, where
+// sweep_cli checks it against committed expectations.
 #include <chrono>
 #include <cstdio>
 #include <fstream>

@@ -6,10 +6,12 @@
 // ~ 24%; ED lies between UD and EQF; EQS ~ EQF; strategies coincide at very
 // light load; MD_local is nearly strategy-independent.
 //
-// Declared as a load x strategy SweepGrid, executed on the engine thread
-// pool (--jobs=N); results are identical to the former serial loops.
+// The grid is the registered `fig2_ssp` sweep manifest (dsrt::xp): this
+// bench renders the same definition sweep_cli runs and checks, with run
+// control (--horizon/--reps/--seed) overriding the manifest's CI-sized
+// base for paper-scale runs.
 #include "bench_common.hpp"
-#include "dsrt/system/baseline.hpp"
+#include "dsrt/xp/manifest.hpp"
 
 int main(int argc, char** argv) {
   const dsrt::util::Flags flags(argc, argv);
@@ -21,15 +23,9 @@ int main(int argc, char** argv) {
                 "baseline: k=6, m=4, frac_local=0.75, EDF, no abort, "
                 "slack U[0.25,2.5], rel_flex=1");
 
-  dsrt::engine::SweepGrid grid;
-  grid.axis(dsrt::engine::SweepAxis::by_field(
-          "load", {"0.1", "0.2", "0.3", "0.4", "0.5"}))
-      .axis(dsrt::engine::SweepAxis::by_field("ssp",
-                                              {"UD", "ED", "EQS", "EQF"}));
-
-  const auto sweep =
-      bench::run_sweep("fig2_ssp_baseline", grid,
-                       dsrt::system::baseline_ssp(), rc);
+  const dsrt::xp::Manifest& manifest = dsrt::xp::find_manifest("fig2_ssp");
+  const auto sweep = bench::run_sweep("fig2_ssp_baseline", manifest.grid(),
+                                      manifest.base(), rc);
 
   std::printf("Fig. 2a — MD_local (%%), by SSP strategy\n");
   bench::emit(dsrt::engine::pivot_table(

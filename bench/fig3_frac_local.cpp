@@ -6,9 +6,10 @@
 // MD_local(UD) climbs mildly, while the EQF curves stay nearly flat —
 // EQF does not discriminate against global tasks.
 //
-// Declared as a frac_local x strategy SweepGrid on the engine thread pool.
+// The grid is the registered `fig3_frac_local` sweep manifest (dsrt::xp);
+// run control overrides the manifest's CI-sized base for paper-scale runs.
 #include "bench_common.hpp"
-#include "dsrt/system/baseline.hpp"
+#include "dsrt/xp/manifest.hpp"
 
 int main(int argc, char** argv) {
   const dsrt::util::Flags flags(argc, argv);
@@ -18,13 +19,10 @@ int main(int argc, char** argv) {
                 "Fig. 3: miss ratios vs frac_local for UD and EQF",
                 "baseline at load 0.5; frac_local swept 0.1..0.95");
 
-  dsrt::engine::SweepGrid grid;
-  grid.axis(dsrt::engine::SweepAxis::by_field(
-          "frac_local", {"0.1", "0.25", "0.5", "0.75", "0.9", "0.95"}))
-      .axis(dsrt::engine::SweepAxis::by_field("ssp", {"UD", "EQF"}));
-
-  const auto sweep = bench::run_sweep("fig3_frac_local", grid,
-                                      dsrt::system::baseline_ssp(), rc);
+  const dsrt::xp::Manifest& manifest =
+      dsrt::xp::find_manifest("fig3_frac_local");
+  const auto sweep = bench::run_sweep("fig3_frac_local", manifest.grid(),
+                                      manifest.base(), rc);
 
   std::printf("Fig. 3 — MD_local (%%) vs fraction of local load\n");
   bench::emit(dsrt::engine::pivot_table(

@@ -6,9 +6,10 @@
 // class miss rates together (at a mild cost to locals); DIV-2 ~ DIV-1
 // except at very high load; GF further reduces MD_global significantly.
 //
-// Declared as a load x strategy SweepGrid on the engine thread pool.
+// The grid is the registered `fig4_psp` sweep manifest (dsrt::xp); run
+// control overrides the manifest's CI-sized base for paper-scale runs.
 #include "bench_common.hpp"
-#include "dsrt/system/baseline.hpp"
+#include "dsrt/xp/manifest.hpp"
 
 int main(int argc, char** argv) {
   const dsrt::util::Flags flags(argc, argv);
@@ -20,14 +21,9 @@ int main(int argc, char** argv) {
                 "baseline with parallel tasks: m=4 subtasks at distinct "
                 "nodes, slack U[1.25,5.0] on max_i ex(Ti)");
 
-  dsrt::engine::SweepGrid grid;
-  grid.axis(dsrt::engine::SweepAxis::by_field(
-          "load", {"0.1", "0.2", "0.3", "0.4", "0.5", "0.6"}))
-      .axis(dsrt::engine::SweepAxis::by_field("psp",
-                                              {"UD", "DIV1", "DIV2", "GF"}));
-
-  const auto sweep = bench::run_sweep("fig4_psp_baseline", grid,
-                                      dsrt::system::baseline_psp(), rc);
+  const dsrt::xp::Manifest& manifest = dsrt::xp::find_manifest("fig4_psp");
+  const auto sweep = bench::run_sweep("fig4_psp_baseline", manifest.grid(),
+                                      manifest.base(), rc);
 
   std::printf("Fig. 4 — MD_local (%%), by PSP strategy\n");
   bench::emit(dsrt::engine::pivot_table(

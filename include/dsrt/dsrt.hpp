@@ -16,6 +16,10 @@
 ///   engine   - experiment orchestration: thread-pool replication/sweep
 ///              runner, declarative parameter grids, seed derivation,
 ///              structured result emitters (CSV / JSON / BENCH artifacts)
+///   xp       - sweep harness: named manifest registry over the engine's
+///              grids, sharded/resumable runner with JSONL artifacts,
+///              tolerance-band checker against committed expectations,
+///              bitwise single-point reproduce (sweep_cli front-end)
 
 #include "dsrt/core/assigner.hpp"
 #include "dsrt/core/load_aware_strategies.hpp"
@@ -66,3 +70,8 @@
 #include "dsrt/workload/generator.hpp"
 #include "dsrt/workload/pex_error.hpp"
 #include "dsrt/workload/shapes.hpp"
+#include "dsrt/xp/artifact.hpp"
+#include "dsrt/xp/checker.hpp"
+#include "dsrt/xp/json.hpp"
+#include "dsrt/xp/manifest.hpp"
+#include "dsrt/xp/runner.hpp"

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dsrt/engine/sweep.hpp"
+#include "dsrt/xp/manifest.hpp"
+
+namespace dsrt::xp {
+
+/// One completed sweep point as stored in the result database: its stable
+/// grid index, coordinates, a hash of the fully-expanded config (so stale
+/// artifacts from an older grid definition are rejected, never silently
+/// merged), and the manifest's metrics. Exact metric values round-trip
+/// bitwise through the JSONL form (hexfloat strings).
+struct PointRecord {
+  std::size_t index = 0;   ///< SweepPoint::ordinal — the harness-wide key
+  std::size_t total = 0;   ///< points in the manifest's grid
+  std::vector<std::string> labels;
+  std::string config_hash; ///< point_config_hash of the expanded point
+  std::uint64_t seed = 0;  ///< config seed the point ran with
+  std::size_t replications = 0;
+  double wall_seconds = 0;
+  /// (name, value) in manifest metric order.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Value by metric name; nullptr when absent.
+  const double* metric(std::string_view name) const;
+};
+
+/// Shortest exact hexfloat form of `v` ("%a"); parse_hexfloat inverts it
+/// bit-for-bit. Throws std::runtime_error on non-numeric/trailing input.
+std::string hexfloat(double v);
+double parse_hexfloat(const std::string& text);
+
+/// FNV-1a 64-bit over `data`, continuing from `basis` so field hashes
+/// chain.
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t basis = 0xcbf29ce484222325ull);
+
+/// Stable identity of one expanded grid point: manifest name, replication
+/// count, ordinal, axis labels, seed, and the config's self-description.
+/// Any change to the grid definition changes this, which is exactly the
+/// signal resume/merge/check use to refuse stale artifacts.
+std::string point_config_hash(const Manifest& manifest,
+                              const engine::SweepPoint& point);
+
+/// Artifact file names under the run's --out directory.
+std::string shard_file_name(const std::string& manifest,
+                            std::size_t shard_index, std::size_t shard_count);
+std::string merged_file_name(const std::string& manifest);
+
+/// One JSONL line (no trailing newline) / its inverse. parse throws
+/// std::runtime_error on malformed or incomplete records.
+std::string artifact_line(const std::string& manifest,
+                          const PointRecord& record);
+PointRecord parse_artifact_line(const std::string& manifest,
+                                const std::string& line);
+
+/// Reads a shard JSONL file. Any truncated or corrupt line — including a
+/// torn final line from an interrupted writer — is a clean
+/// std::runtime_error naming the file and 1-based line number; no partial
+/// result is returned.
+std::vector<PointRecord> load_artifact_file(const std::string& manifest,
+                                            const std::string& path);
+
+/// Appends records to `path` (creates it when absent), one line per
+/// record, flushed per line so an interrupted run loses at most the point
+/// in flight. Throws std::runtime_error when the file cannot be written.
+void append_artifact_records(const std::string& manifest,
+                             const std::string& path,
+                             const std::vector<PointRecord>& records);
+
+/// Merges every `<manifest>.shard-*.jsonl` under `out_dir` into an
+/// index-sorted, complete record set for the manifest's *current* grid:
+/// throws std::runtime_error when a shard is corrupt, a config hash does
+/// not match the current definition, an index is missing or out of range,
+/// or two shards disagree about the same index (identical duplicates — an
+/// overlapping re-run — are fine).
+std::vector<PointRecord> merge_artifacts(const Manifest& manifest,
+                                         const std::string& out_dir);
+
+/// Writes the merged set to `<out_dir>/<manifest>.merged.jsonl` (the CI
+/// upload artifact); returns the path.
+std::string write_merged_artifact(const Manifest& manifest,
+                                  const std::vector<PointRecord>& records,
+                                  const std::string& out_dir);
+
+}  // namespace dsrt::xp

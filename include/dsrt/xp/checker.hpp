@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dsrt/xp/artifact.hpp"
+#include "dsrt/xp/manifest.hpp"
+
+namespace dsrt::xp {
+
+/// Tolerance band of one metric as committed in an expectation file.
+struct MetricBand {
+  std::string name;
+  MetricSpec::Kind kind = MetricSpec::Kind::Exact;
+  double rel_tol = 0;
+  double abs_tol = 0;
+};
+
+/// One expected point: the committed values plus the config hash of the
+/// grid definition they were blessed from.
+struct ExpectedPoint {
+  std::size_t index = 0;
+  std::vector<std::string> labels;
+  std::string config_hash;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Value by metric name; nullptr when absent.
+  const double* metric(std::string_view name) const {
+    for (const auto& [metric_name, value] : metrics)
+      if (metric_name == name) return &value;
+    return nullptr;
+  }
+};
+
+/// A committed expectation file: the whole result database of one
+/// manifest, with per-metric tolerance bands. Exact metrics are stored as
+/// hexfloat and compared bitwise; Relative metrics pass when actual stays
+/// within a factor of (1 + rel_tol) of expected in either direction (same
+/// sign), or when |actual - expected| <= abs_tol.
+struct Expectations {
+  std::string manifest;
+  std::size_t points = 0;
+  std::vector<MetricBand> bands;
+  std::vector<ExpectedPoint> values;  ///< index order
+};
+
+/// Bless: turns a complete merged record set into the expectations to
+/// commit, with bands taken from the manifest's metric declarations.
+Expectations make_expectations(const Manifest& manifest,
+                               const std::vector<PointRecord>& merged);
+
+std::string expectations_json(const Expectations& expectations);
+Expectations parse_expectations(const std::string& text);
+
+/// expectations/<manifest>.json under `dir`; write returns the path.
+std::string expectations_path(const std::string& manifest,
+                              const std::string& dir);
+std::string write_expectations(const Expectations& expectations,
+                               const std::string& dir);
+Expectations load_expectations(const std::string& path);
+
+/// One out-of-band result: the exact (manifest, index, metric) coordinates
+/// plus a human-readable reason — the failure report the ISSUE asks for.
+struct CheckFailure {
+  std::size_t index = 0;
+  std::string point;   ///< "load=0.4, ssp=EQS"
+  std::string metric;  ///< metric name, or "(config)" for drift failures
+  std::string detail;
+};
+
+struct CheckReport {
+  std::string manifest;
+  std::size_t points_checked = 0;
+  std::size_t metrics_checked = 0;
+  std::vector<CheckFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// Diffs a complete merged record set against the committed expectations.
+/// Never throws on out-of-band values — every deviation (missing metric,
+/// drifted config hash, band violation) becomes a CheckFailure naming the
+/// offending (manifest, index, metric). Throws std::runtime_error only on
+/// structurally unusable input (expectations for a different manifest).
+CheckReport check_records(const Manifest& manifest,
+                          const std::vector<PointRecord>& merged,
+                          const Expectations& expectations);
+
+/// Multi-line failure report ("<manifest> point <i> (<labels>) <metric>:
+/// ...") plus a one-line summary; empty-failure reports render the
+/// pass summary line only.
+std::string format_report(const CheckReport& report);
+
+}  // namespace dsrt::xp

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsrt::xp {
+
+/// Minimal JSON document model for the sweep-harness artifacts
+/// (expectation files, shard JSONL records). Only what those files need:
+/// objects, arrays, strings, numbers, booleans, null. Object keys keep
+/// insertion order irrelevant — lookups are by name. Exact doubles travel
+/// as hexfloat *strings* ("0x1.8p-2"), so the number grammar here never
+/// has to round-trip bit patterns.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool is(Kind k) const { return kind_ == k; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+
+  /// Object member access; `get` returns nullptr when absent, `at` throws
+  /// std::runtime_error naming the missing key.
+  const JsonValue* get(const std::string& key) const;
+  const JsonValue& at(const std::string& key) const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+/// Throws std::runtime_error with a character offset on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace dsrt::xp

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsrt/engine/sweep.hpp"
+#include "dsrt/system/config.hpp"
+#include "dsrt/system/experiment.hpp"
+
+namespace dsrt::xp {
+
+/// One executed grid point as the metric selectors see it: the replication
+/// aggregate plus the measured wall time of the point.
+struct PointRun {
+  const system::ExperimentResult& result;
+  double wall_seconds = 0;
+};
+
+/// One checked metric of a sweep point.
+///
+/// `Exact` metrics are deterministic functions of (config, seed) — miss
+/// ratios, finished counts, event counts — and are recorded/compared
+/// bitwise (hexfloat round-trip). `Relative` metrics are measurements of
+/// the machine, not the model (events/second), and are compared against a
+/// symmetric ratio band: pass when actual is within a factor of
+/// (1 + rel_tol) of expected in either direction (same sign), or when
+/// |actual - expected| <= abs_tol.
+struct MetricSpec {
+  enum class Kind { Exact, Relative };
+
+  std::string name;
+  Kind kind = Kind::Exact;
+  double rel_tol = 0;
+  double abs_tol = 0;
+  std::function<double(const PointRun&)> select;
+};
+
+/// The standard metric set shared by the built-in manifests: bitwise
+/// md_local / md_global / md_overall / finished_local / finished_global /
+/// events, plus a banded events_per_sec. The generous default band (a
+/// factor of 10 in either direction) absorbs dev-box-vs-CI hardware
+/// spread while still catching a catastrophic slowdown; tighten it per
+/// manifest if blessed and checked on the same class of machine.
+std::vector<MetricSpec> default_metrics(double ev_per_sec_rel_tol = 9.0);
+
+/// A named, re-runnable experiment grid: everything `sweep_cli` needs to
+/// run, shard, check, and reproduce it — base config, axes, replication
+/// count, and which metrics its result database records. The figure/
+/// ablation benches declare their grids here once and become thin
+/// renderers over the same definition, so the checked surface and the
+/// printed tables can never drift apart.
+struct Manifest {
+  std::string name;
+  std::string description;
+  std::size_t replications = 2;
+  std::function<system::Config()> base;
+  std::function<engine::SweepGrid()> grid;
+  std::vector<MetricSpec> metrics;
+
+  /// Grid expansion over the base config, with every point validated.
+  /// The point `ordinal` is the stable index the whole harness keys on
+  /// (artifacts, expectations, `reproduce <manifest> <index>`).
+  std::vector<engine::SweepPoint> expand() const;
+
+  /// Number of points expand() produces (expands the grid; cheap, no
+  /// simulation).
+  std::size_t points() const;
+
+  const MetricSpec* metric(std::string_view metric_name) const;
+};
+
+/// Name-keyed manifest collection. The built-in registry is the single
+/// source of truth for the experiment surface; tests build private ones.
+class Registry {
+ public:
+  /// Throws std::invalid_argument on duplicate or empty names.
+  void add(Manifest manifest);
+
+  const Manifest* find(std::string_view name) const;
+
+  /// Like find, but throws std::invalid_argument listing every registered
+  /// name — the same registry-generated error vocabulary the sim_cli
+  /// strategy parsers use.
+  const Manifest& at(std::string_view name) const;
+
+  std::vector<std::string> names() const;
+  const std::vector<Manifest>& all() const { return manifests_; }
+
+ private:
+  std::vector<Manifest> manifests_;
+};
+
+/// The process-wide registry holding the built-in manifests (fig2_ssp,
+/// fig3_frac_local, fig4_psp, abl_rel_flex, abl_scale_quick), constructed
+/// on first use.
+Registry& builtin_registry();
+
+/// `builtin_registry().at(name)`.
+const Manifest& find_manifest(std::string_view name);
+
+}  // namespace dsrt::xp

@@ -1,0 +1,277 @@
+#include "dsrt/xp/checker.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dsrt/xp/json.hpp"
+
+namespace dsrt::xp {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::string kind_name(MetricSpec::Kind kind) {
+  return kind == MetricSpec::Kind::Exact ? "exact" : "relative";
+}
+
+MetricSpec::Kind parse_kind(const std::string& name) {
+  if (name == "exact") return MetricSpec::Kind::Exact;
+  if (name == "relative") return MetricSpec::Kind::Relative;
+  throw std::runtime_error("unknown metric kind '" + name + "'");
+}
+
+std::string describe_value(double v) {
+  return hexfloat(v) + " (" + num(v) + ")";
+}
+
+std::string point_label(const std::vector<std::string>& axis_names,
+                        const std::vector<std::string>& labels) {
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ", ";
+    if (i < axis_names.size()) out += axis_names[i] + "=";
+    out += labels[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Expectations make_expectations(const Manifest& manifest,
+                               const std::vector<PointRecord>& merged) {
+  Expectations expectations;
+  expectations.manifest = manifest.name;
+  expectations.points = merged.size();
+  for (const MetricSpec& metric : manifest.metrics)
+    expectations.bands.push_back(
+        {metric.name, metric.kind, metric.rel_tol, metric.abs_tol});
+  for (const PointRecord& record : merged) {
+    ExpectedPoint point;
+    point.index = record.index;
+    point.labels = record.labels;
+    point.config_hash = record.config_hash;
+    point.metrics = record.metrics;
+    expectations.values.push_back(std::move(point));
+  }
+  return expectations;
+}
+
+std::string expectations_json(const Expectations& expectations) {
+  std::ostringstream os;
+  os << "{\n  \"manifest\": " << quoted(expectations.manifest)
+     << ",\n  \"schema\": 1,\n  \"points\": " << expectations.points
+     << ",\n  \"bands\": [\n";
+  for (std::size_t i = 0; i < expectations.bands.size(); ++i) {
+    const MetricBand& band = expectations.bands[i];
+    os << "    {\"name\": " << quoted(band.name) << ", \"kind\": "
+       << quoted(kind_name(band.kind));
+    if (band.kind == MetricSpec::Kind::Relative)
+      os << ", \"rel_tol\": " << num(band.rel_tol)
+         << ", \"abs_tol\": " << num(band.abs_tol);
+    os << "}" << (i + 1 < expectations.bands.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"values\": [\n";
+  for (std::size_t i = 0; i < expectations.values.size(); ++i) {
+    const ExpectedPoint& point = expectations.values[i];
+    os << "    {\"index\": " << point.index << ", \"labels\": [";
+    for (std::size_t j = 0; j < point.labels.size(); ++j)
+      os << (j ? ", " : "") << quoted(point.labels[j]);
+    os << "], \"config_hash\": " << quoted(point.config_hash)
+       << ", \"metrics\": {";
+    for (std::size_t j = 0; j < point.metrics.size(); ++j)
+      os << (j ? ", " : "") << quoted(point.metrics[j].first) << ": "
+         << quoted(hexfloat(point.metrics[j].second));
+    os << "}}" << (i + 1 < expectations.values.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+Expectations parse_expectations(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  if (doc.at("schema").as_number() != 1)
+    throw std::runtime_error("unsupported expectations schema");
+  Expectations expectations;
+  expectations.manifest = doc.at("manifest").as_string();
+  expectations.points =
+      static_cast<std::size_t>(doc.at("points").as_number());
+  for (const JsonValue& band_doc : doc.at("bands").as_array()) {
+    MetricBand band;
+    band.name = band_doc.at("name").as_string();
+    band.kind = parse_kind(band_doc.at("kind").as_string());
+    if (const JsonValue* rel = band_doc.get("rel_tol"))
+      band.rel_tol = rel->as_number();
+    if (const JsonValue* abs = band_doc.get("abs_tol"))
+      band.abs_tol = abs->as_number();
+    expectations.bands.push_back(std::move(band));
+  }
+  for (const JsonValue& value_doc : doc.at("values").as_array()) {
+    ExpectedPoint point;
+    point.index =
+        static_cast<std::size_t>(value_doc.at("index").as_number());
+    for (const JsonValue& label : value_doc.at("labels").as_array())
+      point.labels.push_back(label.as_string());
+    point.config_hash = value_doc.at("config_hash").as_string();
+    for (const auto& [name, value] : value_doc.at("metrics").as_object())
+      point.metrics.emplace_back(name, parse_hexfloat(value.as_string()));
+    expectations.values.push_back(std::move(point));
+  }
+  return expectations;
+}
+
+std::string expectations_path(const std::string& manifest,
+                              const std::string& dir) {
+  return dir + "/" + manifest + ".json";
+}
+
+std::string write_expectations(const Expectations& expectations,
+                               const std::string& dir) {
+  const std::string path = expectations_path(expectations.manifest, dir);
+  std::ofstream file(path);
+  if (!file)
+    throw std::runtime_error("cannot open expectation file " + path);
+  file << expectations_json(expectations);
+  if (!file.good())
+    throw std::runtime_error("write failed for expectation file " + path);
+  return path;
+}
+
+Expectations load_expectations(const std::string& path) {
+  std::ifstream file(path);
+  if (!file)
+    throw std::runtime_error("cannot open expectation file " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  try {
+    return parse_expectations(text.str());
+  } catch (const std::exception& error) {
+    throw std::runtime_error(path + ": " + error.what());
+  }
+}
+
+CheckReport check_records(const Manifest& manifest,
+                          const std::vector<PointRecord>& merged,
+                          const Expectations& expectations) {
+  if (expectations.manifest != manifest.name)
+    throw std::runtime_error("expectations are for manifest '" +
+                             expectations.manifest + "', not '" +
+                             manifest.name + "'");
+  const std::vector<engine::SweepPoint> points = manifest.expand();
+  if (merged.size() != points.size())
+    throw std::runtime_error(
+        "check: merged record set has " + std::to_string(merged.size()) +
+        " points, current grid has " + std::to_string(points.size()));
+  if (expectations.values.size() != points.size() ||
+      expectations.points != points.size())
+    throw std::runtime_error(
+        "check: expectations hold " +
+        std::to_string(expectations.values.size()) +
+        " points, current grid has " + std::to_string(points.size()) +
+        " — the manifest changed; re-bless");
+
+  const std::vector<std::string> axis_names = manifest.grid().axis_names();
+  CheckReport report;
+  report.manifest = manifest.name;
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointRecord& record = merged[i];
+    const ExpectedPoint& expected = expectations.values[i];
+    if (record.index != i || expected.index != i)
+      throw std::runtime_error("check: records not in index order at " +
+                               std::to_string(i));
+    const std::string label = point_label(axis_names, record.labels);
+    ++report.points_checked;
+
+    const std::string current_hash = point_config_hash(manifest, points[i]);
+    if (expected.config_hash != current_hash) {
+      report.failures.push_back(
+          {i, label, "(config)",
+           "expectation blessed from a different grid definition (hash " +
+               expected.config_hash + ", current " + current_hash +
+               ") — re-bless after intentional manifest changes"});
+      continue;
+    }
+
+    for (const MetricBand& band : expectations.bands) {
+      const double* actual = record.metric(band.name);
+      const double* want = nullptr;
+      for (const auto& [name, value] : expected.metrics)
+        if (name == band.name) want = &value;
+      if (!actual || !want) {
+        report.failures.push_back(
+            {i, label, band.name,
+             std::string("metric missing from ") +
+                 (!actual ? "the merged artifact" : "the expectations")});
+        continue;
+      }
+      ++report.metrics_checked;
+      if (band.kind == MetricSpec::Kind::Exact) {
+        if (!bits_equal(*actual, *want))
+          report.failures.push_back(
+              {i, label, band.name,
+               "expected " + describe_value(*want) + ", got " +
+                   describe_value(*actual) + " [exact]"});
+      } else {
+        // Ratio band, symmetric in both directions: a linear band
+        // (rel_tol * |expected|) could never flag a slowdown — the
+        // deviation below is bounded by |expected| itself — so rate
+        // metrics are checked multiplicatively instead.
+        const double factor = 1.0 + band.rel_tol;
+        const double lo = std::min(std::fabs(*actual), std::fabs(*want));
+        const double hi = std::max(std::fabs(*actual), std::fabs(*want));
+        const bool same_sign = (*actual >= 0) == (*want >= 0);
+        if (std::fabs(*actual - *want) > band.abs_tol &&
+            (!same_sign || hi > factor * lo))
+          report.failures.push_back(
+              {i, label, band.name,
+               "expected within " + num(factor) + "x of " + num(*want) +
+                   ", got " + num(*actual) + " [relative]"});
+      }
+    }
+  }
+  return report;
+}
+
+std::string format_report(const CheckReport& report) {
+  std::ostringstream os;
+  for (const CheckFailure& failure : report.failures)
+    os << report.manifest << " point " << failure.index << " ("
+       << failure.point << ") metric " << failure.metric << ": "
+       << failure.detail << "\n";
+  if (report.ok())
+    os << report.manifest << ": OK (" << report.points_checked
+       << " points, " << report.metrics_checked << " metric checks within "
+       << "bands)\n";
+  else
+    os << report.manifest << ": FAIL (" << report.failures.size()
+       << " failure(s) over " << report.points_checked << " points)\n";
+  return os.str();
+}
+
+}  // namespace dsrt::xp

@@ -1,0 +1,174 @@
+// Built-in sweep manifests: the experiment grids the figure/ablation
+// benches render, declared once as named, checkable definitions. The
+// benches pull their grid + base from here (thin wrappers), and
+// `sweep_cli run/check/reproduce` and the committed expectation files key
+// on the same definitions — so the validated result database and the
+// printed tables cannot drift apart.
+//
+// Canonical manifest horizons are deliberately CI-sized (the committed
+// expectations are re-checked on every push): fig grids run at 5e4 time
+// units, the scale grid at a constant-event-budget 2e4. A bench still
+// reproduces the paper figures at the paper's 1e6 horizon — bench run
+// control overrides the manifest base — but the *checked* surface is the
+// quick grid. Changing any definition here changes the config hashes, so
+// stale artifacts and expectations are rejected instead of silently
+// mis-compared (re-run `sweep_cli bless` after an intentional change).
+#include "dsrt/xp/manifest.hpp"
+
+#include "dsrt/system/baseline.hpp"
+
+namespace dsrt::xp {
+
+namespace {
+
+using engine::SweepAxis;
+using engine::SweepGrid;
+using system::Config;
+
+Manifest fig2_manifest() {
+  Manifest m;
+  m.name = "fig2_ssp";
+  m.description =
+      "Fig. 2 grid: MD_local/MD_global vs load for SSP strategies "
+      "UD, ED, EQS, EQF (Table-1 baseline)";
+  m.base = [] {
+    Config cfg = system::baseline_ssp();
+    cfg.horizon = 5e4;
+    return cfg;
+  };
+  m.grid = [] {
+    SweepGrid grid;
+    grid.axis(SweepAxis::by_field("load", {"0.1", "0.2", "0.3", "0.4", "0.5"}))
+        .axis(SweepAxis::by_field("ssp", {"UD", "ED", "EQS", "EQF"}));
+    return grid;
+  };
+  m.metrics = default_metrics();
+  return m;
+}
+
+Manifest fig3_manifest() {
+  Manifest m;
+  m.name = "fig3_frac_local";
+  m.description =
+      "Fig. 3 grid: miss ratios vs frac_local for UD and EQF at load 0.5";
+  m.base = [] {
+    Config cfg = system::baseline_ssp();
+    cfg.horizon = 5e4;
+    return cfg;
+  };
+  m.grid = [] {
+    SweepGrid grid;
+    grid.axis(SweepAxis::by_field("frac_local",
+                                  {"0.1", "0.25", "0.5", "0.75", "0.9",
+                                   "0.95"}))
+        .axis(SweepAxis::by_field("ssp", {"UD", "EQF"}));
+    return grid;
+  };
+  m.metrics = default_metrics();
+  return m;
+}
+
+Manifest fig4_manifest() {
+  Manifest m;
+  m.name = "fig4_psp";
+  m.description =
+      "Fig. 4 grid: MD_local/MD_global vs load for PSP strategies "
+      "UD, DIV-1, DIV-2, GF (parallel baseline)";
+  m.base = [] {
+    Config cfg = system::baseline_psp();
+    cfg.horizon = 5e4;
+    return cfg;
+  };
+  m.grid = [] {
+    SweepGrid grid;
+    grid.axis(SweepAxis::by_field("load",
+                                  {"0.1", "0.2", "0.3", "0.4", "0.5", "0.6"}))
+        .axis(SweepAxis::by_field("psp", {"UD", "DIV1", "DIV2", "GF"}));
+    return grid;
+  };
+  m.metrics = default_metrics();
+  return m;
+}
+
+Manifest abl_rel_flex_manifest() {
+  Manifest m;
+  m.name = "abl_rel_flex";
+  m.description =
+      "Section 4.3 ablation grid: rel_flex x load x {UD, EQF} "
+      "(EQF wins in the moderate slack/load band)";
+  m.base = [] {
+    Config cfg = system::baseline_ssp();
+    cfg.horizon = 5e4;
+    return cfg;
+  };
+  m.grid = [] {
+    SweepGrid grid;
+    grid.axis(SweepAxis::by_field(
+            "rel_flex", {"0.1", "0.25", "0.5", "1.0", "2.0", "4.0", "8.0"}))
+        .axis(SweepAxis::by_field("load", {"0.3", "0.5", "0.7"}))
+        .axis(SweepAxis::by_field("ssp", {"UD", "EQF"}));
+    return grid;
+  };
+  m.metrics = default_metrics();
+  return m;
+}
+
+Manifest abl_scale_quick_manifest() {
+  Manifest m;
+  m.name = "abl_scale_quick";
+  m.description =
+      "Scale ablation (quick grid): k x placement at constant per-node "
+      "load; horizon shrinks 24/k past k=24 so the event budget per point "
+      "stays flat (mirrors bench_abl_scale --quick)";
+  m.base = [] {
+    Config cfg = system::baseline_ssp();
+    cfg.horizon = 2e4;
+    return cfg;
+  };
+  m.grid = [] {
+    SweepGrid grid;
+    std::vector<std::pair<std::string, std::function<void(Config&)>>> ks;
+    for (std::size_t k : {std::size_t{64}, std::size_t{256}}) {
+      ks.emplace_back(std::to_string(k), [k](Config& cfg) {
+        cfg.nodes = k;
+        // Relative to the base horizon, so bench run control composes.
+        if (k > 24) cfg.horizon *= 24.0 / static_cast<double>(k);
+      });
+    }
+    std::vector<std::pair<std::string, std::function<void(Config&)>>>
+        placements;
+    for (const auto& [placement, load_model] :
+         {std::pair<const char*, const char*>{"static", "none"},
+          {"jsq-pex", "exact"},
+          {"pod:2", "exact"}}) {
+      placements.emplace_back(
+          placement, [placement = std::string(placement),
+                      load_model = std::string(load_model)](Config& cfg) {
+            cfg.placement = core::PlacementSpec::parse(placement);
+            cfg.load_model = core::LoadModelSpec::parse(load_model);
+          });
+    }
+    grid.axis(SweepAxis::choices("k", std::move(ks)))
+        .axis(SweepAxis::choices("placement", std::move(placements)));
+    return grid;
+  };
+  m.metrics = default_metrics();
+  return m;
+}
+
+}  // namespace
+
+Registry& builtin_registry() {
+  static Registry registry = [] {
+    Registry r;
+    r.add(fig2_manifest());
+    r.add(fig3_manifest());
+    r.add(fig4_manifest());
+    r.add(abl_rel_flex_manifest());
+    r.add(abl_scale_quick_manifest());
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace dsrt::xp
