@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/system/baseline.hpp"
+#include "dsrt/workload/arrival.hpp"
 
 int main(int argc, char** argv) {
   const dsrt::util::Flags flags(argc, argv);
@@ -31,7 +32,9 @@ int main(int argc, char** argv) {
     for (const char* name : {"UD", "EQF"}) {
       dsrt::system::Config cfg = dsrt::system::baseline_ssp();
       bench::apply(rc, cfg);
-      if (b > 1.0) cfg.local_batch = dsrt::sim::uniform(1.0, b);
+      if (b > 1.0)
+        cfg.arrivals = dsrt::workload::ArrivalSpec::parse(
+            "batch:1," + dsrt::stats::Table::cell(b, 0));
       cfg.ssp = dsrt::core::serial_strategy_by_name(name);
       const auto r = dsrt::system::run_replications(cfg, rc.reps);
       row.push_back(bench::pct(r.md_local));

@@ -3,15 +3,17 @@
 //
 // Sweeps the squared coefficient of variation of *subtask* execution times
 // from deterministic (scv=0) through Erlang (scv=0.25), exponential
-// (scv=1, Table 1), to hyperexponential (scv=4, 16), holding means and
-// load fixed. High variability creates exactly the transient overloads the
-// paper argues scheduling policy matters for — the UD-vs-EQF gap should
-// widen with scv.
+// (scv=1, Table 1), to hyperexponential (scv=4, 16), plus the heavy-tailed
+// laws (Pareto, LogNormal), holding means and load fixed via the
+// matched-mean ServiceSpec registry. High variability creates exactly the
+// transient overloads the paper argues scheduling policy matters for — the
+// UD-vs-EQF gap should widen with scv.
 #include <vector>
 
 #include "bench_common.hpp"
 #include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/system/baseline.hpp"
+#include "dsrt/workload/service.hpp"
 
 int main(int argc, char** argv) {
   const dsrt::util::Flags flags(argc, argv);
@@ -23,14 +25,16 @@ int main(int argc, char** argv) {
 
   struct Case {
     const char* label;
-    dsrt::sim::DistributionPtr dist;
+    const char* spec;
   };
   const std::vector<Case> cases = {
-      {"Const (scv=0)", dsrt::sim::constant(1.0)},
-      {"Erlang-4 (scv=0.25)", dsrt::sim::erlang(4, 1.0)},
-      {"Exp (scv=1)", dsrt::sim::exponential(1.0)},
-      {"H2 (scv=4)", dsrt::sim::hyperexponential(1.0, 4.0)},
-      {"H2 (scv=16)", dsrt::sim::hyperexponential(1.0, 16.0)},
+      {"Const (scv=0)", "const"},
+      {"Erlang-4 (scv=0.25)", "erlang:4"},
+      {"Exp (scv=1)", "exp"},
+      {"H2 (scv=4)", "h2:4"},
+      {"H2 (scv=16)", "h2:16"},
+      {"Pareto (alpha=2.5)", "pareto:2.5"},
+      {"LogNormal (sigma=1)", "lognormal:1"},
   };
 
   dsrt::stats::Table table({"subtask exec", "MD_global(UD)",
@@ -41,7 +45,8 @@ int main(int argc, char** argv) {
     for (const char* name : {"UD", "EQF"}) {
       dsrt::system::Config cfg = dsrt::system::baseline_ssp();
       bench::apply(rc, cfg);
-      cfg.subtask_exec = c.dist;
+      cfg.subtask_exec = dsrt::workload::ServiceSpec::parse(c.spec).make(
+          cfg.subtask_exec->mean());
       cfg.ssp = dsrt::core::serial_strategy_by_name(name);
       const auto r = dsrt::system::run_replications(cfg, rc.reps);
       row.push_back(bench::pct(r.md_global));

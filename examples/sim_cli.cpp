@@ -31,8 +31,12 @@ engine::SweepGrid grid_from_flags(const util::Flags& flags) {
   engine::SweepGrid grid;
   for (const auto& [name, value] : flags.all()) {
     if (name.rfind("sweep_", 0) != 0) continue;
+    // Values split on ','; a ';' anywhere switches the separator so
+    // comma-parameterized specs sweep too:
+    //   --sweep_arrivals='poisson;mmpp:4,0.25;onoff:20,80'
+    const char sep = value.find(';') != std::string::npos ? ';' : ',';
     grid.axis(
-        engine::SweepAxis::by_field(name.substr(6), util::split(value, ',')));
+        engine::SweepAxis::by_field(name.substr(6), util::split(value, sep)));
   }
   if (flags.get("zip", false)) grid.mode(engine::SweepGrid::Mode::Zipped);
   return grid;
@@ -137,6 +141,25 @@ int main(int argc, char** argv) {
               sweep.points.size(), sweep.replications, sweep.jobs,
               sweep.wall_seconds, sweep.runs_per_second());
 
+  // --fingerprint: hexfloat metrics of replication 0 per point. Exact by
+  // construction (%a round-trips doubles), unlike the rounded JSON/CSV
+  // emits — this is what the CI capture-vs-replay bitwise check diffs.
+  if (opts.fingerprint) {
+    for (const auto& point : sweep.points) {
+      const system::RunMetrics& rep0 = point.result.runs.front();
+      std::printf("fingerprint");
+      for (const std::string& label : point.point.labels)
+        std::printf(" %s", label.c_str());
+      std::printf(" md_local=%a md_global=%a resp_local=%a resp_global=%a"
+                  " util=%a events=%llu\n",
+                  rep0.local.missed.value(), rep0.global.missed.value(),
+                  rep0.local.response.mean(), rep0.global.response.mean(),
+                  rep0.mean_utilization,
+                  static_cast<unsigned long long>(rep0.events));
+    }
+    std::printf("\n");
+  }
+
   if (grid.axes().empty()) {
     print_single_point(cfg, sweep.points.front().result);
     if (!sweep.points.front().result.counters.empty())
@@ -166,6 +189,29 @@ int main(int argc, char** argv) {
                   exporter.dropped() > 0 ? ", capped" : "");
     } catch (const std::exception& error) {
       std::fprintf(stderr, "trace export failed: %s\n", error.what());
+      return 1;
+    }
+  }
+
+  // --capture: one extra replication-0 run of the first point with the
+  // workload-trace writer attached. The written file replays bit for bit
+  // through --trace=FILE (same horizon), which the fingerprint line above
+  // verifies in CI.
+  if (!opts.capture.empty()) {
+    try {
+      system::Config captured = grid.axes().empty()
+                                    ? cfg
+                                    : sweep.points.front().point.config;
+      workload::TraceWriter writer(opts.capture, captured.nodes,
+                                   captured.link_nodes);
+      system::SimulationRun run(captured);
+      run.set_trace_writer(&writer);
+      run.run();
+      writer.close();
+      std::printf("\nwrote %s (%zu releases; replay with --trace)\n",
+                  opts.capture.c_str(), writer.records());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "capture failed: %s\n", error.what());
       return 1;
     }
   }

@@ -8,7 +8,9 @@
 ///   stats    - tallies, confidence intervals, report tables
 ///   core     - task model, serial-parallel task trees, SDA strategies
 ///   sched    - node servers, local scheduling policies, abort policies
-///   workload - task-population generators (shapes, slack, pex error)
+///   workload - task-population generators: pluggable arrival processes
+///              (poisson/batch/mmpp/onoff/diurnal), matched-mean service
+///              laws, shapes, slack, pex error, trace capture/replay
 ///   system   - configuration, process manager, simulation, experiments
 ///   obs      - observability: metrics registry + engine probes, Perfetto
 ///              trace export, deadline-miss attribution (registry below
@@ -67,9 +69,12 @@
 #include "dsrt/trace/recorder.hpp"
 #include "dsrt/trace/slack_profiler.hpp"
 #include "dsrt/util/flags.hpp"
+#include "dsrt/workload/arrival.hpp"
 #include "dsrt/workload/generator.hpp"
 #include "dsrt/workload/pex_error.hpp"
+#include "dsrt/workload/service.hpp"
 #include "dsrt/workload/shapes.hpp"
+#include "dsrt/workload/trace_io.hpp"
 #include "dsrt/xp/artifact.hpp"
 #include "dsrt/xp/checker.hpp"
 #include "dsrt/xp/json.hpp"

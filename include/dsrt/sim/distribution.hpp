@@ -104,6 +104,49 @@ class Hyperexponential final : public Distribution {
   double mean_second_;
 };
 
+/// Pareto (Lomax-free, classic xm-form) with tail index `alpha` > 1 and the
+/// given mean: density alpha xm^alpha / x^(alpha+1) on [xm, inf), with the
+/// scale xm = mean (alpha - 1) / alpha chosen so the mean matches exactly —
+/// heavy-tailed service times that stay fair under common-random-numbers
+/// comparisons against the exponential baseline. One uniform draw per
+/// sample. alpha <= 2 has infinite variance; alpha <= 1 (infinite mean) is
+/// rejected.
+class Pareto final : public Distribution {
+ public:
+  Pareto(double alpha, double mean);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+  double alpha() const { return alpha_; }
+  double scale() const { return scale_; }
+
+ private:
+  double alpha_;
+  double mean_;
+  double scale_;  ///< xm = mean (alpha-1)/alpha
+};
+
+/// Lognormal with shape `sigma` > 0 and the given mean: exp(mu + sigma Z)
+/// with mu = ln(mean) - sigma^2/2, so the mean matches exactly for every
+/// sigma. Samples via Box-Muller from two uniform draws; the second normal
+/// of the pair is discarded (Distribution instances are immutable and
+/// shared, so there is nowhere deterministic to cache it).
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double sigma, double mean);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+  double mean_;
+  double mu_;  ///< ln(mean) - sigma^2/2
+};
+
 /// Two-point mixture: value `a` with probability `p`, else `b`. Handy for
 /// bimodal workloads in ablations.
 class TwoPoint final : public Distribution {
@@ -125,6 +168,8 @@ DistributionPtr uniform(double lo, double hi);
 DistributionPtr exponential(double mean);
 DistributionPtr erlang(unsigned stages, double mean);
 DistributionPtr hyperexponential(double mean, double scv);
+DistributionPtr pareto(double alpha, double mean);
+DistributionPtr lognormal(double sigma, double mean);
 DistributionPtr two_point(double a, double b, double prob_a);
 
 /// Returns a copy of `base` with every sample multiplied by `factor`.

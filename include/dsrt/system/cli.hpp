@@ -23,6 +23,10 @@ namespace dsrt::system {
 ///   --m_min=2 --m_max=6  (random per-task subtask count; optional)
 ///   --sp_stages=3 --sp_prob=0.5 --sp_width=3  (serial-parallel shape)
 ///   --links=2 --hop=0.25 (network-as-nodes: link count, mean hop time)
+///   --arrivals=poisson|batch:..|mmpp:..|onoff:..|diurnal:..  (arrival process)
+///   --service=exp|const|erlang:k|h2:scv|pareto:a|lognormal:s
+///                        (subtask service law, matched-mean)
+///   --trace=FILE         (replay a workload trace instead of generating)
 ///   --periodic           (deterministic global inter-arrivals)
 ///   --horizon=1e6 --warmup=0 --seed=...
 ///
@@ -44,6 +48,14 @@ struct RunOptions {
   /// Perfetto exporter attached and write the trace_events JSON there
   /// (empty = no trace).
   std::string trace_out;
+  /// --capture=FILE: re-run replication 0 of the first sweep point with a
+  /// workload-trace writer attached and write the releases there in the
+  /// trace_io format, ready for --trace replay (empty = no capture).
+  std::string capture;
+  /// --fingerprint: print one `fingerprint <metric>=<hexfloat> ...` line per
+  /// sweep point (replication 0) for bitwise CI comparison — the JSON/CSV
+  /// emitters round, hexfloats don't.
+  bool fingerprint = false;
 };
 
 /// Parses run control:

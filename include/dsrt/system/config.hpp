@@ -15,6 +15,7 @@
 #include "dsrt/sim/distribution.hpp"
 #include "dsrt/sim/event_queue.hpp"
 #include "dsrt/sim/time.hpp"
+#include "dsrt/workload/arrival.hpp"
 #include "dsrt/workload/pex_error.hpp"
 #include "dsrt/workload/shapes.hpp"
 
@@ -70,11 +71,20 @@ struct Config {
   sim::DistributionPtr subtask_exec = sim::exponential(1.0);
   /// Slack of local tasks; Table 1: U[Smin, Smax] = U[0.25, 2.5].
   sim::DistributionPtr local_slack = sim::uniform(0.25, 2.5);
-  /// Optional burstiness: tasks per local arrival event (compound Poisson;
-  /// rounded, min 1). The event rate is divided by the batch mean so the
-  /// offered load is unchanged — only its clustering. nullptr = Table 1's
-  /// single-task arrivals.
-  sim::DistributionPtr local_batch;
+  /// Arrival process of both task streams (Table 1: Poisson). Batch
+  /// compounding applies to the local streams only (the event rate is
+  /// divided by the batch mean so the offered load is unchanged — only its
+  /// clustering); the modulated kinds (mmpp/onoff/diurnal) drive locals and
+  /// globals alike. Every kind is rate-normalized, so the offered load is a
+  /// property of `load` alone.
+  workload::ArrivalSpec arrivals;
+  /// When non-empty, replay this workload trace file instead of generating
+  /// tasks: the generators are not wired at all and every arrival (times,
+  /// exec/pex, deadlines, shapes, eligible sets) comes verbatim from the
+  /// file. A trace captured from a run with this config's horizon replays
+  /// that run's metrics bit for bit. See workload/trace_io.hpp for the
+  /// format.
+  std::string trace;
   /// Relative flexibility of global vs local tasks (Table 1: 1.0).
   double rel_flex = 1.0;
   /// Number of subtasks m of a global task (Table 1: 4).

@@ -9,6 +9,7 @@
 #include "dsrt/system/metrics.hpp"
 #include "dsrt/system/process_manager.hpp"
 #include "dsrt/workload/generator.hpp"
+#include "dsrt/workload/trace_io.hpp"
 
 namespace dsrt::system {
 
@@ -42,6 +43,27 @@ class SimulationRun {
   /// Attaches a lifecycle observer for this run (see system::Observer).
   void set_observer(Observer* observer) { pm_->set_observer(observer); }
 
+  /// Attaches a workload-trace exporter: every task release (generated or
+  /// replayed) is written through it. Capture is write-only — the run's
+  /// trajectory and metrics are bit-for-bit identical with or without a
+  /// writer attached. Call before run(); the writer must outlive the run.
+  void set_trace_writer(workload::TraceWriter* writer) {
+    trace_writer_ = writer;
+  }
+
+  /// The generated workload sources (empty / null when replaying a trace).
+  const std::vector<std::unique_ptr<workload::LocalTaskSource>>&
+  local_sources() const {
+    return local_sources_;
+  }
+  const workload::GlobalTaskSource* global_source() const {
+    return global_source_.get();
+  }
+  /// The replay source (null unless cfg.trace is set).
+  const workload::TraceSource* trace_source() const {
+    return trace_source_.get();
+  }
+
   /// The load model wired from cfg.load_model (nullptr when kind = None).
   const core::LoadModel* load_model() const { return load_model_.get(); }
 
@@ -70,6 +92,10 @@ class SimulationRun {
   std::unique_ptr<ProcessManager> pm_;
   std::vector<std::unique_ptr<workload::LocalTaskSource>> local_sources_;
   std::unique_ptr<workload::GlobalTaskSource> global_source_;
+  /// Replay state (cfg.trace): the loaded file and the source driving it.
+  std::unique_ptr<workload::Trace> trace_;
+  std::unique_ptr<workload::TraceSource> trace_source_;
+  workload::TraceWriter* trace_writer_ = nullptr;  ///< optional capture hook
   bool ran_ = false;
 };
 

@@ -1,0 +1,216 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsrt/sim/distribution.hpp"
+#include "dsrt/sim/rng.hpp"
+#include "dsrt/sim/time.hpp"
+
+namespace dsrt::workload {
+
+/// Cumulative counters of one arrival process, harvested by the obs probes
+/// at the end of a run. Passive: the counters are plain tallies bumped on
+/// the arrival path, so maintaining them can never perturb a trajectory.
+struct ArrivalCounters {
+  std::uint64_t events = 0;            ///< arrival events fired
+  std::uint64_t tasks = 0;             ///< tasks released (>= events)
+  std::uint64_t phase_changes = 0;     ///< mmpp/onoff modulation switches
+  std::uint64_t thinning_rejects = 0;  ///< diurnal thinning candidates dropped
+  std::size_t max_batch = 0;           ///< burst high-water (tasks per event)
+};
+
+/// Stochastic law of *when* tasks arrive, decoupled from *what* arrives.
+///
+/// A process is a pure gap generator: `next_gap` returns the time from `now`
+/// to the next arrival event, drawing only from the caller's stream. Any
+/// internal structure — the Markov phase walk of MMPP, the thinning loop of
+/// the diurnal modulation — runs inside the call, never as extra simulator
+/// events. That keeps the event structure of a run identical across
+/// processes (one event per arrival, exactly as the seed's Poisson stream),
+/// which is what lets a captured trace replay bit-for-bit.
+///
+/// `batch_size` is drawn once per arrival event, *before* the per-task
+/// draws, preserving the draw order of the legacy compound-Poisson knob:
+/// batch, tasks..., gap. The default implementation returns 1 without
+/// consuming a draw, so non-batched processes leave the stream untouched.
+///
+/// Processes are per-source mutable state (phase, counters) — each task
+/// source owns a fresh instance; they are never shared across runs.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Time from `now` until the next arrival event. Draws only from `rng`.
+  virtual sim::Time next_gap(sim::Time now, sim::Rng& rng) = 0;
+
+  /// Tasks released by one arrival event (>= 1). Default: 1, no draw.
+  virtual std::size_t batch_size(sim::Rng& rng);
+
+  /// Registry name of the process kind (e.g. "poisson", "mmpp").
+  virtual std::string_view name() const = 0;
+
+  /// Long-run average arrival-*event* rate; <= 0 means the source never
+  /// starts (mirrors the legacy rate-zero contract).
+  double rate() const { return rate_; }
+
+  const ArrivalCounters& counters() const { return counters_; }
+
+  /// Called by the owning source once per arrival event with the number of
+  /// tasks released.
+  void note_release(std::size_t batch) {
+    ++counters_.events;
+    counters_.tasks += batch;
+    if (batch > counters_.max_batch) counters_.max_batch = batch;
+  }
+
+ protected:
+  explicit ArrivalProcess(double rate) : rate_(rate) {}
+
+  double rate_;
+  ArrivalCounters counters_;
+};
+
+using ArrivalProcessPtr = std::unique_ptr<ArrivalProcess>;
+
+/// The paper's baseline: exponential gaps at a fixed rate, optionally
+/// compounded by a batch-size distribution (rounded, min 1) — the folded-in
+/// "local_batch" burstiness knob. Draw order is exactly the seed path's, so
+/// every golden survives: gap = Exp(1/rate); with a batch distribution one
+/// extra draw per event, before the per-task draws.
+class PoissonProcess final : public ArrivalProcess {
+ public:
+  explicit PoissonProcess(double rate, sim::DistributionPtr batch = nullptr);
+
+  sim::Time next_gap(sim::Time now, sim::Rng& rng) override;
+  std::size_t batch_size(sim::Rng& rng) override;
+  std::string_view name() const override { return batch_ ? "batch" : "poisson"; }
+
+ private:
+  sim::DistributionPtr batch_;
+};
+
+/// Deterministic gaps of 1/rate — the periodic-task variant (no draws).
+class PeriodicProcess final : public ArrivalProcess {
+ public:
+  explicit PeriodicProcess(double rate);
+
+  sim::Time next_gap(sim::Time now, sim::Rng& rng) override;
+  std::string_view name() const override { return "periodic"; }
+};
+
+/// Two-state Markov-modulated Poisson process. The chain holds state i for
+/// an Exp(sojourn_i) sojourn during which arrivals are Poisson at
+/// rate * multiplier_i / <time-weighted mean multiplier> — normalized so the
+/// long-run average event rate equals the configured `rate` and the offered
+/// load is unchanged by the modulation. A zero multiplier gives an
+/// interrupted Poisson process (the on-off burst model).
+///
+/// The phase walk runs inside `next_gap` (memorylessness makes redrawing the
+/// arrival clock at each phase boundary exact), so the simulator never sees
+/// phase-change events.
+class MmppProcess final : public ArrivalProcess {
+ public:
+  /// `multipliers` are the relative rates of the two states; `sojourns`
+  /// their mean dwell times. Starts in state 0.
+  MmppProcess(double rate, std::string_view name, double multipliers[2],
+              double sojourns[2]);
+
+  sim::Time next_gap(sim::Time now, sim::Rng& rng) override;
+  std::string_view name() const override { return name_; }
+
+  int phase() const { return phase_; }
+
+ private:
+  std::string name_;        ///< "mmpp" or "onoff" (spec vocabulary)
+  double lambda_[2];        ///< normalized per-state event rates
+  double sojourn_[2];       ///< mean dwell times
+  int phase_ = 0;
+  bool started_ = false;
+  sim::Time phase_end_ = 0; ///< absolute end of the current sojourn
+};
+
+/// Sinusoidal rate modulation lambda(t) = rate * (1 + a sin(2 pi t / T)),
+/// 0 <= a <= 1 — a day/night cycle in simulated time. Mean of the modulation
+/// factor is 1, so the long-run rate (and offered load) is unchanged.
+/// Sampled by thinning against lambda_max = rate * (1 + a): two draws per
+/// candidate (gap + accept), rejections counted.
+class DiurnalProcess final : public ArrivalProcess {
+ public:
+  DiurnalProcess(double rate, double period, double amplitude);
+
+  sim::Time next_gap(sim::Time now, sim::Rng& rng) override;
+  std::string_view name() const override { return "diurnal"; }
+
+ private:
+  double period_;
+  double amplitude_;
+};
+
+/// Which arrival law a config wires up.
+enum class ArrivalKind : std::uint8_t { Poisson, Batch, Mmpp, OnOff, Diurnal };
+
+/// Declarative description of an arrival process — `system::Config` carries
+/// this (not a live `ArrivalProcess`) because processes hold per-run phase
+/// state that must not be shared across concurrent engine runs. Same idiom
+/// as `core::LoadModelSpec` / `core::PlacementSpec`.
+///
+/// Grammar (the CLI's --arrivals= / --sweep_arrivals= vocabulary):
+///   poisson                      the Table-1 baseline (default)
+///   batch:<n>                    compound Poisson, fixed n tasks per event
+///   batch:<lo>,<hi>              batch size U[lo, hi] (rounded, min 1)
+///   mmpp:<m1>,<m2>[,<s1>[,<s2>]] two-state MMPP: rate multipliers m1/m2,
+///                                mean sojourns s1/s2 (default 100)
+///   onoff:<on>,<off>             bursts: Poisson during Exp(on) on-periods,
+///                                silent during Exp(off) off-periods
+///   diurnal:<period>,<amplitude> rate * (1 + a sin(2 pi t / period))
+///
+/// Every kind is normalized to the same long-run average task rate, so the
+/// offered load is a property of `Config::load` alone and CRN comparisons
+/// across arrival processes stay fair.
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::Poisson;
+  double a = 0;  ///< batch lo / mmpp m1 / onoff on / diurnal period
+  double b = 0;  ///< batch hi / mmpp m2 / onoff off / diurnal amplitude
+  double c = 0;  ///< mmpp s1
+  double d = 0;  ///< mmpp s2
+
+  /// Parses the grammar above. Throws std::invalid_argument on unknown
+  /// kinds (listing the registered names) or malformed numbers.
+  static ArrivalSpec parse(std::string_view text);
+
+  /// Inverse of parse (e.g. "mmpp:4,0.25,100,100"); "poisson" for the
+  /// default.
+  std::string describe() const;
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+
+  /// Expected tasks per arrival event (1 except for Batch). Callers keeping
+  /// a load target divide the event rate by this, exactly as the legacy
+  /// local_batch knob did.
+  double batch_mean() const;
+
+  /// The spec the *global* stream runs: batching is a local-stream
+  /// burstiness model (the folded-in knob only ever applied to locals), so
+  /// Batch degenerates to Poisson; the modulated kinds apply to both
+  /// streams.
+  ArrivalSpec for_globals() const;
+
+  bool is_default() const { return kind == ArrivalKind::Poisson; }
+};
+
+/// Registered spec vocabulary, for --help and error messages.
+std::vector<std::string_view> arrival_kind_names();
+
+/// Builds a fresh process for one source. `periodic` substitutes the
+/// deterministic gap law (only valid for Poisson specs — config validation
+/// enforces this).
+ArrivalProcessPtr make_arrival_process(const ArrivalSpec& spec, double rate,
+                                       bool periodic = false);
+
+}  // namespace dsrt::workload

@@ -7,27 +7,40 @@
 #include "dsrt/sim/distribution.hpp"
 #include "dsrt/sim/rng.hpp"
 #include "dsrt/sim/simulator.hpp"
+#include "dsrt/workload/arrival.hpp"
 #include "dsrt/workload/pex_error.hpp"
 #include "dsrt/workload/shapes.hpp"
 
 namespace dsrt::workload {
 
-/// Poisson stream of local tasks bound to one node (Section 4.1: "local
-/// tasks are being generated at each node according to a Poisson
-/// distribution"). Each arrival carries (exec, pex, absolute deadline) built
-/// from the execution-time and slack distributions via dl = ar + ex + sl.
+/// Stream of local tasks bound to one node (Section 4.1: "local tasks are
+/// being generated at each node according to a Poisson distribution" — the
+/// *when* now pluggable via `ArrivalProcess`). Each arrival carries (exec,
+/// pex, absolute deadline) built from the execution-time and slack
+/// distributions via dl = ar + ex + sl.
+///
+/// Per arrival event the draw order on the source's stream is fixed:
+/// batch size (if the process draws one), then per task exec / pex / slack,
+/// then the next gap — exactly the legacy order, so the default Poisson
+/// process reproduces every golden bit for bit.
 class LocalTaskSource {
  public:
   /// Receives (node, exec, pex, deadline) at the arrival instant.
   using Sink = std::function<void(core::NodeId, double, double, sim::Time)>;
 
-  /// `rate` is the rate of arrival *events* (1/mean inter-arrival); a rate
-  /// of zero produces no tasks. Arrivals stop strictly after `until`.
-  /// `batch` (optional) draws the number of tasks released per arrival
-  /// event (rounded, min 1) — a compound-Poisson burstiness model; pass
-  /// nullptr for the paper's one-task-per-arrival stream. With batches the
-  /// task rate is rate * E[batch]; callers keeping a load target must
-  /// divide the event rate accordingly.
+  /// Pluggable arrival law. The source owns the process (it is per-run
+  /// mutable state); a process rate of zero produces no tasks. Arrivals
+  /// stop strictly after `until`.
+  LocalTaskSource(sim::Simulator& sim, core::NodeId node,
+                  ArrivalProcessPtr process, sim::DistributionPtr exec,
+                  sim::DistributionPtr slack, PexErrorModelPtr pex_error,
+                  sim::Rng rng, sim::Time until, Sink sink);
+
+  /// Legacy Poisson front-door: `rate` is the rate of arrival *events*
+  /// (1/mean inter-arrival). `batch` (optional) draws the number of tasks
+  /// released per arrival event (rounded, min 1) — a compound-Poisson
+  /// burstiness model; with batches the task rate is rate * E[batch], so
+  /// callers keeping a load target must divide the event rate accordingly.
   LocalTaskSource(sim::Simulator& sim, core::NodeId node, double rate,
                   sim::DistributionPtr exec, sim::DistributionPtr slack,
                   PexErrorModelPtr pex_error, sim::Rng rng, sim::Time until,
@@ -38,20 +51,22 @@ class LocalTaskSource {
 
   std::uint64_t generated() const { return generated_; }
 
+  /// The arrival law driving this source (obs probes read its counters).
+  const ArrivalProcess& process() const { return *process_; }
+
  private:
   void schedule_next();
   void arrive();
 
   sim::Simulator& sim_;
   core::NodeId node_;
-  double rate_;
+  ArrivalProcessPtr process_;
   sim::DistributionPtr exec_;
   sim::DistributionPtr slack_;
   PexErrorModelPtr pex_error_;
   sim::Rng rng_;
   sim::Time until_;
   Sink sink_;
-  sim::DistributionPtr batch_;
   std::uint64_t generated_ = 0;
 };
 
@@ -81,8 +96,9 @@ struct GlobalTaskParams {
   bool defer_placement = false;
 };
 
-/// Single Poisson stream of global tasks (Section 4.1). Every arrival draws
-/// a task structure for the configured shape and an end-to-end deadline
+/// Single stream of global tasks (Section 4.1: Poisson; pluggable via
+/// `ArrivalProcess`). Every arrival draws a task structure for the
+/// configured shape and an end-to-end deadline
 ///   dl(T) = ar(T) + critical_path_exec(T) + slack,
 /// which reduces to the paper's serial total-time construction and to its
 /// parallel formula (2) `dl = max_i ex(Ti) + slack + ar`.
@@ -91,6 +107,15 @@ class GlobalTaskSource {
   /// Receives (spec, deadline) at the arrival instant.
   using Sink = std::function<void(const core::TaskSpec&, sim::Time)>;
 
+  /// Pluggable arrival law (owned; see LocalTaskSource). The
+  /// `params.periodic` flag is ignored by this constructor — encode
+  /// periodicity in the process itself.
+  GlobalTaskSource(sim::Simulator& sim, GlobalTaskParams params,
+                   ArrivalProcessPtr process, sim::Rng rng, sim::Time until,
+                   Sink sink);
+
+  /// Legacy front-door: Poisson at `rate`, or deterministic 1/rate gaps
+  /// when `params.periodic` is set.
   GlobalTaskSource(sim::Simulator& sim, GlobalTaskParams params, double rate,
                    sim::Rng rng, sim::Time until, Sink sink);
 
@@ -98,6 +123,9 @@ class GlobalTaskSource {
   void start();
 
   std::uint64_t generated() const { return generated_; }
+
+  /// The arrival law driving this source (obs probes read its counters).
+  const ArrivalProcess& process() const { return *process_; }
 
   /// Draws one task structure into the source's reusable spec buffer and
   /// returns a reference to it — the arrival hot path. The buffer is
@@ -120,7 +148,7 @@ class GlobalTaskSource {
 
   sim::Simulator& sim_;
   GlobalTaskParams params_;
-  double rate_;
+  ArrivalProcessPtr process_;
   sim::Rng rng_;
   sim::Time until_;
   Sink sink_;

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsrt/sim/distribution.hpp"
+
+namespace dsrt::workload {
+
+/// Which service-time law a config wires up.
+enum class ServiceKind : std::uint8_t {
+  Exp,        ///< Table-1 baseline (scv = 1)
+  Const,      ///< deterministic (scv = 0)
+  Erlang,     ///< k stages (scv = 1/k)
+  H2,         ///< balanced hyperexponential (scv > 1)
+  Pareto,     ///< heavy tail, index alpha
+  LogNormal,  ///< heavy(ish) tail, shape sigma
+};
+
+/// Declarative description of a service-time sampler. `make(mean)` builds a
+/// distribution whose mean is *exactly* `mean` for every kind, so swapping
+/// samplers never moves the offered load and common-random-numbers
+/// comparisons across kinds stay fair. The Exp kind builds the identical
+/// `sim::Exponential` the seed path used — one draw per sample from the
+/// same stream — so `exp` through this interface reproduces every golden
+/// bit for bit (the differential test pins this).
+///
+/// Grammar (the CLI's --service= / --sweep_service= vocabulary):
+///   exp                 exponential (default)
+///   const               deterministic
+///   erlang:<k>          k-stage Erlang
+///   h2:<scv>            balanced hyperexponential, squared CoV >= 1
+///   pareto:<alpha>      Pareto tail index > 1 (alpha <= 2: infinite
+///                       variance), scale matched to the mean
+///   lognormal:<sigma>   lognormal shape > 0, mu matched to the mean
+struct ServiceSpec {
+  ServiceKind kind = ServiceKind::Exp;
+  double param = 0;  ///< erlang k / h2 scv / pareto alpha / lognormal sigma
+
+  /// Parses the grammar above. Throws std::invalid_argument on unknown
+  /// kinds (listing the registered names) or malformed numbers.
+  static ServiceSpec parse(std::string_view text);
+
+  /// Inverse of parse (e.g. "pareto:2.5"); "exp" for the default.
+  std::string describe() const;
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+
+  /// Builds the matched-mean distribution. `mean` must be positive.
+  sim::DistributionPtr make(double mean) const;
+
+  bool is_default() const { return kind == ServiceKind::Exp; }
+};
+
+/// Registered spec vocabulary, for --help and error messages.
+std::vector<std::string_view> service_kind_names();
+
+}  // namespace dsrt::workload

@@ -9,7 +9,9 @@
 #include "dsrt/stats/report.hpp"
 #include "dsrt/system/baseline.hpp"
 #include "dsrt/util/flags.hpp"
+#include "dsrt/workload/arrival.hpp"
 #include "dsrt/workload/pex_error.hpp"
+#include "dsrt/workload/service.hpp"
 
 namespace dsrt::engine {
 
@@ -120,6 +122,18 @@ SweepAxis SweepAxis::by_field(const std::string& field,
       // (and thus every metric) is mode-invariant, so only ev/s moves.
       const auto mode = sim::parse_queue_mode(value);
       fn = [mode](system::Config& c) { c.event_queue = mode; };
+    } else if (field == "arrivals") {
+      // A spec again: every run builds its own process instances, so
+      // sweep points (and concurrent replications) share no phase state.
+      const auto spec = workload::ArrivalSpec::parse(value);
+      fn = [spec](system::Config& c) { c.arrivals = spec; };
+    } else if (field == "service") {
+      // Matched-mean: the law swaps around the base config's subtask mean,
+      // so the offered load is identical across the axis.
+      const auto spec = workload::ServiceSpec::parse(value);
+      fn = [spec](system::Config& c) {
+        c.subtask_exec = spec.make(c.subtask_exec->mean());
+      };
     } else if (field == "policy") {
       const auto p = sched::policy_by_name(value);
       fn = [p](system::Config& c) { c.policy = p; };

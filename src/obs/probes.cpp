@@ -60,6 +60,39 @@ void probe_run(const system::SimulationRun& run, Registry& reg) {
     }
   }
 
+  // --- workload: arrival processes (generated or replayed) -----------------
+  {
+    const MetricId events = reg.counter("arrivals.local_events");
+    const MetricId tasks = reg.counter("arrivals.local_tasks");
+    const MetricId max_batch = reg.peak("arrivals.max_batch");
+    const MetricId phase_changes = reg.counter("arrivals.phase_changes");
+    const MetricId rejects = reg.counter("arrivals.thinning_rejects");
+    auto harvest = [&](const workload::ArrivalCounters& c) {
+      reg.add(events, static_cast<double>(c.events));
+      reg.add(tasks, static_cast<double>(c.tasks));
+      reg.raise(max_batch, static_cast<double>(c.max_batch));
+      reg.add(phase_changes, static_cast<double>(c.phase_changes));
+      reg.add(rejects, static_cast<double>(c.thinning_rejects));
+    };
+    for (const auto& src : run.local_sources())
+      harvest(src->process().counters());
+    if (const workload::GlobalTaskSource* global = run.global_source()) {
+      const workload::ArrivalCounters& c = global->process().counters();
+      reg.set(reg.counter("arrivals.global_events"),
+              static_cast<double>(c.events));
+      reg.set(reg.counter("arrivals.global_tasks"),
+              static_cast<double>(c.tasks));
+    }
+    if (const workload::TraceSource* trace = run.trace_source()) {
+      harvest(trace->local_counters());
+      const workload::ArrivalCounters& g = trace->global_counters();
+      reg.set(reg.counter("arrivals.global_events"),
+              static_cast<double>(g.events));
+      reg.set(reg.counter("arrivals.global_tasks"),
+              static_cast<double>(g.tasks));
+    }
+  }
+
   // --- system: instance pool ----------------------------------------------
   const system::ProcessManager& pm = run.process_manager();
   reg.set(reg.peak("pool.slots"), static_cast<double>(pm.pool_slots()));

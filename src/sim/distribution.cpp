@@ -83,6 +83,43 @@ std::string Hyperexponential::describe() const {
          ")";
 }
 
+Pareto::Pareto(double alpha, double mean) : alpha_(alpha), mean_(mean) {
+  if (alpha <= 1)
+    throw std::invalid_argument("Pareto: alpha <= 1 (infinite mean)");
+  if (mean <= 0) throw std::invalid_argument("Pareto: mean <= 0");
+  scale_ = mean * (alpha - 1.0) / alpha;
+}
+double Pareto::sample(Rng& rng) const {
+  // Inverse CDF on 1-U in (0, 1]: x = xm (1-U)^(-1/alpha). uniform01() is
+  // in [0, 1), so the argument never hits zero.
+  return scale_ * std::pow(1.0 - rng.uniform01(), -1.0 / alpha_);
+}
+double Pareto::mean() const { return mean_; }
+std::string Pareto::describe() const {
+  return "Pareto(alpha=" + format_double(alpha_) +
+         ",mean=" + format_double(mean_) + ")";
+}
+
+LogNormal::LogNormal(double sigma, double mean) : sigma_(sigma), mean_(mean) {
+  if (sigma <= 0) throw std::invalid_argument("LogNormal: sigma <= 0");
+  if (mean <= 0) throw std::invalid_argument("LogNormal: mean <= 0");
+  mu_ = std::log(mean) - 0.5 * sigma * sigma;
+}
+double LogNormal::sample(Rng& rng) const {
+  // Box-Muller; 1-U keeps the log argument in (0, 1]. Always two draws, so
+  // the stream advance per sample is fixed (CRN discipline).
+  const double u1 = 1.0 - rng.uniform01();
+  const double u2 = rng.uniform01();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return std::exp(mu_ + sigma_ * z);
+}
+double LogNormal::mean() const { return mean_; }
+std::string LogNormal::describe() const {
+  return "LogNormal(sigma=" + format_double(sigma_) +
+         ",mean=" + format_double(mean_) + ")";
+}
+
 TwoPoint::TwoPoint(double a, double b, double prob_a)
     : a_(a), b_(b), prob_a_(prob_a) {
   if (prob_a < 0 || prob_a > 1)
@@ -135,6 +172,12 @@ DistributionPtr erlang(unsigned stages, double mean) {
 }
 DistributionPtr hyperexponential(double mean, double scv) {
   return std::make_shared<Hyperexponential>(mean, scv);
+}
+DistributionPtr pareto(double alpha, double mean) {
+  return std::make_shared<Pareto>(alpha, mean);
+}
+DistributionPtr lognormal(double sigma, double mean) {
+  return std::make_shared<LogNormal>(sigma, mean);
 }
 DistributionPtr two_point(double a, double b, double prob_a) {
   return std::make_shared<TwoPoint>(a, b, prob_a);

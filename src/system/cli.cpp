@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dsrt/system/baseline.hpp"
+#include "dsrt/workload/service.hpp"
 
 namespace dsrt::system {
 
@@ -43,6 +44,17 @@ Config config_from_flags(const util::Flags& flags) {
   if (flags.has("placement"))
     cfg.placement =
         core::PlacementSpec::parse(flags.get("placement", std::string()));
+  if (flags.has("arrivals"))
+    cfg.arrivals =
+        workload::ArrivalSpec::parse(flags.get("arrivals", std::string()));
+  if (flags.has("service")) {
+    // Matched-mean swap: only the law changes, the Table-1 mean (and with
+    // it the offered load) is preserved.
+    const auto spec =
+        workload::ServiceSpec::parse(flags.get("service", std::string()));
+    cfg.subtask_exec = spec.make(cfg.subtask_exec->mean());
+  }
+  cfg.trace = flags.get("trace", cfg.trace);
   if (flags.has("event_queue"))
     cfg.event_queue =
         sim::parse_queue_mode(flags.get("event_queue", std::string()));
@@ -113,6 +125,8 @@ RunOptions run_options_from_flags(const util::Flags& flags) {
   opts.jobs = static_cast<std::size_t>(jobs);
   opts.out_dir = flags.get("out", opts.out_dir);
   opts.trace_out = flags.get("trace_out", opts.trace_out);
+  opts.capture = flags.get("capture", opts.capture);
+  opts.fingerprint = flags.get("fingerprint", false);
   // --emit takes a comma-separated subset of {json, csv}.
   for (const std::string& kind :
        util::split(flags.get("emit", std::string()), ',')) {
@@ -167,6 +181,17 @@ std::string cli_usage() {
       "                       ladder by occupancy; forced modes for A/B).\n"
       "                       Pop order is identical in every mode\n"
       "  --policy=EDF|MLF|FCFS|SJF --abort=NoAbort|AbortTardy|AbortHopeless\n"
+      "  --arrivals=" + joined_names(workload::arrival_kind_names()) + "\n"
+      "                       arrival process of the task streams. batch:<n>\n"
+      "                       or batch:<lo>,<hi> compounds local arrivals\n"
+      "                       (mean-normalized); mmpp:<m1>,<m2>[,<s1>[,<s2>]],\n"
+      "                       onoff:<on>,<off>, diurnal:<period>,<amp>\n"
+      "                       modulate the rate (all keep the offered load)\n"
+      "  --service=" + joined_names(workload::service_kind_names()) + "\n"
+      "                       subtask service law, matched-mean (erlang:<k>,\n"
+      "                       h2:<scv>, pareto:<alpha>, lognormal:<sigma>)\n"
+      "  --trace=FILE         replay a workload trace file instead of\n"
+      "                       generating tasks (see README \"Workloads\")\n"
       "  --smin=0.25 --smax=2.5 --pex_err=0 --m_min= --m_max=\n"
       "  --sp_stages=3 --sp_prob=0.5 --sp_width=3\n"
       "  --links=0 --hop=0.25 --periodic --preempt\n"
@@ -180,12 +205,20 @@ std::string cli_usage() {
       "  --out=.              directory for emitted artifacts\n"
       "  --trace_out=FILE     write a Perfetto/Chrome trace_events JSON of\n"
       "                       replication 0 (open in ui.perfetto.dev)\n"
+      "  --capture=FILE       write a workload trace of replication 0 in the\n"
+      "                       replayable trace_io format (--trace=FILE)\n"
+      "  --fingerprint        print hexfloat metric fingerprints per point\n"
+      "                       (bitwise CI comparison; JSON/CSV emit rounds)\n"
       "  --sweep_<field>=v1,v2,...   sweep axis over a config field\n"
       "                       (load, frac_local, rel_flex, nodes, m, ssp,\n"
       "                        psp, policy, abort, pex_err, shape,\n"
-      "                        load_model, placement, ...);\n"
+      "                        load_model, placement, arrivals, service,\n"
+      "                        ...);\n"
       "                       repeatable; axes expand as a cartesian grid\n"
-      "                       (--zip: advance all axes in lockstep)\n";
+      "                       (--zip: advance all axes in lockstep);\n"
+      "                       a ';' in the value switches the separator, so\n"
+      "                       comma-parameterized specs sweep:\n"
+      "                       --sweep_arrivals='poisson;mmpp:4,0.25'\n";
 }
 
 }  // namespace dsrt::system

@@ -107,6 +107,11 @@ void Config::validate() const {
           "serial-parallel shape)");
   }
   load_model.validate();
+  arrivals.validate();
+  if (periodic_globals && !arrivals.for_globals().is_default())
+    throw std::invalid_argument(
+        "Config: periodic_globals composes only with poisson/batch "
+        "arrivals");
   if (horizon <= 0) throw std::invalid_argument("Config: horizon <= 0");
   if (warmup < 0 || warmup >= horizon)
     throw std::invalid_argument("Config: warmup outside [0, horizon)");
@@ -124,6 +129,11 @@ std::string Config::describe() const {
   os << " ssp=" << ssp->name() << " psp=" << psp->name()
      << " policy=" << policy->name() << " abort=" << abort_policy->name()
      << " rel_flex=" << rel_flex << " horizon=" << horizon;
+  // Appended only when non-default, so the describe() of every pre-existing
+  // config — and with it every committed expectation's config hash — is
+  // byte-identical.
+  if (!arrivals.is_default()) os << " arrivals=" << arrivals.describe();
+  if (!trace.empty()) os << " trace=" << trace;
   if (load_model.kind != core::LoadModelKind::None)
     os << " load_model=" << load_model.describe();
   if (placement.kind != core::PlacementKind::Static)

@@ -103,13 +103,36 @@ SimulationRun::SimulationRun(const Config& config, std::uint64_t replication)
   // reallocations move into construction at the big configs.
   pm_->reserve_for_scale(total_nodes);
 
+  // Workload sinks, shared by the generators, the trace replayer, and the
+  // optional capture hook (the writer branch is dead unless a writer is
+  // attached, so capture can never perturb an uncaptured run).
+  auto local_sink = [this](core::NodeId node, double exec, double pex,
+                           sim::Time deadline) {
+    if (trace_writer_)
+      trace_writer_->local(sim_.now(), node, exec, pex, deadline);
+    pm_->submit_local(node, exec, pex, deadline);
+  };
+  auto global_sink = [this](const core::TaskSpec& spec, sim::Time deadline) {
+    if (trace_writer_) trace_writer_->global(sim_.now(), spec, deadline);
+    pm_->submit_global(spec, deadline);
+  };
+
+  // Trace replay (cfg.trace): the generators are not wired at all; every
+  // arrival comes verbatim from the file through the same sinks.
+  if (!cfg_.trace.empty()) {
+    trace_ = std::make_unique<workload::Trace>(
+        workload::Trace::load(cfg_.trace));
+    trace_source_ = std::make_unique<workload::TraceSource>(
+        sim_, *trace_, cfg_.horizon, local_sink, global_sink);
+    return;
+  }
+
   // Local-task streams: homogeneous by default, or weighted per node
   // (Section 4.3's "some nodes had higher local task loads than others").
   // With batched (bursty) arrivals the event rate drops by the batch mean
   // so the offered load stays at the configured level.
-  const double batch_mean =
-      cfg_.local_batch ? std::max(1.0, cfg_.local_batch->mean()) : 1.0;
-  const double total_rate = cfg_.lambda_local_total() / batch_mean;
+  const double total_rate =
+      cfg_.lambda_local_total() / cfg_.arrivals.batch_mean();
   double weight_sum = 0;
   for (double w : cfg_.local_weights) weight_sum += w;
   for (std::size_t i = 0; i < cfg_.nodes; ++i) {
@@ -118,17 +141,15 @@ SimulationRun::SimulationRun(const Config& config, std::uint64_t replication)
             ? 1.0 / static_cast<double>(cfg_.nodes)
             : cfg_.local_weights[i] / weight_sum;
     local_sources_.push_back(std::make_unique<workload::LocalTaskSource>(
-        sim_, static_cast<core::NodeId>(i), total_rate * share,
+        sim_, static_cast<core::NodeId>(i),
+        workload::make_arrival_process(cfg_.arrivals, total_rate * share),
         cfg_.local_exec, cfg_.local_slack, cfg_.pex_error,
-        sim::Rng(seed, kLocalStreamBase + i), cfg_.horizon,
-        [this](core::NodeId node, double exec, double pex,
-               sim::Time deadline) {
-          pm_->submit_local(node, exec, pex, deadline);
-        },
-        cfg_.local_batch));
+        sim::Rng(seed, kLocalStreamBase + i), cfg_.horizon, local_sink));
   }
 
-  // Global-task stream.
+  // Global-task stream. Batch compounding is a local-stream model
+  // (for_globals degenerates it to Poisson); the modulated kinds apply
+  // here too, and periodic_globals swaps in the deterministic gap law.
   workload::GlobalTaskParams params;
   params.shape = cfg_.shape;
   params.nodes = cfg_.nodes;
@@ -143,11 +164,11 @@ SimulationRun::SimulationRun(const Config& config, std::uint64_t replication)
   params.periodic = cfg_.periodic_globals;
   params.defer_placement = placement_ != nullptr;
   global_source_ = std::make_unique<workload::GlobalTaskSource>(
-      sim_, std::move(params), cfg_.lambda_global(),
-      sim::Rng(seed, kGlobalStream), cfg_.horizon,
-      [this](const core::TaskSpec& spec, sim::Time deadline) {
-        pm_->submit_global(spec, deadline);
-      });
+      sim_, std::move(params),
+      workload::make_arrival_process(cfg_.arrivals.for_globals(),
+                                     cfg_.lambda_global(),
+                                     cfg_.periodic_globals),
+      sim::Rng(seed, kGlobalStream), cfg_.horizon, global_sink);
 }
 
 void SimulationRun::schedule_snapshot_refresh() {
@@ -168,7 +189,8 @@ RunMetrics SimulationRun::run() {
   if (snapshot_model_) schedule_snapshot_refresh();
 
   for (auto& source : local_sources_) source->start();
-  global_source_->start();
+  if (global_source_) global_source_->start();
+  if (trace_source_) trace_source_->start();
 
   if (cfg_.warmup > 0) {
     sim_.at(cfg_.warmup, [this] {

@@ -1,0 +1,303 @@
+#include "dsrt/workload/arrival.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "dsrt/util/flags.hpp"
+
+namespace dsrt::workload {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+[[noreturn]] void throw_unknown_kind(std::string_view text) {
+  std::string msg = "ArrivalSpec: unknown arrival process '";
+  msg += text;
+  msg += "' (expected one of: ";
+  bool first = true;
+  for (std::string_view name : arrival_kind_names()) {
+    if (!first) msg += ", ";
+    first = false;
+    msg += name;
+  }
+  msg += ")";
+  throw std::invalid_argument(msg);
+}
+
+double parse_num(std::string_view what, const std::string& text) {
+  const auto v = util::parse_double(text);
+  if (!v)
+    throw std::invalid_argument("ArrivalSpec: bad " + std::string(what) +
+                                " '" + text + "'");
+  return *v;
+}
+
+}  // namespace
+
+std::size_t ArrivalProcess::batch_size(sim::Rng&) { return 1; }
+
+// --- Poisson -----------------------------------------------------------------
+
+PoissonProcess::PoissonProcess(double rate, sim::DistributionPtr batch)
+    : ArrivalProcess(rate), batch_(std::move(batch)) {
+  if (rate < 0) throw std::invalid_argument("PoissonProcess: negative rate");
+}
+
+sim::Time PoissonProcess::next_gap(sim::Time, sim::Rng& rng) {
+  return rng.exponential(1.0 / rate_);
+}
+
+std::size_t PoissonProcess::batch_size(sim::Rng& rng) {
+  if (!batch_) return 1;
+  // Legacy compound-Poisson rounding: llround, clamped to >= 1.
+  const auto raw = std::llround(batch_->sample(rng));
+  return raw < 1 ? 1 : static_cast<std::size_t>(raw);
+}
+
+// --- Periodic ----------------------------------------------------------------
+
+PeriodicProcess::PeriodicProcess(double rate) : ArrivalProcess(rate) {
+  if (rate < 0) throw std::invalid_argument("PeriodicProcess: negative rate");
+}
+
+sim::Time PeriodicProcess::next_gap(sim::Time, sim::Rng&) {
+  return 1.0 / rate_;
+}
+
+// --- MMPP / on-off -----------------------------------------------------------
+
+MmppProcess::MmppProcess(double rate, std::string_view name,
+                         double multipliers[2], double sojourns[2])
+    : ArrivalProcess(rate), name_(name) {
+  if (rate < 0) throw std::invalid_argument("MmppProcess: negative rate");
+  if (multipliers[0] < 0 || multipliers[1] < 0)
+    throw std::invalid_argument("MmppProcess: negative rate multiplier");
+  if (multipliers[0] + multipliers[1] <= 0)
+    throw std::invalid_argument("MmppProcess: both states silent");
+  if (sojourns[0] <= 0 || sojourns[1] <= 0)
+    throw std::invalid_argument("MmppProcess: non-positive sojourn");
+  sojourn_[0] = sojourns[0];
+  sojourn_[1] = sojourns[1];
+  // Normalize so the time-weighted average event rate equals `rate`:
+  // stationary weight of state i is sojourn_i / (s0 + s1).
+  const double weighted = (sojourns[0] * multipliers[0] +
+                           sojourns[1] * multipliers[1]) /
+                          (sojourns[0] + sojourns[1]);
+  lambda_[0] = rate * multipliers[0] / weighted;
+  lambda_[1] = rate * multipliers[1] / weighted;
+}
+
+sim::Time MmppProcess::next_gap(sim::Time now, sim::Rng& rng) {
+  if (!started_) {
+    started_ = true;
+    phase_end_ = now + rng.exponential(sojourn_[phase_]);
+  }
+  sim::Time t = now;
+  for (;;) {
+    // In state i arrivals are Poisson(lambda_i); by memorylessness the time
+    // to the next arrival measured from any instant inside the sojourn is
+    // Exp(1/lambda_i), and redrawing after a phase switch is exact.
+    if (lambda_[phase_] > 0) {
+      const sim::Time candidate = t + rng.exponential(1.0 / lambda_[phase_]);
+      if (candidate <= phase_end_) return candidate - now;
+    }
+    t = phase_end_;
+    phase_ ^= 1;
+    ++counters_.phase_changes;
+    phase_end_ = t + rng.exponential(sojourn_[phase_]);
+  }
+}
+
+// --- Diurnal -----------------------------------------------------------------
+
+DiurnalProcess::DiurnalProcess(double rate, double period, double amplitude)
+    : ArrivalProcess(rate), period_(period), amplitude_(amplitude) {
+  if (rate < 0) throw std::invalid_argument("DiurnalProcess: negative rate");
+  if (period <= 0)
+    throw std::invalid_argument("DiurnalProcess: non-positive period");
+  if (amplitude < 0 || amplitude > 1)
+    throw std::invalid_argument("DiurnalProcess: amplitude outside [0,1]");
+}
+
+sim::Time DiurnalProcess::next_gap(sim::Time now, sim::Rng& rng) {
+  // Lewis-Shedler thinning against the envelope lambda_max = rate (1 + a).
+  const double lambda_max = rate_ * (1.0 + amplitude_);
+  sim::Time t = now;
+  for (;;) {
+    t += rng.exponential(1.0 / lambda_max);
+    const double lambda_t =
+        rate_ * (1.0 + amplitude_ * std::sin(kTwoPi * t / period_));
+    if (rng.uniform01() * lambda_max < lambda_t) return t - now;
+    ++counters_.thinning_rejects;
+  }
+}
+
+// --- Spec --------------------------------------------------------------------
+
+ArrivalSpec ArrivalSpec::parse(std::string_view text) {
+  const std::string s(text);
+  const auto colon = s.find(':');
+  const std::string kind = s.substr(0, colon);
+  std::vector<std::string> args;
+  if (colon != std::string::npos)
+    args = util::split(s.substr(colon + 1), ',');
+
+  ArrivalSpec spec;
+  if (kind == "poisson") {
+    if (!args.empty())
+      throw std::invalid_argument("ArrivalSpec: poisson takes no parameters");
+  } else if (kind == "batch") {
+    spec.kind = ArrivalKind::Batch;
+    if (args.size() == 1) {
+      spec.a = spec.b = parse_num("batch size", args[0]);
+    } else if (args.size() == 2) {
+      spec.a = parse_num("batch lo", args[0]);
+      spec.b = parse_num("batch hi", args[1]);
+    } else {
+      throw std::invalid_argument(
+          "ArrivalSpec: batch takes <n> or <lo>,<hi>");
+    }
+  } else if (kind == "mmpp") {
+    spec.kind = ArrivalKind::Mmpp;
+    if (args.size() < 2 || args.size() > 4)
+      throw std::invalid_argument(
+          "ArrivalSpec: mmpp takes <m1>,<m2>[,<s1>[,<s2>]]");
+    spec.a = parse_num("mmpp multiplier", args[0]);
+    spec.b = parse_num("mmpp multiplier", args[1]);
+    spec.c = args.size() > 2 ? parse_num("mmpp sojourn", args[2]) : 100.0;
+    spec.d = args.size() > 3 ? parse_num("mmpp sojourn", args[3]) : spec.c;
+  } else if (kind == "onoff") {
+    spec.kind = ArrivalKind::OnOff;
+    if (args.size() != 2)
+      throw std::invalid_argument("ArrivalSpec: onoff takes <on>,<off>");
+    spec.a = parse_num("onoff on-period", args[0]);
+    spec.b = parse_num("onoff off-period", args[1]);
+  } else if (kind == "diurnal") {
+    spec.kind = ArrivalKind::Diurnal;
+    if (args.size() != 2)
+      throw std::invalid_argument(
+          "ArrivalSpec: diurnal takes <period>,<amplitude>");
+    spec.a = parse_num("diurnal period", args[0]);
+    spec.b = parse_num("diurnal amplitude", args[1]);
+  } else {
+    throw_unknown_kind(kind);
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string ArrivalSpec::describe() const {
+  switch (kind) {
+    case ArrivalKind::Poisson:
+      return "poisson";
+    case ArrivalKind::Batch:
+      if (a == b) return "batch:" + format_double(a);
+      return "batch:" + format_double(a) + "," + format_double(b);
+    case ArrivalKind::Mmpp:
+      return "mmpp:" + format_double(a) + "," + format_double(b) + "," +
+             format_double(c) + "," + format_double(d);
+    case ArrivalKind::OnOff:
+      return "onoff:" + format_double(a) + "," + format_double(b);
+    case ArrivalKind::Diurnal:
+      return "diurnal:" + format_double(a) + "," + format_double(b);
+  }
+  return "poisson";  // unreachable
+}
+
+void ArrivalSpec::validate() const {
+  switch (kind) {
+    case ArrivalKind::Poisson:
+      break;
+    case ArrivalKind::Batch:
+      if (a < 1 || b < a)
+        throw std::invalid_argument(
+            "ArrivalSpec: batch needs 1 <= lo <= hi");
+      break;
+    case ArrivalKind::Mmpp:
+      if (a < 0 || b < 0 || a + b <= 0)
+        throw std::invalid_argument(
+            "ArrivalSpec: mmpp multipliers must be >= 0, not both zero");
+      if (c <= 0 || d <= 0)
+        throw std::invalid_argument(
+            "ArrivalSpec: mmpp sojourns must be positive");
+      break;
+    case ArrivalKind::OnOff:
+      if (a <= 0 || b <= 0)
+        throw std::invalid_argument(
+            "ArrivalSpec: onoff periods must be positive");
+      break;
+    case ArrivalKind::Diurnal:
+      if (a <= 0)
+        throw std::invalid_argument(
+            "ArrivalSpec: diurnal period must be positive");
+      if (b < 0 || b > 1)
+        throw std::invalid_argument(
+            "ArrivalSpec: diurnal amplitude outside [0,1]");
+      break;
+  }
+}
+
+double ArrivalSpec::batch_mean() const {
+  if (kind != ArrivalKind::Batch) return 1.0;
+  // Legacy load-preservation rule: max(1, E[batch]).
+  const double mean = 0.5 * (a + b);
+  return mean < 1.0 ? 1.0 : mean;
+}
+
+ArrivalSpec ArrivalSpec::for_globals() const {
+  if (kind == ArrivalKind::Batch) return ArrivalSpec{};
+  return *this;
+}
+
+std::vector<std::string_view> arrival_kind_names() {
+  return {"poisson", "batch", "mmpp", "onoff", "diurnal"};
+}
+
+ArrivalProcessPtr make_arrival_process(const ArrivalSpec& spec, double rate,
+                                       bool periodic) {
+  spec.validate();
+  if (periodic) {
+    if (!spec.is_default())
+      throw std::invalid_argument(
+          "make_arrival_process: periodic gaps compose only with the "
+          "poisson spec");
+    return std::make_unique<PeriodicProcess>(rate);
+  }
+  switch (spec.kind) {
+    case ArrivalKind::Poisson:
+      return std::make_unique<PoissonProcess>(rate);
+    case ArrivalKind::Batch:
+      return std::make_unique<PoissonProcess>(
+          rate, spec.a == spec.b ? sim::constant(spec.a)
+                                 : sim::uniform(spec.a, spec.b));
+    case ArrivalKind::Mmpp: {
+      double multipliers[2] = {spec.a, spec.b};
+      double sojourns[2] = {spec.c, spec.d};
+      return std::make_unique<MmppProcess>(rate, "mmpp", multipliers,
+                                           sojourns);
+    }
+    case ArrivalKind::OnOff: {
+      // On-off = interrupted Poisson: bursts at (on+off)/on times the base
+      // rate during Exp(on) on-periods, silence during Exp(off); the MMPP
+      // normalization lands the long-run rate exactly on `rate`.
+      double multipliers[2] = {(spec.a + spec.b) / spec.a, 0.0};
+      double sojourns[2] = {spec.a, spec.b};
+      return std::make_unique<MmppProcess>(rate, "onoff", multipliers,
+                                           sojourns);
+    }
+    case ArrivalKind::Diurnal:
+      return std::make_unique<DiurnalProcess>(rate, spec.a, spec.b);
+  }
+  throw std::invalid_argument("make_arrival_process: unknown kind");
+}
+
+}  // namespace dsrt::workload

@@ -8,44 +8,50 @@
 namespace dsrt::workload {
 
 LocalTaskSource::LocalTaskSource(sim::Simulator& sim, core::NodeId node,
-                                 double rate, sim::DistributionPtr exec,
+                                 ArrivalProcessPtr process,
+                                 sim::DistributionPtr exec,
                                  sim::DistributionPtr slack,
                                  PexErrorModelPtr pex_error, sim::Rng rng,
-                                 sim::Time until, Sink sink,
-                                 sim::DistributionPtr batch)
+                                 sim::Time until, Sink sink)
     : sim_(sim),
       node_(node),
-      rate_(rate),
+      process_(std::move(process)),
       exec_(std::move(exec)),
       slack_(std::move(slack)),
       pex_error_(std::move(pex_error)),
       rng_(rng),
       until_(until),
-      sink_(std::move(sink)),
-      batch_(std::move(batch)) {
-  if (rate < 0) throw std::invalid_argument("LocalTaskSource: negative rate");
-  if (!exec_ || !slack_ || !pex_error_ || !sink_)
+      sink_(std::move(sink)) {
+  if (!process_ || !exec_ || !slack_ || !pex_error_ || !sink_)
     throw std::invalid_argument("LocalTaskSource: null component");
 }
 
+LocalTaskSource::LocalTaskSource(sim::Simulator& sim, core::NodeId node,
+                                 double rate, sim::DistributionPtr exec,
+                                 sim::DistributionPtr slack,
+                                 PexErrorModelPtr pex_error, sim::Rng rng,
+                                 sim::Time until, Sink sink,
+                                 sim::DistributionPtr batch)
+    : LocalTaskSource(sim, node,
+                      std::make_unique<PoissonProcess>(rate, std::move(batch)),
+                      std::move(exec), std::move(slack), std::move(pex_error),
+                      rng, until, std::move(sink)) {}
+
 void LocalTaskSource::start() {
-  if (rate_ <= 0) return;
+  if (process_->rate() <= 0) return;
   schedule_next();
 }
 
 void LocalTaskSource::schedule_next() {
-  const sim::Time gap = rng_.exponential(1.0 / rate_);
+  const sim::Time gap = process_->next_gap(sim_.now(), rng_);
   const sim::Time at = sim_.now() + gap;
   if (at > until_) return;
   sim_.at(at, [this] { arrive(); });
 }
 
 void LocalTaskSource::arrive() {
-  std::size_t count = 1;
-  if (batch_) {
-    const auto raw = std::llround(batch_->sample(rng_));
-    count = raw < 1 ? 1 : static_cast<std::size_t>(raw);
-  }
+  const std::size_t count = process_->batch_size(rng_);
+  process_->note_release(count);
   for (std::size_t i = 0; i < count; ++i) {
     ++generated_;
     const double exec = exec_->sample(rng_);
@@ -58,15 +64,17 @@ void LocalTaskSource::arrive() {
 }
 
 GlobalTaskSource::GlobalTaskSource(sim::Simulator& sim,
-                                   GlobalTaskParams params, double rate,
-                                   sim::Rng rng, sim::Time until, Sink sink)
+                                   GlobalTaskParams params,
+                                   ArrivalProcessPtr process, sim::Rng rng,
+                                   sim::Time until, Sink sink)
     : sim_(sim),
       params_(std::move(params)),
-      rate_(rate),
+      process_(std::move(process)),
       rng_(rng),
       until_(until),
       sink_(std::move(sink)) {
-  if (rate < 0) throw std::invalid_argument("GlobalTaskSource: negative rate");
+  if (!process_)
+    throw std::invalid_argument("GlobalTaskSource: null arrival process");
   if (!params_.exec || !params_.slack || !params_.pex_error || !sink_)
     throw std::invalid_argument("GlobalTaskSource: null component");
   if (params_.nodes == 0)
@@ -81,28 +89,48 @@ GlobalTaskSource::GlobalTaskSource(sim::Simulator& sim,
   }
 }
 
+namespace {
+
+ArrivalProcessPtr legacy_global_process(double rate, bool periodic) {
+  if (rate < 0) throw std::invalid_argument("GlobalTaskSource: negative rate");
+  if (periodic) return std::make_unique<PeriodicProcess>(rate);
+  return std::make_unique<PoissonProcess>(rate);
+}
+
+}  // namespace
+
+GlobalTaskSource::GlobalTaskSource(sim::Simulator& sim,
+                                   GlobalTaskParams params, double rate,
+                                   sim::Rng rng, sim::Time until, Sink sink)
+    : GlobalTaskSource(sim, params,
+                       legacy_global_process(rate, params.periodic), rng,
+                       until, std::move(sink)) {}
+
 void GlobalTaskSource::start() {
-  if (rate_ <= 0) return;
+  if (process_->rate() <= 0) return;
   schedule_next();
 }
 
 void GlobalTaskSource::schedule_next() {
-  const sim::Time gap =
-      params_.periodic ? 1.0 / rate_ : rng_.exponential(1.0 / rate_);
+  const sim::Time gap = process_->next_gap(sim_.now(), rng_);
   const sim::Time at = sim_.now() + gap;
   if (at > until_) return;
   sim_.at(at, [this] { arrive(); });
 }
 
 void GlobalTaskSource::arrive() {
-  ++generated_;
-  const core::TaskSpec& spec = next_task();
-  // dl(T) = ar + ex(T) + sl(T): serial tasks use the total execution time,
-  // parallel tasks the longest subtask (the paper's equation 2); a
-  // serial-parallel tree generalizes both via its critical path.
-  const sim::Time deadline =
-      sim_.now() + spec.critical_path_exec() + draw_slack();
-  sink_(spec, deadline);
+  const std::size_t count = process_->batch_size(rng_);
+  process_->note_release(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ++generated_;
+    const core::TaskSpec& spec = next_task();
+    // dl(T) = ar + ex(T) + sl(T): serial tasks use the total execution time,
+    // parallel tasks the longest subtask (the paper's equation 2); a
+    // serial-parallel tree generalizes both via its critical path.
+    const sim::Time deadline =
+        sim_.now() + spec.critical_path_exec() + draw_slack();
+    sink_(spec, deadline);
+  }
   schedule_next();
 }
 

@@ -1,0 +1,145 @@
+#include "dsrt/workload/service.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "dsrt/util/flags.hpp"
+
+namespace dsrt::workload {
+
+namespace {
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+[[noreturn]] void throw_unknown_kind(std::string_view text) {
+  std::string msg = "ServiceSpec: unknown service sampler '";
+  msg += text;
+  msg += "' (expected one of: ";
+  bool first = true;
+  for (std::string_view name : service_kind_names()) {
+    if (!first) msg += ", ";
+    first = false;
+    msg += name;
+  }
+  msg += ")";
+  throw std::invalid_argument(msg);
+}
+
+double parse_num(std::string_view what, const std::string& text) {
+  const auto v = util::parse_double(text);
+  if (!v)
+    throw std::invalid_argument("ServiceSpec: bad " + std::string(what) +
+                                " '" + text + "'");
+  return *v;
+}
+
+}  // namespace
+
+ServiceSpec ServiceSpec::parse(std::string_view text) {
+  const std::string s(text);
+  const auto colon = s.find(':');
+  const std::string kind = s.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? std::string() : s.substr(colon + 1);
+
+  ServiceSpec spec;
+  if (kind == "exp" || kind == "const") {
+    if (!arg.empty())
+      throw std::invalid_argument("ServiceSpec: " + kind +
+                                  " takes no parameters");
+    spec.kind = kind == "exp" ? ServiceKind::Exp : ServiceKind::Const;
+  } else if (kind == "erlang") {
+    spec.kind = ServiceKind::Erlang;
+    spec.param = parse_num("erlang stage count", arg);
+  } else if (kind == "h2") {
+    spec.kind = ServiceKind::H2;
+    spec.param = parse_num("h2 scv", arg);
+  } else if (kind == "pareto") {
+    spec.kind = ServiceKind::Pareto;
+    spec.param = parse_num("pareto alpha", arg);
+  } else if (kind == "lognormal") {
+    spec.kind = ServiceKind::LogNormal;
+    spec.param = parse_num("lognormal sigma", arg);
+  } else {
+    throw_unknown_kind(kind);
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string ServiceSpec::describe() const {
+  switch (kind) {
+    case ServiceKind::Exp:
+      return "exp";
+    case ServiceKind::Const:
+      return "const";
+    case ServiceKind::Erlang:
+      return "erlang:" + format_double(param);
+    case ServiceKind::H2:
+      return "h2:" + format_double(param);
+    case ServiceKind::Pareto:
+      return "pareto:" + format_double(param);
+    case ServiceKind::LogNormal:
+      return "lognormal:" + format_double(param);
+  }
+  return "exp";  // unreachable
+}
+
+void ServiceSpec::validate() const {
+  switch (kind) {
+    case ServiceKind::Exp:
+    case ServiceKind::Const:
+      break;
+    case ServiceKind::Erlang:
+      if (param < 1 || param != std::floor(param))
+        throw std::invalid_argument(
+            "ServiceSpec: erlang stage count must be an integer >= 1");
+      break;
+    case ServiceKind::H2:
+      if (param < 1)
+        throw std::invalid_argument("ServiceSpec: h2 scv must be >= 1");
+      break;
+    case ServiceKind::Pareto:
+      if (param <= 1)
+        throw std::invalid_argument(
+            "ServiceSpec: pareto alpha must be > 1 (finite mean)");
+      break;
+    case ServiceKind::LogNormal:
+      if (param <= 0)
+        throw std::invalid_argument(
+            "ServiceSpec: lognormal sigma must be positive");
+      break;
+  }
+}
+
+sim::DistributionPtr ServiceSpec::make(double mean) const {
+  if (mean <= 0)
+    throw std::invalid_argument("ServiceSpec::make: mean must be positive");
+  validate();
+  switch (kind) {
+    case ServiceKind::Exp:
+      return sim::exponential(mean);
+    case ServiceKind::Const:
+      return sim::constant(mean);
+    case ServiceKind::Erlang:
+      return sim::erlang(static_cast<unsigned>(param), mean);
+    case ServiceKind::H2:
+      return sim::hyperexponential(mean, param);
+    case ServiceKind::Pareto:
+      return sim::pareto(param, mean);
+    case ServiceKind::LogNormal:
+      return sim::lognormal(param, mean);
+  }
+  throw std::invalid_argument("ServiceSpec::make: unknown kind");
+}
+
+std::vector<std::string_view> service_kind_names() {
+  return {"exp", "const", "erlang", "h2", "pareto", "lognormal"};
+}
+
+}  // namespace dsrt::workload

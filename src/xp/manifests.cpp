@@ -156,6 +156,56 @@ Manifest abl_scale_quick_manifest() {
   return m;
 }
 
+Manifest wl_mix_manifest() {
+  Manifest m;
+  m.name = "wl_mix";
+  m.description =
+      "Workload-mix grid: arrival process x service law at the serial "
+      "baseline (all points matched-mean/rate-normalized, so the offered "
+      "load is constant and only burstiness/variability moves)";
+  m.base = [] {
+    Config cfg = system::baseline_ssp();
+    cfg.horizon = 5e4;
+    return cfg;
+  };
+  m.grid = [] {
+    SweepGrid grid;
+    grid.axis(SweepAxis::by_field("arrivals",
+                                  {"poisson", "batch:1,8", "mmpp:4,0.25",
+                                   "onoff:20,80", "diurnal:1000,0.8"}))
+        .axis(SweepAxis::by_field("service",
+                                  {"exp", "pareto:2.5", "lognormal:1"}));
+    return grid;
+  };
+  m.metrics = default_metrics();
+  return m;
+}
+
+Manifest abl_stale_decay_manifest() {
+  Manifest m;
+  m.name = "abl_stale_decay";
+  m.description =
+      "Staleness-decay grid: load-model freshness x placement for the "
+      "load-aware serial strategy at load 0.85 (how fast the EQS-L / "
+      "jsq advantage decays as the state view ages)";
+  m.base = [] {
+    Config cfg = system::baseline_ssp();
+    cfg.horizon = 5e4;
+    cfg.load = 0.85;
+    cfg.ssp = core::serial_strategy_by_name("EQS-L");
+    return cfg;
+  };
+  m.grid = [] {
+    SweepGrid grid;
+    grid.axis(SweepAxis::by_field(
+            "load_model", {"exact", "sampled:5", "stale:5", "stale:20"}))
+        .axis(SweepAxis::by_field("placement", {"static", "jsq-pex"}));
+    return grid;
+  };
+  m.metrics = default_metrics();
+  return m;
+}
+
 }  // namespace
 
 Registry& builtin_registry() {
@@ -166,6 +216,8 @@ Registry& builtin_registry() {
     r.add(fig4_manifest());
     r.add(abl_rel_flex_manifest());
     r.add(abl_scale_quick_manifest());
+    r.add(wl_mix_manifest());
+    r.add(abl_stale_decay_manifest());
     return r;
   }();
   return registry;

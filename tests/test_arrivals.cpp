@@ -1,0 +1,179 @@
+// Tests for the pluggable arrival-process layer: spec grammar, rate
+// normalization of the modulated kinds, and the bitwise differential
+// against the seed path's Poisson draws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "dsrt/sim/rng.hpp"
+#include "dsrt/workload/arrival.hpp"
+
+namespace {
+
+using namespace dsrt;
+using workload::ArrivalKind;
+using workload::ArrivalSpec;
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(ArrivalSpec, ParseDescribeRoundTrip) {
+  EXPECT_EQ(ArrivalSpec::parse("poisson").describe(), "poisson");
+  EXPECT_EQ(ArrivalSpec::parse("batch:5").describe(), "batch:5");
+  EXPECT_EQ(ArrivalSpec::parse("batch:1,8").describe(), "batch:1,8");
+  EXPECT_EQ(ArrivalSpec::parse("mmpp:4,0.25").describe(),
+            "mmpp:4,0.25,100,100");
+  EXPECT_EQ(ArrivalSpec::parse("mmpp:4,0.25,50").describe(),
+            "mmpp:4,0.25,50,50");
+  EXPECT_EQ(ArrivalSpec::parse("mmpp:4,0.25,50,200").describe(),
+            "mmpp:4,0.25,50,200");
+  EXPECT_EQ(ArrivalSpec::parse("onoff:20,80").describe(), "onoff:20,80");
+  EXPECT_EQ(ArrivalSpec::parse("diurnal:1000,0.8").describe(),
+            "diurnal:1000,0.8");
+}
+
+TEST(ArrivalSpec, UnknownKindListsVocabulary) {
+  try {
+    ArrivalSpec::parse("weibull:2");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("weibull"), std::string::npos);
+    for (const char* name :
+         {"poisson", "batch", "mmpp", "onoff", "diurnal"}) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(ArrivalSpec, RejectsBadParameters) {
+  EXPECT_THROW(ArrivalSpec::parse("poisson:1"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("batch:0.5"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("batch:4,2"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("batch:1,2,3"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("mmpp:4"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("mmpp:0,0"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("mmpp:4,1,-5"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("onoff:20"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("onoff:0,80"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("diurnal:0,0.5"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("diurnal:100,1.5"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("batch:x"), std::invalid_argument);
+}
+
+TEST(ArrivalSpec, BatchMeanAndGlobalsMapping) {
+  EXPECT_EQ(ArrivalSpec::parse("poisson").batch_mean(), 1.0);
+  EXPECT_EQ(ArrivalSpec::parse("batch:1,8").batch_mean(), 4.5);
+  EXPECT_EQ(ArrivalSpec::parse("mmpp:4,0.25").batch_mean(), 1.0);
+
+  // Batch compounding is a local-stream model; globals degenerate to
+  // Poisson. The modulated kinds drive both streams.
+  EXPECT_TRUE(ArrivalSpec::parse("batch:1,8").for_globals().is_default());
+  EXPECT_EQ(ArrivalSpec::parse("onoff:20,80").for_globals().kind,
+            ArrivalKind::OnOff);
+}
+
+TEST(ArrivalProcess, PoissonMatchesSeedDrawsBitwise) {
+  // The refactored gap law must consume exactly the legacy draw:
+  // Exp(1/rate), nothing else — this is what keeps every golden bitwise.
+  workload::PoissonProcess process(2.0);
+  sim::Rng rng(91), twin(91);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(
+        bits_equal(process.next_gap(0.0, rng), twin.exponential(0.5)));
+  }
+}
+
+TEST(ArrivalProcess, BatchDrawOrderMatchesLegacyKnob) {
+  // Legacy order per event: batch draw (llround, min 1), then the gap.
+  auto process = workload::make_arrival_process(
+      ArrivalSpec::parse("batch:1,8"), 2.0);
+  sim::Rng rng(92), twin(92);
+  const auto legacy_batch = sim::uniform(1.0, 8.0);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t batch = process->batch_size(rng);
+    const auto raw = std::llround(legacy_batch->sample(twin));
+    EXPECT_EQ(batch, static_cast<std::size_t>(raw < 1 ? 1 : raw));
+    EXPECT_TRUE(
+        bits_equal(process->next_gap(0.0, rng), twin.exponential(0.5)));
+  }
+}
+
+TEST(ArrivalProcess, PeriodicIsDeterministicAndDrawsNothing) {
+  auto process = workload::make_arrival_process(ArrivalSpec{}, 4.0,
+                                                /*periodic=*/true);
+  sim::Rng rng(93), twin(93);
+  EXPECT_EQ(process->next_gap(0.0, rng), 0.25);
+  EXPECT_EQ(process->next_gap(7.5, rng), 0.25);
+  // The stream was not touched.
+  EXPECT_TRUE(bits_equal(rng.uniform01(), twin.uniform01()));
+}
+
+TEST(ArrivalProcess, PeriodicComposesOnlyWithPoisson) {
+  EXPECT_THROW(workload::make_arrival_process(
+                   ArrivalSpec::parse("onoff:20,80"), 1.0, /*periodic=*/true),
+               std::invalid_argument);
+}
+
+/// Long-run event rate of a pure gap generator.
+double empirical_rate(workload::ArrivalProcess& process, int events,
+                      std::uint64_t seed) {
+  sim::Rng rng(seed);
+  sim::Time t = 0;
+  for (int i = 0; i < events; ++i) t += process.next_gap(t, rng);
+  return events / t;
+}
+
+TEST(ArrivalProcess, ModulatedKindsAreRateNormalized) {
+  // Every kind must keep the configured long-run rate, so the offered load
+  // is a property of Config::load alone.
+  const double rate = 2.0;
+  for (const char* spec :
+       {"mmpp:4,0.25", "mmpp:8,1,20,200", "onoff:20,80", "diurnal:500,0.9"}) {
+    SCOPED_TRACE(spec);
+    auto process =
+        workload::make_arrival_process(ArrivalSpec::parse(spec), rate);
+    EXPECT_NEAR(empirical_rate(*process, 200000, 94), rate, 0.05 * rate);
+  }
+}
+
+TEST(ArrivalProcess, OnOffGoesSilentAndCountsPhases) {
+  // Interrupted Poisson: gaps regularly exceed the off-period scale (no
+  // arrivals while off), which a plain Poisson at 10x the mean gap
+  // essentially never does, and the phase walk is counted.
+  auto process = workload::make_arrival_process(
+      ArrivalSpec::parse("onoff:10,90"), 1.0);
+  sim::Rng rng(95);
+  sim::Time t = 0;
+  int long_gaps = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const sim::Time gap = process->next_gap(t, rng);
+    if (gap > 50.0) ++long_gaps;
+    t += gap;
+  }
+  EXPECT_GT(long_gaps, 50);
+  EXPECT_GT(process->counters().phase_changes, 100u);
+}
+
+TEST(ArrivalProcess, DiurnalCountsThinningRejects) {
+  auto process = workload::make_arrival_process(
+      ArrivalSpec::parse("diurnal:200,0.9"), 1.0);
+  sim::Rng rng(96);
+  sim::Time t = 0;
+  for (int i = 0; i < 5000; ++i) t += process->next_gap(t, rng);
+  EXPECT_GT(process->counters().thinning_rejects, 1000u);
+}
+
+TEST(ArrivalProcess, NoteReleaseTracksBurstHighWater) {
+  workload::PoissonProcess process(1.0);
+  process.note_release(1);
+  process.note_release(7);
+  process.note_release(3);
+  EXPECT_EQ(process.counters().events, 3u);
+  EXPECT_EQ(process.counters().tasks, 11u);
+  EXPECT_EQ(process.counters().max_batch, 7u);
+}
+
+}  // namespace

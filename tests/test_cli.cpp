@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dsrt/system/cli.hpp"
+#include "dsrt/workload/service.hpp"
 
 namespace {
 
@@ -113,8 +114,45 @@ TEST(Cli, UsageMentionsEveryFlagGroup) {
   const std::string usage = system::cli_usage();
   for (const char* token : {"--shape", "--ssp", "--psp", "--policy",
                             "--abort", "--links", "--periodic", "--horizon",
-                            "--load_model", "--placement"})
+                            "--load_model", "--placement", "--arrivals",
+                            "--service", "--trace", "--capture",
+                            "--fingerprint"})
     EXPECT_NE(usage.find(token), std::string::npos) << token;
+}
+
+TEST(Cli, ArrivalAndServiceSelection) {
+  EXPECT_TRUE(parse({}).arrivals.is_default());
+  const auto cfg = parse({"--arrivals=batch:1,8", "--service=pareto:2.5"});
+  EXPECT_EQ(cfg.arrivals.kind, workload::ArrivalKind::Batch);
+  EXPECT_DOUBLE_EQ(cfg.arrivals.batch_mean(), 4.5);
+  // Matched-mean: the service swap keeps the Table-1 subtask mean.
+  EXPECT_DOUBLE_EQ(cfg.subtask_exec->mean(), 1.0);
+  EXPECT_NE(cfg.subtask_exec->describe().find("Pareto"), std::string::npos);
+  EXPECT_EQ(parse({"--trace=some.trace"}).trace, "some.trace");
+  EXPECT_THROW(parse({"--arrivals=psychic"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--service=psychic"}), std::invalid_argument);
+  // Periodic globals compose with batch (a local-stream model) but not
+  // with the modulated kinds.
+  EXPECT_NO_THROW(parse({"--periodic", "--arrivals=batch:4"}));
+  EXPECT_THROW(parse({"--periodic", "--arrivals=onoff:20,80"}),
+               std::invalid_argument);
+}
+
+TEST(Cli, UsageAndErrorsCoverTheWorkloadVocabulary) {
+  const std::string usage = system::cli_usage();
+  for (const auto name : workload::arrival_kind_names())
+    EXPECT_NE(usage.find(std::string(name)), std::string::npos) << name;
+  for (const auto name : workload::service_kind_names())
+    EXPECT_NE(usage.find(std::string(name)), std::string::npos) << name;
+  try {
+    parse({"--arrivals=psychic"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    for (const auto name : workload::arrival_kind_names())
+      EXPECT_NE(std::string(e.what()).find(std::string(name)),
+                std::string::npos)
+          << name;
+  }
 }
 
 TEST(Cli, PlacementSelection) {

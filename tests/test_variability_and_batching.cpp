@@ -98,7 +98,7 @@ TEST(BurstyArrivals, BatchedSourceEmitsBursts) {
 TEST(BurstyArrivals, LoadIsPreservedInSystem) {
   system::Config cfg = system::baseline_ssp();
   cfg.horizon = 40000;
-  cfg.local_batch = sim::uniform(1.0, 8.0);
+  cfg.arrivals = workload::ArrivalSpec::parse("batch:1,8");
   const auto m = system::simulate(cfg);
   // Same offered work: utilization still tracks the configured load.
   EXPECT_NEAR(m.mean_utilization, cfg.load, 0.04);
@@ -112,7 +112,7 @@ TEST(BurstyArrivals, BurstsIncreaseMisses) {
   system::Config cfg = system::baseline_ssp();
   cfg.horizon = 60000;
   const auto smooth = system::simulate(cfg);
-  cfg.local_batch = sim::uniform(1.0, 16.0);
+  cfg.arrivals = workload::ArrivalSpec::parse("batch:1,16");
   const auto bursty = system::simulate(cfg);
   EXPECT_GT(bursty.local.missed.value(), smooth.local.missed.value());
   EXPECT_GT(bursty.global.missed.value(), smooth.global.missed.value());

@@ -22,7 +22,7 @@ namespace {
 using namespace dsrt;
 
 const char* kCommitted[] = {"fig2_ssp", "fig3_frac_local", "fig4_psp",
-                            "abl_scale_quick"};
+                            "abl_scale_quick", "wl_mix", "abl_stale_decay"};
 
 std::string expectations_dir() {
   return std::string(DSRT_REPO_DIR) + "/expectations";
