@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -102,6 +103,25 @@ class TaskInstance {
   bool on_leaf_complete(std::size_t leaf, sim::Time now,
                         std::vector<LeafSubmission>& out);
 
+  /// Reports that leaf `leaf` was orphaned by a node crash: the submission
+  /// is no longer outstanding, but the DAG does not advance — the leaf is
+  /// back in the "activated, waiting to run" state its retry (or the
+  /// instance's abort) resolves.
+  void on_leaf_failed(std::size_t leaf);
+
+  /// Re-places an orphaned leaf and re-emits its submission with the
+  /// original assigned deadline and priority (the deadline decomposition is
+  /// not redone — the failure consumed slack, it did not grant more).
+  /// Candidates are the leaf's *original* eligible set filtered by `live`
+  /// and by the distinct-site constraint against unfinished simple
+  /// siblings; a generation-bound leaf can only go back to its own node.
+  /// The placement policy (when wired) picks among multiple survivors.
+  /// Returns false — emitting nothing — when no live candidate remains;
+  /// the caller then aborts the instance.
+  bool resubmit_leaf(std::size_t leaf, sim::Time now,
+                     const std::function<bool(NodeId)>& live,
+                     std::vector<LeafSubmission>& out);
+
   /// Marks the task failed (e.g. a subtask was discarded by an abort
   /// policy). No further submissions are emitted.
   void abort();
@@ -125,6 +145,7 @@ class TaskInstance {
     std::uint32_t child_count = 0;
     std::uint32_t elig_begin = 0;   // into elig_pool_ (leaves)
     std::uint32_t elig_count = 0;   // 0 once placed (or bound)
+    std::uint32_t orig_elig_count = 0;  // spec value; survives placement
     std::uint32_t suffix_begin = 0; // into suffix_pool_ (serial groups)
     NodeId node = 0;                // leaves only
     SpecKind kind = SpecKind::Simple;

@@ -25,6 +25,11 @@ struct NodeLoad {
   double utilization = 0;
   /// Jobs waiting (not counting the one in service).
   std::uint32_t queue_length = 0;
+  /// The node is crashed (fault injection). Load-aware placement treats a
+  /// down node as infinitely loaded so it stops herding onto ghosts; the
+  /// flag travels through snapshots, so sampled/stale views learn of a
+  /// crash with the same delay as any other load change.
+  bool down = false;
 };
 
 /// Per-node load accounting slot, written by the owning `sched::Node` at
@@ -55,6 +60,9 @@ class LoadAccount {
   /// Folds the held busy state into the EWMA up to `now`, then holds
   /// `busy` from `now` on.
   void set_busy(sim::Time now, bool busy);
+  /// Marks the node crashed / recovered (mirrors `sched::Node::fail` and
+  /// `recover`).
+  void set_down(bool down) { down_ = down; }
 
   /// Current load with the EWMA decayed to `now`. Pure.
   NodeLoad read(sim::Time now) const;
@@ -64,6 +72,7 @@ class LoadAccount {
 
   double backlog_ = 0;
   std::uint32_t queue_length_ = 0;
+  bool down_ = false;
   double tau_ = 1;
   double util_ewma_ = 0;
   bool busy_ = false;

@@ -11,6 +11,10 @@
 ///   workload - task-population generators: pluggable arrival processes
 ///              (poisson/batch/mmpp/onoff/diurnal), matched-mean service
 ///              laws, shapes, slack, pex error, trace capture/replay
+///   fault    - deterministic failure injection (crash/link outage
+///              renewal processes, execution stragglers) and the spec
+///              grammar behind --faults; reactions (retry, shed) live in
+///              system, mark-downs in core/sched
 ///   system   - configuration, process manager, simulation, experiments
 ///   obs      - observability: metrics registry + engine probes, Perfetto
 ///              trace export, deadline-miss attribution (registry below
@@ -37,6 +41,8 @@
 #include "dsrt/engine/seed_sequence.hpp"
 #include "dsrt/engine/sweep.hpp"
 #include "dsrt/engine/thread_pool.hpp"
+#include "dsrt/fault/injector.hpp"
+#include "dsrt/fault/spec.hpp"
 #include "dsrt/obs/attribution.hpp"
 #include "dsrt/obs/probes.hpp"
 #include "dsrt/obs/registry.hpp"

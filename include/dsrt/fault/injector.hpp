@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsrt/fault/spec.hpp"
+#include "dsrt/sched/node.hpp"
+#include "dsrt/sim/rng.hpp"
+#include "dsrt/sim/simulator.hpp"
+#include "dsrt/sim/time.hpp"
+
+namespace dsrt::fault {
+
+/// Rng stream id reserved for the fault processes (the workload sources use
+/// streams 1 and 100+, placement uses 2; common-random-numbers discipline:
+/// turning faults on consumes only this stream, so the offered workload —
+/// and every existing golden trajectory with faults off — is untouched).
+inline constexpr std::uint64_t kFaultRngStream = 3;
+
+/// Drives the failure processes of one simulation run: per-node
+/// crash/recovery renewal chains (compute nodes via the `crash` component,
+/// link nodes via `link`), plus the execution-straggler coin consumed by
+/// the process manager at submission time.
+///
+/// Each node alternates up-for-Exp(mttf) / down-for-Exp(mttr), sampled
+/// lazily: one draw when the next transition is scheduled, in event
+/// execution order — deterministic and --jobs-invariant because the whole
+/// chain lives on the simulator's clock. A failure calls
+/// `sched::Node::fail`, which disposes the job in service and every queued
+/// job as `JobOutcome::Failed` (orphaning them through the same disposal
+/// path aborts use) and marks the node's load account down so jsq/pod
+/// placement stops herding onto the ghost; a recovery calls
+/// `sched::Node::recover`.
+///
+/// The injector is built only when the spec has any component enabled, so
+/// a default config schedules zero events and draws nothing.
+class FaultInjector {
+ public:
+  /// `compute_nodes` = k: entries of `nodes` at index >= k are link nodes
+  /// and follow the `link` component instead of `crash`. `seed` is the
+  /// run's replication seed (stream kFaultRngStream is derived here).
+  /// Outage chains stop scheduling past `horizon`.
+  FaultInjector(sim::Simulator& sim, const FaultSpec& spec,
+                std::vector<std::unique_ptr<sched::Node>>& nodes,
+                std::size_t compute_nodes, std::uint64_t seed,
+                sim::Time horizon);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules the first failure of every node with an enabled outage
+  /// component (draws one Exp(mttf) per node, in node-id order). Call once
+  /// before the simulation runs; a no-op when no outage component is on.
+  void start();
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Service-demand multiplier for one job (the `exec_straggle` component):
+  /// draws one uniform variate iff straggling is enabled, returns
+  /// `straggle_mult` with probability p and 1 otherwise. The process
+  /// manager applies it downstream of workload generation *and* of trace
+  /// capture, so a captured trace always records the offered demand.
+  double straggle_factor();
+
+  /// Obs counters.
+  std::uint64_t crashes() const { return crashes_; }        ///< compute
+  std::uint64_t link_outages() const { return link_outages_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t straggled() const { return straggled_; }
+  /// Total node-down time over *completed* outages (simulated time; an
+  /// outage still open at the horizon is not counted).
+  double downtime() const { return downtime_; }
+
+ private:
+  bool is_link(std::size_t node) const { return node >= compute_nodes_; }
+  double mttf_of(std::size_t node) const {
+    return is_link(node) ? spec_.link_mttf : spec_.crash_mttf;
+  }
+  double mttr_of(std::size_t node) const {
+    return is_link(node) ? spec_.link_mttr : spec_.crash_mttr;
+  }
+  void schedule_failure(std::size_t node);
+  void schedule_recovery(std::size_t node);
+
+  sim::Simulator& sim_;
+  FaultSpec spec_;
+  std::vector<std::unique_ptr<sched::Node>>& nodes_;
+  std::size_t compute_nodes_;
+  sim::Time horizon_;
+  sim::Rng rng_;
+  std::vector<sim::Time> down_since_;  ///< per node; valid while down
+
+  std::uint64_t crashes_ = 0;
+  std::uint64_t link_outages_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t straggled_ = 0;
+  double downtime_ = 0;
+};
+
+}  // namespace dsrt::fault

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dsrt::fault {
+
+/// Declarative description of the failure processes injected into a run —
+/// `system::Config` carries this (not a live injector) because the injector
+/// holds per-run renewal-process state (its rng stream, per-node outage
+/// clocks) that must not be shared across concurrent engine runs.
+///
+/// Grammar (components joined by ';', each optional, any order):
+///
+///   crash:<mttf>,<mttr>          per-compute-node crash/recovery renewal
+///                                process: up for Exp(mttf), down for
+///                                Exp(mttr), repeating
+///   link:<mttf>,<mttr>           same renewal process on the link nodes
+///                                (requires link_nodes > 0)
+///   exec_straggle:<p>,<mult>     with probability p a job's *real* service
+///                                demand is multiplied by mult (> 1); the
+///                                prediction pex is untouched, so stragglers
+///                                are invisible to the scheduler until they
+///                                overrun
+///   retry:<budget>               failed global subtasks are re-placed on a
+///                                live eligible node and resubmitted, up to
+///                                <budget> attempts beyond the first
+///   shed[:<margin>]              admission control: a task whose predicted
+///                                critical path no longer fits its deadline
+///                                window (now + margin*pex > deadline) is
+///                                shed at dispatch instead of queued
+///
+/// "none" (or the default-constructed spec) injects nothing: no injector is
+/// built, no fault events are scheduled, no rng stream is consumed — a run
+/// is bit-for-bit identical to a build without the fault subsystem.
+///
+/// All randomness (outage clocks, straggle coin flips) comes from one
+/// dedicated per-replication rng stream (kFaultRngStream), so enabling
+/// faults never perturbs the workload/placement draws — the common-random-
+/// numbers discipline extends to failure scenarios, and runs stay
+/// deterministic and --jobs-invariant.
+struct FaultSpec {
+  double crash_mttf = 0;     ///< mean time to failure; 0 = crashes off
+  double crash_mttr = 0;     ///< mean time to recovery
+  double link_mttf = 0;      ///< link-node outage process; 0 = off
+  double link_mttr = 0;
+  double straggle_p = 0;     ///< straggler probability; 0 = off
+  double straggle_mult = 1;  ///< demand multiplier for stragglers
+  std::uint32_t retry_budget = 0;  ///< resubmissions allowed per subtask
+  bool shed = false;               ///< admission control on
+  double shed_margin = 1.0;        ///< pex scale in the feasibility check
+
+  /// Largest accepted retry budget: beyond this the spec is certainly a
+  /// typo (a subtask outliving 64 placements has no deadline left to meet).
+  static constexpr std::uint32_t kMaxRetryBudget = 64;
+
+  bool crash_enabled() const { return crash_mttf > 0; }
+  bool link_enabled() const { return link_mttf > 0; }
+  bool straggle_enabled() const { return straggle_p > 0; }
+  /// Any component that schedules node up/down transitions.
+  bool outages() const { return crash_enabled() || link_enabled(); }
+  /// Anything at all configured (the gate for building an injector).
+  bool any() const {
+    return outages() || straggle_enabled() || retry_budget > 0 || shed;
+  }
+
+  /// Parses the grammar above. Throws std::invalid_argument on unknown
+  /// components, missing/extra parameters, or out-of-range numbers.
+  static FaultSpec parse(std::string_view text);
+
+  /// Inverse of parse, components in canonical order ("none" when empty).
+  std::string describe() const;
+
+  /// Throws std::invalid_argument unless every enabled component is
+  /// self-consistent (positive mttf/mttr pairs, p in (0,1], mult > 1,
+  /// margin > 0, budget <= kMaxRetryBudget).
+  void validate() const;
+};
+
+}  // namespace dsrt::fault

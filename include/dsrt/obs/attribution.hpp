@@ -22,8 +22,11 @@ enum class MissCause : std::uint8_t {
   Infeasible,  ///< assigned slack was negative: the window could not fit
                ///< even the predicted path (no strategy could have met it)
   Aborted,     ///< discarded by the abort policy before finishing
+  Failed,      ///< lost to a node crash (retries exhausted or infeasible)
+  Retried,     ///< finished late after a crash-orphaned subtask was rerun
+  Shed,        ///< dropped at dispatch by the overload admission controller
 };
-inline constexpr std::size_t kMissCauseCount = 5;
+inline constexpr std::size_t kMissCauseCount = 8;
 
 const char* to_string(MissCause cause);
 
@@ -48,12 +51,16 @@ const char* to_string(MissCause cause);
 /// finish - arrival - window); floating-point association makes it hold to
 /// rounding error, which the tests pin.
 ///
-/// Cause assignment: Aborted for abort-policy discards; Infeasible when
-/// slack < 0 (the assignment itself was hopeless); otherwise the largest
-/// of queueing/comm/overrun (ties resolve in that order). The per-cause
-/// counts sum to exactly the golden `ClassMetrics::missed.hits()` of the
-/// global class, and trials() matches `finished() + aborted()` — the
-/// consistency the acceptance tests assert.
+/// Cause assignment: Aborted for abort-policy discards; Failed for tasks
+/// a crash killed outright; Shed for admission drops; Retried for tasks
+/// that finished late after a crash-orphaned subtask was rerun (their
+/// realized path crosses a dead attempt, so the component split is
+/// undefined); Infeasible when slack < 0 (the assignment itself was
+/// hopeless); otherwise the largest of queueing/comm/overrun (ties
+/// resolve in that order). The per-cause counts sum to exactly the golden
+/// `ClassMetrics::missed.hits()` of the global class, and trials()
+/// matches `finished() + aborted() + failed() + shed()` — the consistency
+/// the acceptance tests assert.
 ///
 /// Memory: task records are pooled and recycled, so a long run's footprint
 /// is bounded by the peak number of in-flight tasks (plus one hash-map node
@@ -71,19 +78,27 @@ class MissAttribution final : public system::Observer {
   void on_global_finished(core::TaskId task, sim::Time now,
                           bool missed) override;
   void on_global_aborted(core::TaskId task, sim::Time now) override;
+  void on_global_failed(core::TaskId task, sim::Time now) override;
+  void on_global_shed(core::TaskId task, sim::Time now) override;
 
   /// Trials, mirroring the golden metrics: finished() counts
-  /// on_global_finished events (missed or not), aborted() the abort hook.
+  /// on_global_finished events (missed or not); aborted/failed/shed the
+  /// corresponding terminal hooks.
   std::uint64_t finished() const { return finished_; }
   std::uint64_t aborted() const { return aborted_; }
-  /// Total misses = missed completions + aborts
+  std::uint64_t failed() const { return failed_; }
+  std::uint64_t shed() const { return shed_; }
+  /// Total misses = missed completions + aborts + crash losses + sheds
   /// (== ClassMetrics::missed.hits() of the global class).
-  std::uint64_t misses() const { return missed_completed_ + aborted_; }
+  std::uint64_t misses() const {
+    return missed_completed_ + aborted_ + failed_ + shed_;
+  }
 
   std::uint64_t cause_count(MissCause cause) const {
     return counts_[static_cast<std::size_t>(cause)];
   }
-  /// cause_count / (finished + aborted): the per-cause MD breakdown.
+  /// cause_count / (finished + aborted + failed + shed): the per-cause MD
+  /// breakdown.
   double md(MissCause cause) const;
 
   /// Component tallies over missed *completed* tasks (aborts never finish,
@@ -119,6 +134,11 @@ class MissAttribution final : public system::Observer {
   struct TaskRec {
     sim::Time arrival = 0;
     sim::Time deadline = 0;
+    /// A subtask of this task was crash-orphaned (and retried — a
+    /// non-retried failure terminates through on_global_failed instead).
+    /// A miss after that is attributed to the failure, not to the
+    /// components of a path the crash already invalidated.
+    bool saw_failure = false;
     std::vector<JobRec> jobs;
   };
 
@@ -133,6 +153,8 @@ class MissAttribution final : public system::Observer {
 
   std::uint64_t finished_ = 0;
   std::uint64_t aborted_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t shed_ = 0;
   std::uint64_t missed_completed_ = 0;
   std::uint64_t unattributed_ = 0;
   std::uint64_t counts_[kMissCauseCount] = {};

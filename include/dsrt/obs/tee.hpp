@@ -54,6 +54,14 @@ class ObserverTee final : public system::Observer {
     for (std::size_t i = 0; i < count_; ++i)
       sinks_[i]->on_global_aborted(task, now);
   }
+  void on_global_failed(core::TaskId task, sim::Time now) override {
+    for (std::size_t i = 0; i < count_; ++i)
+      sinks_[i]->on_global_failed(task, now);
+  }
+  void on_global_shed(core::TaskId task, sim::Time now) override {
+    for (std::size_t i = 0; i < count_; ++i)
+      sinks_[i]->on_global_shed(task, now);
+  }
 
  private:
   std::array<system::Observer*, kMaxSinks> sinks_{};

@@ -35,12 +35,16 @@ struct Job {
   /// Service still owed; maintained by the node (preemptive-resume
   /// bookkeeping). 0 on submission means "full exec outstanding".
   double remaining = 0;
+  /// Placements so far beyond the first (fault retries). Bounded by
+  /// fault::FaultSpec::kMaxRetryBudget, so a byte is plenty.
+  std::uint8_t attempts = 0;
 };
 
 /// How a node disposed of a job.
 enum class JobOutcome : std::uint8_t {
   Completed,  ///< received full service
   Aborted,    ///< discarded by the abort policy before service
+  Failed,     ///< orphaned by a node crash (or submitted to a down node)
 };
 
 }  // namespace dsrt::sched

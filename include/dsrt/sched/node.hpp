@@ -66,7 +66,23 @@ class Node {
 
   /// Accepts a job at the current simulated time. If the server is idle the
   /// job starts service immediately; otherwise it waits in the ready queue.
+  /// A down node (see `fail`) rejects the job synchronously: it is disposed
+  /// as `JobOutcome::Failed` without touching the queue or load account, so
+  /// the caller's retry machinery sees the orphan on the regular path.
   void submit(Job job);
+
+  /// True while the node is operational (the default).
+  bool up() const { return up_; }
+
+  /// Crashes the node: the job in service (if any) and every queued job are
+  /// disposed as `JobOutcome::Failed` in dispatch order, the pending
+  /// completion event is invalidated through the service token (it fires as
+  /// a stale no-op), and the load account — if attached — is zeroed and
+  /// marked down so placement stops routing here. Idempotent while down.
+  void fail(sim::Time now);
+
+  /// Brings a downed node back up, empty and idle. Idempotent while up.
+  void recover(sim::Time now);
 
   /// True while a job is in service.
   bool busy() const { return in_service_.has_value(); }
@@ -86,6 +102,9 @@ class Node {
   std::uint64_t jobs_submitted() const { return submitted_; }
   std::uint64_t jobs_completed() const { return completed_; }
   std::uint64_t jobs_aborted() const { return aborted_; }
+  /// Jobs orphaned by crashes of this node (in service or queued at a
+  /// `fail`, plus arrivals rejected while down).
+  std::uint64_t jobs_failed() const { return failed_; }
   std::uint64_t preemptions() const { return preemptions_; }
   /// Deepest the ready queue has ever been (high-water mark, not counting
   /// the job in service).
@@ -152,6 +171,7 @@ class Node {
   bool policy_is_edf_ = false;
   bool abort_is_none_ = false;
   PreemptionMode preemption_;
+  bool up_ = true;  ///< cleared by fail(), restored by recover()
   CompletionHandler handler_;
   CompletionDelegate delegate_ = nullptr;  ///< preferred over handler_
   void* delegate_ctx_ = nullptr;
@@ -176,6 +196,7 @@ class Node {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t aborted_ = 0;
+  std::uint64_t failed_ = 0;
   std::uint64_t preemptions_ = 0;
   std::size_t max_queue_ = 0;  ///< ready-queue high-water mark
 };

@@ -6,6 +6,7 @@
 
 #include "dsrt/core/load_model.hpp"
 #include "dsrt/core/parallel_strategies.hpp"
+#include "dsrt/fault/spec.hpp"
 #include "dsrt/core/placement.hpp"
 #include "dsrt/core/serial_strategies.hpp"
 #include "dsrt/core/strategy.hpp"
@@ -119,6 +120,15 @@ struct Config {
   /// instead of as a Poisson stream (periodic-task variant, cf. the
   /// flow-shop work of Bettati & Liu the paper relates to).
   bool periodic_globals = false;
+  /// Failure processes injected into the run (crash/link outages, exec
+  /// stragglers) and the reactions to them (retry budget, admission
+  /// shedding). The default — nothing enabled — builds no injector,
+  /// schedules no events and consumes no rng draws: the run is bit-for-bit
+  /// identical to a build without the fault subsystem. All fault
+  /// randomness lives on its own per-replication rng stream
+  /// (fault::kFaultRngStream), so enabling faults never perturbs the
+  /// offered workload, and runs stay deterministic and --jobs-invariant.
+  fault::FaultSpec faults;
 
   // --- Run control --------------------------------------------------------
   sim::Time horizon = 1e6;  ///< paper: one million time units per run

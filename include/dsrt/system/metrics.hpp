@@ -23,12 +23,19 @@ struct ClassMetrics {
   stats::Histogram tardiness_hist{0.25, 800};
   std::uint64_t generated = 0;  ///< tasks submitted (incl. in-flight at end)
   std::uint64_t aborted = 0;    ///< tasks discarded by the abort policy
+  std::uint64_t failed = 0;     ///< tasks lost to crashes (retries exhausted)
+  std::uint64_t shed = 0;       ///< tasks shed by the admission controller
 
   void reset();
   /// Records a task that received full service.
   void record_completed(double response_time, double lateness_value);
   /// Records a task discarded by the abort policy (always a miss).
   void record_aborted();
+  /// Records a task lost to a node crash (always a miss).
+  void record_failed();
+  /// Records a task shed at dispatch by the admission controller (counted
+  /// as a miss: the work was offered and not served on time).
+  void record_shed();
   /// Pools another run's observations into this one (tallies, ratios and
   /// histograms all use exact parallel-combination rules, so merge order
   /// does not affect counts). Used by the engine layer to report pooled

@@ -56,6 +56,18 @@ class Observer {
   virtual void on_global_aborted(core::TaskId task, sim::Time now) {
     (void)task; (void)now;
   }
+
+  /// A global task was terminated because a crash-orphaned subtask could not
+  /// be retried (budget exhausted, deadline infeasible, or no live node).
+  virtual void on_global_failed(core::TaskId task, sim::Time now) {
+    (void)task; (void)now;
+  }
+
+  /// A global task was shed by the admission controller at dispatch
+  /// (predicted infeasible before any subtask was submitted).
+  virtual void on_global_shed(core::TaskId task, sim::Time now) {
+    (void)task; (void)now;
+  }
 };
 
 }  // namespace dsrt::system

@@ -6,6 +6,7 @@
 
 #include "dsrt/core/assigner.hpp"
 #include "dsrt/core/strategy.hpp"
+#include "dsrt/fault/injector.hpp"
 #include "dsrt/sched/node.hpp"
 #include "dsrt/sim/simulator.hpp"
 #include "dsrt/system/metrics.hpp"
@@ -39,12 +40,18 @@ class ProcessManager {
   /// binding of placeable subtasks at dispatch time. When the PSP also
   /// implements core::SubtaskFeedback (the online DIV-x autotuner) it
   /// receives every global subtask disposal.
+  /// `faults` (nullable, not owned) switches on the failure-aware paths:
+  /// straggle inflation of real demands, admission shedding of infeasible
+  /// tasks, and retry/resubmission of crash-orphaned subtasks. With the
+  /// default nullptr every fault branch is a single predicted-false check
+  /// and behavior is bit-for-bit the pre-fault build.
   ProcessManager(sim::Simulator& sim,
                  std::vector<std::unique_ptr<sched::Node>>& nodes,
                  core::SerialStrategyPtr ssp, core::ParallelStrategyPtr psp,
                  RunMetrics& metrics,
                  const core::LoadModel* load_model = nullptr,
-                 const core::PlacementPolicy* placement = nullptr);
+                 const core::PlacementPolicy* placement = nullptr,
+                 fault::FaultInjector* faults = nullptr);
 
   ProcessManager(const ProcessManager&) = delete;
   ProcessManager& operator=(const ProcessManager&) = delete;
@@ -73,6 +80,11 @@ class ProcessManager {
   /// Attaches a lifecycle observer (nullptr detaches). Not owned; must
   /// outlive the process manager or be detached first.
   void set_observer(Observer* observer) { observer_ = observer; }
+
+  /// Fault-reaction counters (obs probes): crash-orphaned subtasks
+  /// resubmitted, and tasks shed by the admission controller.
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t sheds() const { return sheds_; }
 
   /// Raises the pool/scratch reserves for a k-node run (never shrinks):
   /// the live-instance high-water mark scales with the global arrival
@@ -116,9 +128,12 @@ class ProcessManager {
   /// Submits every released leaf under the task's slot handle. `task_id`
   /// and `ultimate` come from the already-resolved instance, so the
   /// arrival path never re-resolves the handle it just created.
+  /// `attempts` seeds sched::Job::attempts — 0 for first submissions, the
+  /// orphaned job's count + 1 on the retry path.
   void dispatch_submissions(std::uint64_t handle, core::TaskId task_id,
                             sim::Time ultimate,
-                            const std::vector<core::LeafSubmission>& subs);
+                            const std::vector<core::LeafSubmission>& subs,
+                            std::uint8_t attempts = 0);
   void finish_global(core::TaskInstance& inst, sim::Time now);
   void release_slot(std::uint32_t slot);
 
@@ -129,6 +144,7 @@ class ProcessManager {
   RunMetrics& metrics_;
   const core::LoadModel* load_model_ = nullptr;          ///< not owned
   const core::PlacementPolicy* placement_ = nullptr;     ///< not owned
+  fault::FaultInjector* faults_ = nullptr;               ///< not owned
   const core::SubtaskFeedback* feedback_ = nullptr;  ///< psp_, if it listens
   Observer* observer_ = nullptr;
 
@@ -140,8 +156,11 @@ class ProcessManager {
   core::TaskId next_task_id_ = 1;
   sched::JobId next_job_id_ = 1;
   std::vector<core::LeafSubmission> scratch_;
+  std::vector<core::LeafSubmission> retry_scratch_;  ///< resubmit_leaf out
   std::vector<Disposal> disposal_queue_;
   bool draining_disposals_ = false;
+  std::uint64_t retries_ = 0;
+  std::uint64_t sheds_ = 0;
 };
 
 }  // namespace dsrt::system

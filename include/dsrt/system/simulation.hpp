@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "dsrt/fault/injector.hpp"
 #include "dsrt/sched/node.hpp"
 #include "dsrt/sim/simulator.hpp"
 #include "dsrt/system/config.hpp"
@@ -72,6 +73,11 @@ class SimulationRun {
   /// the generation-time binding bit for bit).
   const core::PlacementPolicy* placement() const { return placement_.get(); }
 
+  /// The fault injector wired from cfg.faults (nullptr when nothing is
+  /// enabled: fault-free runs build no injector and stay bit-for-bit
+  /// identical to a build without the fault subsystem).
+  const fault::FaultInjector* fault_injector() const { return faults_.get(); }
+
  private:
   void schedule_snapshot_refresh();
 
@@ -89,6 +95,8 @@ class SimulationRun {
   /// Fresh per run (jsq tie-break state is per-run, like the strategies'
   /// clone_for_run state); null for Static.
   core::PlacementPolicyPtr placement_;
+  /// Failure processes (cfg.faults); null when nothing is enabled.
+  std::unique_ptr<fault::FaultInjector> faults_;
   std::unique_ptr<ProcessManager> pm_;
   std::vector<std::unique_ptr<workload::LocalTaskSource>> local_sources_;
   std::unique_ptr<workload::GlobalTaskSource> global_source_;

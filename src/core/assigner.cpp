@@ -64,6 +64,7 @@ void TaskInstance::reset(TaskId id, const TaskSpec& spec, sim::Time arrival,
       vx.exec = s.exec;
       vx.elig_begin = s.elig_begin;
       vx.elig_count = s.elig_count;  // 0 = bound at generation time
+      vx.orig_elig_count = s.elig_count;  // kept for fault retries
     } else if (s.kind == SpecKind::Serial) {
       // Suffix sums of child predicted durations: suffix[i] =
       // sum_{j >= i} pex(child j); the SSP formulas consume these.
@@ -304,6 +305,74 @@ bool TaskInstance::complete_vertex(std::size_t v, sim::Time now,
   // Parallel join: last child to finish completes the group.
   if (--px.pending > 0) return false;
   return complete_vertex(static_cast<std::size_t>(parent), now, out);
+}
+
+void TaskInstance::on_leaf_failed(std::size_t leaf) {
+  if (leaf >= vertices_.size() || vertices_[leaf].kind != SpecKind::Simple)
+    throw std::invalid_argument("on_leaf_failed: not a leaf vertex");
+  if (outstanding_ == 0)
+    throw std::logic_error("on_leaf_failed: nothing outstanding");
+  --outstanding_;
+  // The DAG does not advance: the leaf stays activated-but-undone, so a
+  // subsequent resubmit_leaf re-emits it while siblings keep running.
+}
+
+bool TaskInstance::resubmit_leaf(std::size_t leaf, sim::Time now,
+                                 const std::function<bool(NodeId)>& live,
+                                 std::vector<LeafSubmission>& out) {
+  if (leaf >= vertices_.size() || vertices_[leaf].kind != SpecKind::Simple)
+    throw std::invalid_argument("resubmit_leaf: not a leaf vertex");
+  Vertex& vx = vertices_[leaf];
+  if (state_ != InstanceState::Running || vx.done) return false;
+  // Rebuild the distinct-site exclusions: nodes currently occupied by
+  // unfinished simple siblings of the same parallel group (a finished
+  // sibling no longer holds its site).
+  place_taken_.clear();
+  if (vx.parent >= 0) {
+    const Vertex& px = vertices_[static_cast<std::size_t>(vx.parent)];
+    if (px.kind == SpecKind::Parallel) {
+      for (const std::uint32_t c : children_of(px)) {
+        const Vertex& sib = vertices_[c];
+        if (c != leaf && sib.kind == SpecKind::Simple && !sib.done)
+          place_taken_.push_back(sib.node);
+      }
+    }
+  }
+  place_candidates_.clear();
+  if (vx.orig_elig_count == 0) {
+    // Generation-bound leaf: the only legal site is its own node (live
+    // again after a recovery, or the crash raced a queued arrival).
+    if (live(vx.node)) place_candidates_.push_back(vx.node);
+  } else {
+    const std::span<const NodeId> eligible{elig_pool_.data() + vx.elig_begin,
+                                           vx.orig_elig_count};
+    for (const NodeId node : eligible) {
+      if (!live(node)) continue;
+      if (std::find(place_taken_.begin(), place_taken_.end(), node) !=
+          place_taken_.end())
+        continue;
+      place_candidates_.push_back(node);
+    }
+  }
+  if (place_candidates_.empty()) return false;  // nowhere live to go
+  if (placement_ && place_candidates_.size() > 1) {
+    PlacementContext ctx;
+    ctx.now = now;
+    ctx.load = load_model_;
+    ctx.hint = vx.node;
+    vx.node = placement_->place(ctx, place_candidates_);
+  } else {
+    vx.node = place_candidates_.front();
+  }
+  ++outstanding_;
+  const std::size_t sibling_count =
+      vx.parent < 0
+          ? 1
+          : vertices_[static_cast<std::size_t>(vx.parent)].child_count;
+  out.push_back(LeafSubmission{leaf, vx.node, vx.exec, vx.pred_duration,
+                               vx.assigned_deadline, vx.priority,
+                               vx.index_in_parent, sibling_count});
+  return true;
 }
 
 void TaskInstance::abort() {

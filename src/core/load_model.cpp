@@ -32,6 +32,7 @@ NodeLoad LoadAccount::read(sim::Time now) const {
   load.queued_pex = backlog_;
   load.utilization = ewma_at(now);
   load.queue_length = queue_length_;
+  load.down = down_;
   return load;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
@@ -38,7 +39,13 @@ NodeId JsqPlacement::place(const PlacementContext& ctx,
     double key = 0;
     if (ctx.load) {
       const NodeLoad load = ctx.load->load(node, ctx.now);
-      key = key_ == Key::QueuedPex ? load.queued_pex : load.utilization;
+      // A crashed node is infinitely loaded: only chosen when every
+      // candidate the model knows of is down (fail-fast + retry then deal
+      // with the loser). Stale views un-mark it with the same delay as any
+      // other load change.
+      key = load.down ? std::numeric_limits<double>::infinity()
+            : key_ == Key::QueuedPex ? load.queued_pex
+                                     : load.utilization;
     }
     keys_.push_back(key);
     if (ties == 0 || key < best) {
@@ -68,7 +75,11 @@ NodeId PodPlacement::place(const PlacementContext& ctx,
   ++counters_.decisions;
   const std::size_t n = candidates.size();
   const auto key_of = [&](NodeId node) {
-    return ctx.load ? ctx.load->load(node, ctx.now).queued_pex : 0.0;
+    if (!ctx.load) return 0.0;
+    const NodeLoad load = ctx.load->load(node, ctx.now);
+    // Down = infinitely loaded, as in JsqPlacement.
+    return load.down ? std::numeric_limits<double>::infinity()
+                     : load.queued_pex;
   };
   if (n <= d_) {
     // Exhaustive fallback: a set this small is cheaper to scan than to

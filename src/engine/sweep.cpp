@@ -4,6 +4,7 @@
 
 #include "dsrt/core/parallel_strategies.hpp"
 #include "dsrt/core/serial_strategies.hpp"
+#include "dsrt/fault/spec.hpp"
 #include "dsrt/sched/abort_policy.hpp"
 #include "dsrt/sched/policy.hpp"
 #include "dsrt/stats/report.hpp"
@@ -117,6 +118,11 @@ SweepAxis SweepAxis::by_field(const std::string& field,
       // fresh inside every SimulationRun.
       const auto spec = core::PlacementSpec::parse(value);
       fn = [spec](system::Config& c) { c.placement = spec; };
+    } else if (field == "faults") {
+      // A spec too: the injector (rng stream, per-node outage clocks) is
+      // per-run state, built fresh inside every SimulationRun.
+      const auto spec = fault::FaultSpec::parse(value);
+      fn = [spec](system::Config& c) { c.faults = spec; };
     } else if (field == "event_queue") {
       // Layout sweeps A/B the pending-set implementation; the trajectory
       // (and thus every metric) is mode-invariant, so only ev/s moves.

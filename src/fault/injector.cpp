@@ -1,0 +1,66 @@
+#include "dsrt/fault/injector.hpp"
+
+#include <stdexcept>
+
+namespace dsrt::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, const FaultSpec& spec,
+                             std::vector<std::unique_ptr<sched::Node>>& nodes,
+                             std::size_t compute_nodes, std::uint64_t seed,
+                             sim::Time horizon)
+    : sim_(sim),
+      spec_(spec),
+      nodes_(nodes),
+      compute_nodes_(compute_nodes),
+      horizon_(horizon),
+      rng_(seed, kFaultRngStream),
+      down_since_(nodes.size(), 0) {
+  spec_.validate();
+  if (compute_nodes_ > nodes_.size())
+    throw std::invalid_argument("FaultInjector: compute_nodes > nodes");
+}
+
+void FaultInjector::start() {
+  if (!spec_.outages()) return;
+  // First failures in node-id order: the draw sequence depends only on the
+  // spec and the topology, never on scheduling history.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (is_link(i) ? spec_.link_enabled() : spec_.crash_enabled())
+      schedule_failure(i);
+  }
+}
+
+void FaultInjector::schedule_failure(std::size_t node) {
+  const sim::Time at = sim_.now() + rng_.exponential(mttf_of(node));
+  if (at > horizon_) return;  // the chain ends past the measured window
+  sim_.at(at, [this, node] {
+    if (is_link(node)) {
+      ++link_outages_;
+    } else {
+      ++crashes_;
+    }
+    down_since_[node] = sim_.now();
+    nodes_[node]->fail(sim_.now());
+    schedule_recovery(node);
+  });
+}
+
+void FaultInjector::schedule_recovery(std::size_t node) {
+  const sim::Time at = sim_.now() + rng_.exponential(mttr_of(node));
+  if (at > horizon_) return;  // stays down: the open outage is not counted
+  sim_.at(at, [this, node] {
+    ++recoveries_;
+    downtime_ += sim_.now() - down_since_[node];
+    nodes_[node]->recover(sim_.now());
+    schedule_failure(node);
+  });
+}
+
+double FaultInjector::straggle_factor() {
+  if (!spec_.straggle_enabled()) return 1.0;
+  if (rng_.uniform01() >= spec_.straggle_p) return 1.0;
+  ++straggled_;
+  return spec_.straggle_mult;
+}
+
+}  // namespace dsrt::fault

@@ -1,0 +1,153 @@
+#include "dsrt/fault/spec.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "dsrt/util/flags.hpp"
+
+namespace dsrt::fault {
+
+namespace {
+
+constexpr const char* kVocabulary =
+    "(want crash:<mttf>,<mttr> | link:<mttf>,<mttr> | "
+    "exec_straggle:<p>,<mult> | retry:<budget> | shed[:<margin>] | none, "
+    "';'-joined)";
+
+/// Splits "a,b" into exactly `want` positive doubles; rejects everything
+/// else with the component name in the message.
+std::vector<double> params_of(const std::string& component,
+                              std::string_view text, std::size_t want) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string_view piece =
+        text.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - start);
+    const auto v = util::parse_double(piece);
+    if (!v)
+      throw std::invalid_argument("FaultSpec: bad number '" +
+                                  std::string(piece) + "' in '" + component +
+                                  "'");
+    out.push_back(*v);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (out.size() != want)
+    throw std::invalid_argument("FaultSpec: '" + component + "' takes " +
+                                std::to_string(want) + " parameter(s)");
+  return out;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(std::string_view text) {
+  FaultSpec spec;
+  if (text.empty() || text == "none") return spec;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t semi = text.find(';', start);
+    const std::string_view piece =
+        text.substr(start, semi == std::string_view::npos
+                               ? std::string_view::npos
+                               : semi - start);
+    std::string_view key = piece;
+    std::string_view param;
+    bool has_param = false;
+    if (const auto colon = piece.find(':'); colon != std::string_view::npos) {
+      key = piece.substr(0, colon);
+      param = piece.substr(colon + 1);
+      has_param = true;
+      // A trailing colon ("crash:") is a malformed spec, not a request for
+      // defaults — same strictness as the load-model/placement grammars.
+      if (param.empty())
+        throw std::invalid_argument("FaultSpec: empty parameter in '" +
+                                    std::string(piece) + "'");
+    }
+    const std::string component(key);
+    if (key == "crash") {
+      const auto p = params_of(component, param, 2);
+      spec.crash_mttf = p[0];
+      spec.crash_mttr = p[1];
+    } else if (key == "link") {
+      const auto p = params_of(component, param, 2);
+      spec.link_mttf = p[0];
+      spec.link_mttr = p[1];
+    } else if (key == "exec_straggle") {
+      const auto p = params_of(component, param, 2);
+      spec.straggle_p = p[0];
+      spec.straggle_mult = p[1];
+    } else if (key == "retry") {
+      const auto p = params_of(component, param, 1);
+      if (p[0] < 0 || p[0] != static_cast<double>(
+                                  static_cast<std::uint32_t>(p[0])))
+        throw std::invalid_argument("FaultSpec: retry budget '" +
+                                    std::string(param) +
+                                    "' is not a non-negative integer");
+      spec.retry_budget = static_cast<std::uint32_t>(p[0]);
+    } else if (key == "shed") {
+      spec.shed = true;
+      if (has_param) spec.shed_margin = params_of(component, param, 1)[0];
+    } else if (key == "none") {
+      throw std::invalid_argument(
+          "FaultSpec: 'none' cannot be combined with other components");
+    } else {
+      throw std::invalid_argument("FaultSpec: unknown component '" +
+                                  std::string(piece) + "' " + kVocabulary);
+    }
+    if (semi == std::string_view::npos) break;
+    start = semi + 1;
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string FaultSpec::describe() const {
+  if (!any()) return "none";
+  std::ostringstream os;
+  const char* sep = "";
+  if (crash_enabled()) {
+    os << "crash:" << crash_mttf << ',' << crash_mttr;
+    sep = ";";
+  }
+  if (link_enabled()) {
+    os << sep << "link:" << link_mttf << ',' << link_mttr;
+    sep = ";";
+  }
+  if (straggle_enabled()) {
+    os << sep << "exec_straggle:" << straggle_p << ',' << straggle_mult;
+    sep = ";";
+  }
+  if (retry_budget > 0) {
+    os << sep << "retry:" << retry_budget;
+    sep = ";";
+  }
+  if (shed) {
+    os << sep << "shed";
+    if (shed_margin != 1.0) os << ':' << shed_margin;
+  }
+  return os.str();
+}
+
+void FaultSpec::validate() const {
+  if (crash_mttf < 0 || (crash_enabled() && crash_mttr <= 0))
+    throw std::invalid_argument(
+        "FaultSpec: crash needs mttf > 0 and mttr > 0");
+  if (link_mttf < 0 || (link_enabled() && link_mttr <= 0))
+    throw std::invalid_argument("FaultSpec: link needs mttf > 0 and mttr > 0");
+  if (straggle_p < 0 || straggle_p > 1)
+    throw std::invalid_argument(
+        "FaultSpec: exec_straggle probability outside [0,1]");
+  if (straggle_enabled() && straggle_mult <= 1)
+    throw std::invalid_argument(
+        "FaultSpec: exec_straggle multiplier must be > 1");
+  if (retry_budget > kMaxRetryBudget)
+    throw std::invalid_argument("FaultSpec: retry budget > " +
+                                std::to_string(kMaxRetryBudget));
+  if (!(shed_margin > 0))
+    throw std::invalid_argument("FaultSpec: shed margin <= 0");
+}
+
+}  // namespace dsrt::fault

@@ -13,6 +13,9 @@ const char* to_string(MissCause cause) {
     case MissCause::Overrun: return "overrun";
     case MissCause::Infeasible: return "infeasible";
     case MissCause::Aborted: return "aborted";
+    case MissCause::Failed: return "failed";
+    case MissCause::Retried: return "retried";
+    case MissCause::Shed: return "shed";
   }
   return "?";
 }
@@ -49,19 +52,36 @@ void MissAttribution::on_global_arrival(core::TaskId task,
   }
   pool_[slot].arrival = now;
   pool_[slot].deadline = deadline;
+  pool_[slot].saw_failure = false;  // slot reuse
   index_[task] = slot;
 }
 
 void MissAttribution::on_job_disposed(const sched::Job& job, sim::Time now,
                                       sched::JobOutcome outcome) {
-  if (outcome != sched::JobOutcome::Completed) return;
   if (job.cls != core::TaskClass::Global) return;
+  if (outcome == sched::JobOutcome::Failed) {
+    // A crash orphaned this subtask. If the task still ends through
+    // on_global_finished it was retried; a later miss is the failure's
+    // fault, not a component's (see classify).
+    if (TaskRec* rec = find(job.task)) rec->saw_failure = true;
+    return;
+  }
+  if (outcome != sched::JobOutcome::Completed) return;
   TaskRec* rec = find(job.task);
   if (!rec) return;  // orphan of a task already finished/aborted
   rec->jobs.push_back(JobRec{job.release, now, job.exec, job.pex, job.node});
 }
 
 void MissAttribution::classify(const TaskRec& rec, sim::Time finish) {
+  // A retried task's realized path crosses a crashed attempt whose record
+  // was never completed, so back-chaining cannot close and the component
+  // split would be meaningless. The whole miss is charged to the retry.
+  if (rec.saw_failure) {
+    ++counts_[static_cast<std::size_t>(MissCause::Retried)];
+    lateness_.add(finish - rec.deadline);
+    return;
+  }
+
   // Back-chain the realized critical path: the stage that produced `finish`,
   // then the stage whose completion released it, down to the arrival. The
   // event loop submits a successor at the exact simulated instant its
@@ -128,8 +148,22 @@ void MissAttribution::on_global_aborted(core::TaskId task, sim::Time now) {
   release(task);
 }
 
+void MissAttribution::on_global_failed(core::TaskId task, sim::Time now) {
+  (void)now;
+  ++failed_;
+  ++counts_[static_cast<std::size_t>(MissCause::Failed)];
+  release(task);
+}
+
+void MissAttribution::on_global_shed(core::TaskId task, sim::Time now) {
+  (void)now;
+  ++shed_;
+  ++counts_[static_cast<std::size_t>(MissCause::Shed)];
+  release(task);
+}
+
 double MissAttribution::md(MissCause cause) const {
-  const std::uint64_t trials = finished_ + aborted_;
+  const std::uint64_t trials = finished_ + aborted_ + failed_ + shed_;
   if (trials == 0) return 0;
   return static_cast<double>(cause_count(cause)) /
          static_cast<double>(trials);
@@ -150,7 +184,7 @@ stats::Table MissAttribution::table() const {
 
 void MissAttribution::snapshot_into(Registry& registry) const {
   registry.add(registry.counter("attr.trials"),
-               static_cast<double>(finished_ + aborted_));
+               static_cast<double>(finished_ + aborted_ + failed_ + shed_));
   registry.add(registry.counter("attr.misses"),
                static_cast<double>(misses()));
   registry.add(registry.counter("attr.unattributed"),

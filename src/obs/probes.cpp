@@ -2,6 +2,7 @@
 
 #include "dsrt/core/load_model.hpp"
 #include "dsrt/core/placement.hpp"
+#include "dsrt/fault/injector.hpp"
 #include "dsrt/sched/node.hpp"
 #include "dsrt/sim/simulator.hpp"
 #include "dsrt/system/process_manager.hpp"
@@ -128,6 +129,24 @@ void probe_run(const system::SimulationRun& run, Registry& reg) {
             static_cast<double>(c.hint_fallbacks));
     reg.set(reg.counter("placement.restricted"),
             static_cast<double>(c.restricted));
+  }
+
+  // --- fault: injected failures and the reactions they triggered -----------
+  if (const fault::FaultInjector* faults = run.fault_injector()) {
+    reg.set(reg.counter("fault.crashes"),
+            static_cast<double>(faults->crashes()));
+    reg.set(reg.counter("fault.link_outages"),
+            static_cast<double>(faults->link_outages()));
+    reg.set(reg.counter("fault.recoveries"),
+            static_cast<double>(faults->recoveries()));
+    reg.set(reg.gauge("fault.downtime"), faults->downtime());
+    reg.set(reg.counter("fault.straggled"),
+            static_cast<double>(faults->straggled()));
+    const MetricId orphans = reg.counter("fault.orphans");
+    for (const auto& node : nodes)
+      reg.add(orphans, static_cast<double>(node->jobs_failed()));
+    reg.set(reg.counter("fault.retries"), static_cast<double>(pm.retries()));
+    reg.set(reg.counter("fault.sheds"), static_cast<double>(pm.sheds()));
   }
 }
 

@@ -50,6 +50,16 @@ Node::QueueKey Node::key_for(const Job& job) {
 
 void Node::submit(Job job) {
   ++submitted_;
+  if (!up_) {
+    // Fail fast: a down node takes no work. The job never touches the
+    // queue or the load account, so the synchronous Failed disposal is the
+    // only trace it leaves — the process manager's retry path picks it up
+    // through its re-entrant disposal queue.
+    ++failed_;
+    job.release = sim_.now();
+    dispose(job, JobOutcome::Failed);
+    return;
+  }
   job.release = sim_.now();
   if (job.remaining <= 0) job.remaining = job.exec;
   if (load_) load_->add_backlog(job.pex);
@@ -171,6 +181,44 @@ void Node::dispatch_next() {
     busy_signal_.update(sim_.now(), 0);
     if (load_) load_->set_busy(sim_.now(), false);
   }
+}
+
+void Node::fail(sim::Time now) {
+  if (!up_) return;
+  up_ = false;  // set first so re-entrant submits fail fast
+  if (in_service_) {
+    Job victim = std::move(*in_service_);
+    in_service_.reset();
+    ++service_token_;  // the scheduled completion event becomes a stale no-op
+    busy_signal_.update(now, 0);
+    ++failed_;
+    if (load_) {
+      load_->remove_backlog(victim.pex);
+      load_->set_busy(now, false);
+    }
+    dispose(victim, JobOutcome::Failed);
+  }
+  // Drain the ready queue in dispatch order so the disposal sequence — and
+  // everything downstream of it (retry placement draws) — is deterministic.
+  while (!queue_.empty()) {
+    Job victim = std::move(pop_ready().job);
+    ++failed_;
+    if (load_) load_->remove_backlog(victim.pex);
+    dispose(victim, JobOutcome::Failed);
+  }
+  queue_signal_.update(now, 0);
+  if (load_) {
+    load_->set_queue_length(0);
+    load_->set_down(true);
+  }
+}
+
+void Node::recover(sim::Time now) {
+  if (up_) return;
+  up_ = true;
+  busy_signal_.update(now, 0);
+  queue_signal_.update(now, 0);
+  if (load_) load_->set_down(false);
 }
 
 void Node::reset_observation(sim::Time now) {

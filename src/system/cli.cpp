@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "dsrt/fault/spec.hpp"
 #include "dsrt/system/baseline.hpp"
 #include "dsrt/workload/service.hpp"
 
@@ -95,6 +96,9 @@ Config config_from_flags(const util::Flags& flags) {
       static_cast<std::size_t>(flags.get("links", 0L));
   if (cfg.link_nodes > 0)
     cfg.comm_exec = sim::exponential(flags.get("hop", 0.25));
+
+  if (flags.has("faults"))
+    cfg.faults = fault::FaultSpec::parse(flags.get("faults", std::string()));
 
   cfg.periodic_globals = flags.get("periodic", false);
   cfg.probes = flags.get("probes", false);
@@ -192,6 +196,18 @@ std::string cli_usage() {
       "                       h2:<scv>, pareto:<alpha>, lognormal:<sigma>)\n"
       "  --trace=FILE         replay a workload trace file instead of\n"
       "                       generating tasks (see README \"Workloads\")\n"
+      "  --faults=SPEC        failure injection + reactions, ';'-joined:\n"
+      "                       crash:<mttf>,<mttr> (node crash/recovery\n"
+      "                       renewal), link:<mttf>,<mttr> (link-node\n"
+      "                       outages), exec_straggle:<p>,<mult> (real\n"
+      "                       demand inflated, pex untouched),\n"
+      "                       retry:<budget> (re-place crash orphans on\n"
+      "                       live nodes), shed[:<margin>] (drop tasks\n"
+      "                       whose critical path cannot meet the\n"
+      "                       deadline). Dedicated rng stream: faults off\n"
+      "                       reproduces every golden bitwise, and\n"
+      "                       --capture always records the offered\n"
+      "                       workload, never the fault realization\n"
       "  --smin=0.25 --smax=2.5 --pex_err=0 --m_min= --m_max=\n"
       "  --sp_stages=3 --sp_prob=0.5 --sp_width=3\n"
       "  --links=0 --hop=0.25 --periodic --preempt\n"

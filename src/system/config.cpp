@@ -108,6 +108,14 @@ void Config::validate() const {
   }
   load_model.validate();
   arrivals.validate();
+  faults.validate();
+  if (faults.link_enabled() && link_nodes == 0)
+    throw std::invalid_argument(
+        "Config: link fault component needs link_nodes > 0");
+  if (!trace.empty() && faults.straggle_enabled())
+    throw std::invalid_argument(
+        "Config: exec_straggle does not compose with --trace replay (the "
+        "trace pins real demands; crash/link/retry/shed compose fine)");
   if (periodic_globals && !arrivals.for_globals().is_default())
     throw std::invalid_argument(
         "Config: periodic_globals composes only with poisson/batch "
@@ -140,6 +148,7 @@ std::string Config::describe() const {
     os << " placement=" << placement.describe();
   if (event_queue != sim::QueueMode::Adaptive)
     os << " event_queue=" << sim::queue_mode_name(event_queue);
+  if (faults.any()) os << " faults=" << faults.describe();
   return os.str();
 }
 

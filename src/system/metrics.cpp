@@ -21,6 +21,16 @@ void ClassMetrics::record_aborted() {
   ++aborted;
 }
 
+void ClassMetrics::record_failed() {
+  missed.add(true);
+  ++failed;
+}
+
+void ClassMetrics::record_shed() {
+  missed.add(true);
+  ++shed;
+}
+
 void ClassMetrics::merge(const ClassMetrics& other) {
   missed.merge(other.missed);
   response.merge(other.response);
@@ -30,6 +40,8 @@ void ClassMetrics::merge(const ClassMetrics& other) {
   tardiness_hist.merge(other.tardiness_hist);
   generated += other.generated;
   aborted += other.aborted;
+  failed += other.failed;
+  shed += other.shed;
 }
 
 void RunMetrics::merge(const RunMetrics& other) {

@@ -12,7 +12,8 @@ ProcessManager::ProcessManager(sim::Simulator& sim,
                                core::ParallelStrategyPtr psp,
                                RunMetrics& metrics,
                                const core::LoadModel* load_model,
-                               const core::PlacementPolicy* placement)
+                               const core::PlacementPolicy* placement,
+                               fault::FaultInjector* faults)
     : sim_(sim),
       nodes_(nodes),
       ssp_(std::move(ssp)),
@@ -20,6 +21,7 @@ ProcessManager::ProcessManager(sim::Simulator& sim,
       metrics_(metrics),
       load_model_(load_model),
       placement_(placement),
+      faults_(faults),
       feedback_(dynamic_cast<const core::SubtaskFeedback*>(psp_.get())) {
   // Steady-state hot path: keep the per-disposal scratch buffers out of
   // the allocator (they only grow at new high-water marks).
@@ -50,6 +52,18 @@ void ProcessManager::submit_local(core::NodeId node, double exec, double pex,
   if (node >= nodes_.size())
     throw std::out_of_range("submit_local: bad node id");
   ++metrics_.local.generated;
+  if (faults_) {
+    // Admission control: a task whose own predicted demand no longer fits
+    // its deadline window is a certain miss — shedding it keeps the queue
+    // from collapsing under overload (MD rises smoothly instead).
+    if (faults_->spec().shed &&
+        sim_.now() + faults_->spec().shed_margin * pex > deadline) {
+      ++sheds_;
+      metrics_.local.record_shed();
+      return;
+    }
+    exec *= faults_->straggle_factor();
+  }
   sched::Job job;
   job.id = next_job_id_++;
   job.cls = core::TaskClass::Local;
@@ -68,6 +82,22 @@ void ProcessManager::submit_global(const core::TaskSpec& spec,
                                    sim::Time deadline) {
   ++metrics_.global.generated;
   const core::TaskId id = next_task_id_++;
+  if (faults_ && faults_->spec().shed &&
+      sim_.now() + faults_->spec().shed_margin *
+                       spec.root().predicted_duration() >
+          deadline) {
+    // The critical path alone (zero queueing, the most optimistic finish)
+    // already overruns the deadline: shed at dispatch, before a slot or
+    // any node queue is touched. Arrival + shed both fire so observers'
+    // per-task records stay consistent.
+    ++sheds_;
+    metrics_.global.record_shed();
+    if (observer_) {
+      observer_->on_global_arrival(id, spec, sim_.now(), deadline);
+      observer_->on_global_shed(id, sim_.now());
+    }
+    return;
+  }
   std::uint32_t slot;
   if (free_slots_.empty()) {
     slots_.emplace_back();
@@ -100,7 +130,7 @@ void ProcessManager::submit_global(const core::TaskSpec& spec,
 
 void ProcessManager::dispatch_submissions(
     std::uint64_t handle, core::TaskId task_id, sim::Time ultimate,
-    const std::vector<core::LeafSubmission>& subs) {
+    const std::vector<core::LeafSubmission>& subs, std::uint8_t attempts) {
   if (subs.empty()) return;
   for (const auto& sub : subs) {
     if (sub.node >= nodes_.size())
@@ -116,6 +146,11 @@ void ProcessManager::dispatch_submissions(
     job.ultimate_deadline = ultimate;
     job.exec = sub.exec;
     job.pex = sub.pex;
+    job.attempts = attempts;
+    // Straggle inflates the *real* demand only — the scheduler keeps
+    // seeing pex, so a straggler is invisible until it overruns. A retry
+    // re-flips the coin: the rerun may straggle independently.
+    if (faults_) job.exec *= faults_->straggle_factor();
     if (observer_) observer_->on_subtask_submitted(task_id, sub, sim_.now());
     nodes_[sub.node]->submit(std::move(job));
   }
@@ -156,7 +191,10 @@ void ProcessManager::handle_disposal(const sched::Job& job, sim::Time now,
                                      sched::JobOutcome outcome) {
   if (job.cls == core::TaskClass::Local) {
     if (observer_) observer_->on_job_disposed(job, now, outcome);
-    if (outcome == sched::JobOutcome::Aborted) {
+    if (outcome == sched::JobOutcome::Failed) {
+      // A local task dies with its node — it has nowhere else to run.
+      metrics_.local.record_failed();
+    } else if (outcome == sched::JobOutcome::Aborted) {
       metrics_.local.record_aborted();
     } else {
       metrics_.local_wait.add(now - job.release - job.exec);
@@ -186,6 +224,42 @@ void ProcessManager::handle_disposal(const sched::Job& job, sim::Time now,
   if (feedback_)
     feedback_->on_subtask_disposed(now - job.deadline,
                                    outcome == sched::JobOutcome::Completed);
+
+  if (outcome == sched::JobOutcome::Failed) {
+    // Crash orphan. The submission is no longer outstanding either way;
+    // whether the task survives depends on the retry budget and the
+    // remaining deadline slack.
+    inst.on_leaf_failed(job.leaf);
+    if (inst.state() == core::InstanceState::Running) {
+      bool retried = false;
+      if (faults_ && job.attempts < faults_->spec().retry_budget &&
+          now + job.pex <= job.ultimate_deadline) {
+        // Deadline-aware retry: re-place on a live eligible node. The
+        // feasibility cutoff is the optimistic bound — if even zero
+        // queueing cannot meet the end-to-end deadline, the rerun is
+        // wasted capacity under exactly the overload a crash creates.
+        retry_scratch_.clear();
+        if (inst.resubmit_leaf(
+                job.leaf, now,
+                [this](core::NodeId n) { return nodes_[n]->up(); },
+                retry_scratch_)) {
+          ++retries_;
+          dispatch_submissions(job.task, inst.id(), inst.deadline(),
+                               retry_scratch_,
+                               static_cast<std::uint8_t>(job.attempts + 1));
+          retried = true;
+        }
+      }
+      if (!retried) {
+        inst.abort();
+        metrics_.global.record_failed();
+        if (observer_) observer_->on_global_failed(inst.id(), now);
+      }
+    }
+    if (inst.state() != core::InstanceState::Running && inst.drained())
+      release_slot(slot);
+    return;
+  }
 
   if (outcome == sched::JobOutcome::Aborted &&
       inst.state() == core::InstanceState::Running) {

@@ -95,9 +95,18 @@ SimulationRun::SimulationRun(const Config& config, std::uint64_t replication)
   if (cfg_.placement.kind != core::PlacementKind::Static)
     placement_ = core::make_placement(cfg_.placement, seed);
 
+  // Fault injection (extension; Config::faults). Built only when the spec
+  // enables something, so a fault-free run constructs nothing, schedules
+  // nothing, and draws nothing — bit-for-bit the pre-fault build. All
+  // fault randomness lives on stream fault::kFaultRngStream of this
+  // replication's seed.
+  if (cfg_.faults.any())
+    faults_ = std::make_unique<fault::FaultInjector>(
+        sim_, cfg_.faults, nodes_, cfg_.nodes, seed, cfg_.horizon);
+
   pm_ = std::make_unique<ProcessManager>(sim_, nodes_, cfg_.ssp, cfg_.psp,
                                          metrics_, load_model_.get(),
-                                         placement_.get());
+                                         placement_.get(), faults_.get());
   // Proportional pool reserve: live-instance count scales with the global
   // arrival rate (itself proportional to k), so the slot map's growth
   // reallocations move into construction at the big configs.
@@ -187,6 +196,10 @@ RunMetrics SimulationRun::run() {
   // Snapshot chain for the sampled/stale load models: refreshes every
   // `period` of *simulated* time — freshness never depends on wall clock.
   if (snapshot_model_) schedule_snapshot_refresh();
+
+  // Outage chains: first failures drawn up front in node-id order, before
+  // any workload event fires.
+  if (faults_) faults_->start();
 
   for (auto& source : local_sources_) source->start();
   if (global_source_) global_source_->start();

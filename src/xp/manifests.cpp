@@ -206,6 +206,46 @@ Manifest abl_stale_decay_manifest() {
   return m;
 }
 
+Manifest abl_faults_manifest() {
+  Manifest m;
+  m.name = "abl_faults";
+  m.description =
+      "Fault-tolerance grid: fault intensity x placement for the serial "
+      "EQF strategy at load 0.5 (crash/recovery renewal faults from RNG "
+      "stream 3; MD must degrade smoothly as intensity rises, with jsq "
+      "routing around marked-down nodes — past ~0.7 load the backlog "
+      "relief from crashed queues masks the trend)";
+  m.base = [] {
+    Config cfg = system::baseline_ssp();
+    cfg.horizon = 5e4;
+    cfg.load = 0.5;
+    cfg.ssp = core::serial_strategy_by_name("EQF");
+    return cfg;
+  };
+  m.grid = [] {
+    SweepGrid grid;
+    grid.axis(SweepAxis::by_field("faults",
+                                  {"none", "crash:500,25;retry:2",
+                                   "crash:150,25;retry:2;shed:1.5"}));
+    std::vector<std::pair<std::string, std::function<void(Config&)>>>
+        placements;
+    for (const auto& [placement, load_model] :
+         {std::pair<const char*, const char*>{"static", "none"},
+          {"jsq-pex", "exact"}}) {
+      placements.emplace_back(
+          placement, [placement = std::string(placement),
+                      load_model = std::string(load_model)](Config& cfg) {
+            cfg.placement = core::PlacementSpec::parse(placement);
+            cfg.load_model = core::LoadModelSpec::parse(load_model);
+          });
+    }
+    grid.axis(SweepAxis::choices("placement", std::move(placements)));
+    return grid;
+  };
+  m.metrics = default_metrics();
+  return m;
+}
+
 }  // namespace
 
 Registry& builtin_registry() {
@@ -218,6 +258,7 @@ Registry& builtin_registry() {
     r.add(abl_scale_quick_manifest());
     r.add(wl_mix_manifest());
     r.add(abl_stale_decay_manifest());
+    r.add(abl_faults_manifest());
     return r;
   }();
   return registry;
